@@ -1,0 +1,223 @@
+// Package repro's root benchmark harness: one testing.B benchmark per
+// table and figure of the paper (regenerating the same rows/series the
+// paper reports — run `go run ./cmd/asrbench -all` for the tables
+// themselves), plus micro-benchmarks of the underlying substrates.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"asr/internal/asr"
+	"asr/internal/bench"
+	"asr/internal/costmodel"
+	"asr/internal/engine"
+	"asr/internal/gendb"
+	"asr/internal/gom"
+	"asr/internal/storage"
+)
+
+// benchExperiment runs one registered reproduction experiment per
+// iteration and reports its row count.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := bench.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	var rows int
+	for i := 0; i < b.N; i++ {
+		tab, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(tab.Rows)
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+// One benchmark per paper artifact. Figures 1/2 and the §3 tables are
+// example-database constructions; Figures 4–17 evaluate the analytical
+// model; sim and the ablations run the page-level simulator.
+
+func BenchmarkFig1RobotTraversal(b *testing.B)        { benchExperiment(b, "fig1") }
+func BenchmarkFig2CompanyTraversal(b *testing.B)      { benchExperiment(b, "fig2") }
+func BenchmarkTab3ExtensionConstruction(b *testing.B) { benchExperiment(b, "tab3") }
+func BenchmarkFig4StorageByDesign(b *testing.B)       { benchExperiment(b, "fig4") }
+func BenchmarkFig5StorageVsDefined(b *testing.B)      { benchExperiment(b, "fig5") }
+func BenchmarkFig6BackwardQueryCost(b *testing.B)     { benchExperiment(b, "fig6") }
+func BenchmarkFig7QueryCostVsObjectSize(b *testing.B) { benchExperiment(b, "fig7") }
+func BenchmarkFig8PartialPathSupport(b *testing.B)    { benchExperiment(b, "fig8") }
+func BenchmarkFig9FanoutSweep(b *testing.B)           { benchExperiment(b, "fig9") }
+func BenchmarkFig11UpdateCost(b *testing.B)           { benchExperiment(b, "fig11") }
+func BenchmarkFig12UpdateCostVariant(b *testing.B)    { benchExperiment(b, "fig12") }
+func BenchmarkFig13UpdateVsObjectSize(b *testing.B)   { benchExperiment(b, "fig13") }
+func BenchmarkFig14MixBinary(b *testing.B)            { benchExperiment(b, "fig14") }
+func BenchmarkFig15MixDecomp034(b *testing.B)         { benchExperiment(b, "fig15") }
+func BenchmarkFig16LeftVsFull(b *testing.B)           { benchExperiment(b, "fig16") }
+func BenchmarkFig17RightVsFull(b *testing.B)          { benchExperiment(b, "fig17") }
+func BenchmarkAdvisorDesignSweep(b *testing.B)        { benchExperiment(b, "advisor") }
+func BenchmarkSimMeasuredVsPredicted(b *testing.B)    { benchExperiment(b, "sim") }
+func BenchmarkAblationDualTree(b *testing.B)          { benchExperiment(b, "abl-dualtree") }
+func BenchmarkAblationSharing(b *testing.B)           { benchExperiment(b, "abl-sharing") }
+
+// Substrate micro-benchmarks.
+
+func newBenchDB(b *testing.B) (*gendb.Database, *gendb.Placement) {
+	b.Helper()
+	db, err := gendb.Generate(gendb.Spec{
+		N:    3,
+		C:    []int{200, 500, 1000, 2000},
+		D:    []int{180, 400, 800},
+		Fan:  []int{2, 2, 2},
+		Seed: 99,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := storage.NewBufferPool(storage.NewDisk(0), 0, storage.LRU)
+	place, err := gendb.Place(db, pool, []int{200, 200, 200, 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db, place
+}
+
+func newBenchIndex(b *testing.B, db *gendb.Database, ext asr.Extension) *asr.Index {
+	b.Helper()
+	pool := storage.NewBufferPool(storage.NewDisk(0), 0, storage.LRU)
+	ix, err := asr.Build(db.Base, db.Path, ext, asr.BinaryDecomposition(db.Path.Arity()-1), pool)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ix
+}
+
+func BenchmarkASRBuildFull(b *testing.B) {
+	db, _ := newBenchDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool := storage.NewBufferPool(storage.NewDisk(0), 0, storage.LRU)
+		if _, err := asr.Build(db.Base, db.Path, asr.Full, asr.BinaryDecomposition(db.Path.Arity()-1), pool); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkASRQueryForward(b *testing.B) {
+	db, place := newBenchDB(b)
+	ix := newBenchIndex(b, db, asr.Full)
+	e := engine.New(place)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := db.Extents[0][i%len(db.Extents[0])]
+		if _, _, err := e.ForwardASR(ix, start, 0, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkASRQueryBackward(b *testing.B) {
+	db, place := newBenchDB(b)
+	ix := newBenchIndex(b, db, asr.RightComplete)
+	e := engine.New(place)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target := db.Extents[3][i%len(db.Extents[3])]
+		if _, _, err := e.BackwardASR(ix, target, 0, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNoASRBackwardSearch(b *testing.B) {
+	db, place := newBenchDB(b)
+	e := engine.New(place)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target := db.Extents[3][i%len(db.Extents[3])]
+		if _, _, err := e.BackwardNoASR(target, 0, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkASRMaintainInsert(b *testing.B) {
+	db, _ := newBenchDB(b)
+	ix := newBenchIndex(b, db, asr.Full)
+	m := asr.NewMaintainer(ix)
+	db.Base.AddObserver(m)
+	// Toggle one set membership back and forth.
+	src := db.Extents[2][0]
+	o, _ := db.Base.Get(src)
+	v, _ := o.Attr("Next")
+	if v == nil {
+		b.Skip("anchor object has no set")
+	}
+	setID := v.(gom.Ref).OID()
+	dst := gom.Ref(db.Extents[3][len(db.Extents[3])-1])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			if err := db.Base.InsertIntoSet(setID, dst); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if err := db.Base.RemoveFromSet(setID, dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if m.Err() != nil {
+			b.Fatal(m.Err())
+		}
+	}
+}
+
+func BenchmarkCostModelFullSweep(b *testing.B) {
+	m, err := costmodel.New(costmodel.DefaultSystem(), costmodel.Profile{
+		N:    4,
+		C:    []float64{1000, 5000, 10000, 50000, 100000},
+		D:    []float64{900, 4000, 8000, 20000},
+		Fan:  []float64{2, 2, 3, 4},
+		Size: []float64{500, 400, 300, 300, 100},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mx := costmodel.Mix{
+		Queries: []costmodel.WeightedQuery{{W: 1, Kind: costmodel.Backward, I: 0, J: 4}},
+		Updates: []costmodel.WeightedUpdate{{W: 1, I: 2}},
+		PUp:     0.2,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.Advise(mx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkYao(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		costmodel.Yao(float64(i%1000), 500, 100000)
+	}
+}
+
+// Example of regenerating one figure's series inside a benchmark report.
+func BenchmarkFig6Series(b *testing.B) {
+	e, _ := bench.Lookup("fig6")
+	var tab fmt.Stringer
+	for i := 0; i < b.N; i++ {
+		t, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		tab = t
+	}
+	if b.N > 0 && tab != nil {
+		b.Logf("\n%s", tab)
+	}
+}
+
+func BenchmarkSimUpdateMaintenance(b *testing.B) { benchExperiment(b, "sim-update") }
+
+func BenchmarkSimMixStreams(b *testing.B) { benchExperiment(b, "sim-mix") }

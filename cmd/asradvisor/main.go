@@ -1,0 +1,162 @@
+// Command asradvisor performs the physical database design procedure the
+// paper's conclusion proposes: given an application profile and an
+// operation mix, it evaluates every access-support-relation extension ×
+// decomposition with the analytical cost model and ranks the designs.
+//
+// The profile and mix are supplied as a JSON document:
+//
+//	{
+//	  "n": 4,
+//	  "c":    [1000, 5000, 10000, 50000, 100000],
+//	  "d":    [900, 4000, 8000, 20000],
+//	  "fan":  [2, 2, 3, 4],
+//	  "size": [500, 400, 300, 300, 100],
+//	  "queries": [
+//	    {"w": 0.5,  "kind": "bw", "i": 0, "j": 4},
+//	    {"w": 0.25, "kind": "bw", "i": 0, "j": 3},
+//	    {"w": 0.25, "kind": "fw", "i": 1, "j": 2}
+//	  ],
+//	  "updates": [{"w": 0.5, "i": 2}, {"w": 0.5, "i": 3}],
+//	  "pup": 0.2
+//	}
+//
+// Usage:
+//
+//	asradvisor -config profile.json [-top 10]
+//	asradvisor -example            # print the JSON above and exit
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"asr/internal/bench"
+	"asr/internal/costmodel"
+)
+
+type configQuery struct {
+	W    float64 `json:"w"`
+	Kind string  `json:"kind"`
+	I    int     `json:"i"`
+	J    int     `json:"j"`
+}
+
+type configUpdate struct {
+	W float64 `json:"w"`
+	I int     `json:"i"`
+}
+
+type config struct {
+	N       int            `json:"n"`
+	C       []float64      `json:"c"`
+	D       []float64      `json:"d"`
+	Fan     []float64      `json:"fan"`
+	Size    []float64      `json:"size"`
+	Shar    []float64      `json:"shar,omitempty"`
+	Queries []configQuery  `json:"queries"`
+	Updates []configUpdate `json:"updates"`
+	PUp     float64        `json:"pup"`
+}
+
+const exampleConfig = `{
+  "n": 4,
+  "c":    [1000, 5000, 10000, 50000, 100000],
+  "d":    [900, 4000, 8000, 20000],
+  "fan":  [2, 2, 3, 4],
+  "size": [500, 400, 300, 300, 100],
+  "queries": [
+    {"w": 0.5,  "kind": "bw", "i": 0, "j": 4},
+    {"w": 0.25, "kind": "bw", "i": 0, "j": 3},
+    {"w": 0.25, "kind": "fw", "i": 1, "j": 2}
+  ],
+  "updates": [{"w": 0.5, "i": 2}, {"w": 0.5, "i": 3}],
+  "pup": 0.2
+}`
+
+func main() {
+	var (
+		path     = flag.String("config", "", "JSON profile+mix file ('-' for stdin)")
+		top      = flag.Int("top", 10, "number of designs to print")
+		example  = flag.Bool("example", false, "print an example configuration and exit")
+		validate = flag.Bool("validate", false, "empirically check the recommendation on a scaled synthetic database")
+		seed     = flag.Int64("seed", 1, "generator seed for -validate")
+	)
+	flag.Parse()
+
+	if *example {
+		fmt.Println(exampleConfig)
+		return
+	}
+	if *path == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var raw []byte
+	var err error
+	if *path == "-" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(*path)
+	}
+	if err != nil {
+		fail(err)
+	}
+	var cfg config
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		fail(fmt.Errorf("parsing %s: %w", *path, err))
+	}
+
+	model, err := costmodel.New(costmodel.DefaultSystem(), costmodel.Profile{
+		N: cfg.N, C: cfg.C, D: cfg.D, Fan: cfg.Fan, Size: cfg.Size, Shar: cfg.Shar,
+	})
+	if err != nil {
+		fail(err)
+	}
+	for _, w := range model.Warnings {
+		fmt.Fprintln(os.Stderr, "asradvisor: warning:", w)
+	}
+
+	mix := costmodel.Mix{PUp: cfg.PUp}
+	for _, q := range cfg.Queries {
+		kind := costmodel.Forward
+		if q.Kind == "bw" {
+			kind = costmodel.Backward
+		} else if q.Kind != "fw" {
+			fail(fmt.Errorf("query kind %q, want fw or bw", q.Kind))
+		}
+		mix.Queries = append(mix.Queries, costmodel.WeightedQuery{W: q.W, Kind: kind, I: q.I, J: q.J})
+	}
+	for _, u := range cfg.Updates {
+		mix.Updates = append(mix.Updates, costmodel.WeightedUpdate{W: u.W, I: u.I})
+	}
+
+	ranked, noSup, err := model.Advise(mix)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("profile: n=%d, %d designs evaluated, P_up=%.3f\n", cfg.N, len(ranked), cfg.PUp)
+	fmt.Printf("no-support baseline: %.1f expected page accesses per operation\n\n", noSup)
+	fmt.Print(costmodel.FormatRanking(ranked, *top))
+	best := ranked[0]
+	fmt.Printf("\nrecommendation: extension %q with decomposition %s (%.1fx over no support)\n",
+		best.Design.Ext, best.Design.Dec, noSup/best.MixCost)
+
+	if *validate {
+		fmt.Println("\nvalidating the recommendation on a scaled synthetic database...")
+		tab, err := bench.ValidateDesign(costmodel.Profile{
+			N: cfg.N, C: cfg.C, D: cfg.D, Fan: cfg.Fan, Size: cfg.Size, Shar: cfg.Shar,
+		}, best.Design, mix, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(tab.String())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "asradvisor:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Command asrbench runs the paper-reproduction experiments: every table
+// and figure of Kemper & Moerkotte's "Access Support in Object Bases"
+// plus the page-level validation experiments.
+//
+// Usage:
+//
+//	asrbench -list                 # enumerate experiments
+//	asrbench -experiment fig6      # run one experiment
+//	asrbench -all                  # run everything
+//	asrbench -experiment fig6 -csv # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"asr/internal/bench"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list available experiments")
+		id   = flag.String("experiment", "", "experiment id to run (see -list)")
+		all  = flag.Bool("all", false, "run every experiment")
+		csv  = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Printf("%-14s %-12s %s\n", "id", "paper ref", "title")
+		for _, e := range bench.All() {
+			fmt.Printf("%-14s %-12s %s\n", e.ID, shorten(e.Ref), e.Title)
+		}
+	case *all:
+		for _, e := range bench.All() {
+			if err := runOne(e, *csv); err != nil {
+				fail(err)
+			}
+		}
+	case *id != "":
+		e, ok := bench.Lookup(*id)
+		if !ok {
+			fail(fmt.Errorf("unknown experiment %q; use -list", *id))
+		}
+		if err := runOne(e, *csv); err != nil {
+			fail(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(e bench.Experiment, csv bool) error {
+	tab, err := e.Run()
+	if err != nil {
+		return fmt.Errorf("%s: %w", e.ID, err)
+	}
+	if csv {
+		fmt.Print(tab.CSV())
+	} else {
+		fmt.Println(tab.String())
+	}
+	return nil
+}
+
+func shorten(ref string) string {
+	r := []rune(ref)
+	if len(r) > 12 {
+		return string(r[:12])
+	}
+	return ref
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "asrbench:", err)
+	os.Exit(1)
+}

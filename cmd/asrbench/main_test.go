@@ -1,0 +1,39 @@
+package main
+
+import (
+	"testing"
+
+	"asr/internal/bench"
+)
+
+func TestEveryRegisteredExperimentRunsViaCLIHelper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment; skipped in -short mode")
+	}
+	for _, e := range bench.All() {
+		if err := runOne(e, false); err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+		}
+	}
+	// CSV path too, on a cheap experiment.
+	e, ok := bench.Lookup("fig4")
+	if !ok {
+		t.Fatal("fig4 missing")
+	}
+	if err := runOne(e, true); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShorten(t *testing.T) {
+	if got := shorten("Figure 6, §5.9.1"); len([]rune(got)) != 12 {
+		t.Errorf("shorten = %q (%d runes)", got, len([]rune(got)))
+	}
+	if got := shorten("short"); got != "short" {
+		t.Errorf("shorten = %q", got)
+	}
+	// Multi-byte boundary must not split a rune.
+	if got := shorten("§§§§§§§§§§§§§§"); len([]rune(got)) != 12 {
+		t.Errorf("shorten = %q", got)
+	}
+}

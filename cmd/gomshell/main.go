@@ -1,0 +1,478 @@
+// Command gomshell is a small interactive shell over the GOM object
+// model and access support relations: define a schema, populate objects,
+// declare indexes, and run path queries — the workflow of §2 and §3.
+//
+//	$ gomshell
+//	gom> type PERSON is [Name: STRING, Lives: CITY];
+//	gom> type CITY is [Name: STRING];
+//	gom> new CITY as $c
+//	gom> set $c.Name = "Karlsruhe"
+//	gom> new PERSON as $p
+//	gom> set $p.Lives = $c
+//	gom> index full binary on PERSON.Lives.Name
+//	gom> query backward "Karlsruhe" via PERSON.Lives.Name
+//	gom> quit
+//
+// A script can be piped on stdin; see examples/ for scripted uses of the
+// underlying API.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"asr/internal/asr"
+	"asr/internal/dump"
+	"asr/internal/gom"
+	"asr/internal/query"
+	"asr/internal/storage"
+)
+
+type shell struct {
+	schema  *gom.Schema
+	base    *gom.ObjectBase
+	manager *asr.Manager
+	vars    map[string]gom.OID
+	pending strings.Builder // accumulated type declarations
+	out     *bufio.Writer
+}
+
+func main() {
+	sh := &shell{
+		vars: map[string]gom.OID{},
+		out:  bufio.NewWriter(os.Stdout),
+	}
+	sh.reset()
+	interactive := isTerminal()
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		if interactive {
+			fmt.Fprint(sh.out, "gom> ")
+			sh.out.Flush()
+		}
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "--") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			break
+		}
+		if err := sh.exec(line); err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+		}
+		sh.out.Flush()
+	}
+	sh.out.Flush()
+}
+
+func isTerminal() bool {
+	fi, err := os.Stdin.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+func (sh *shell) reset() {
+	sh.schema = gom.NewSchema()
+	sh.base = gom.NewObjectBase(sh.schema)
+	sh.manager = asr.NewManager(sh.base, storage.NewBufferPool(storage.NewDisk(0), 0, storage.LRU))
+}
+
+func (sh *shell) exec(line string) error {
+	fields := strings.Fields(line)
+	if strings.EqualFold(fields[0], "select") {
+		return sh.cmdSelect(line)
+	}
+	switch fields[0] {
+	case "help":
+		sh.help()
+		return nil
+	case "type", "var":
+		// Accumulate declarations; re-parse the whole schema each time so
+		// forward references across commands work. Objects survive only
+		// when the schema is extended, so declare types before data.
+		sh.pending.WriteString(line)
+		sh.pending.WriteString("\n")
+		schema, vars, err := gom.ParseSchema(sh.pending.String())
+		if err != nil {
+			// Roll back the failed declaration.
+			s := sh.pending.String()
+			sh.pending.Reset()
+			sh.pending.WriteString(strings.TrimSuffix(s, line+"\n"))
+			return err
+		}
+		if sh.base.Count() > 0 {
+			return fmt.Errorf("declare all types before creating objects")
+		}
+		sh.schema = schema
+		sh.base = gom.NewObjectBase(schema)
+		sh.manager = asr.NewManager(sh.base, storage.NewBufferPool(storage.NewDisk(0), 0, storage.LRU))
+		for _, v := range vars {
+			fmt.Fprintf(sh.out, "declared var %s: %s (bind with 'new %s as $%s')\n",
+				v.Name, v.Type.Name(), v.Type.Name(), v.Name)
+		}
+		return nil
+	case "new":
+		return sh.cmdNew(fields[1:])
+	case "set":
+		return sh.cmdSet(line)
+	case "insert":
+		return sh.cmdInsert(fields[1:])
+	case "show":
+		return sh.cmdShow(fields[1:])
+	case "extent":
+		return sh.cmdExtent(fields[1:])
+	case "schema":
+		for _, t := range sh.schema.Types() {
+			if t.Kind() != gom.AtomicType {
+				fmt.Fprintln(sh.out, t.Definition())
+			}
+		}
+		return nil
+	case "index":
+		return sh.cmdIndex(fields[1:])
+	case "query":
+		return sh.cmdQuery(fields[1:])
+	case "save":
+		return sh.cmdSave(fields[1:])
+	case "load":
+		return sh.cmdLoad(fields[1:])
+	default:
+		return fmt.Errorf("unknown command %q (try 'help')", fields[0])
+	}
+}
+
+func (sh *shell) help() {
+	fmt.Fprint(sh.out, `commands:
+  type NAME is [A: T, ...];        declare a tuple type (also {T}, <T>, supertypes (...))
+  new TYPE as $x                   instantiate and bind a variable
+  set $x.Attr = VALUE              assign ($y, "str", 42, 3.14, true, null)
+  insert $y into $x                insert into a set object
+  show $x                          print an object
+  extent TYPE                      list instances
+  schema                           print declared types
+  index EXT DEC on TYPE.A.B...     build an ASR (EXT: can|full|left|right; DEC: binary|none)
+  query forward $x via TYPE.A.B    objects reachable from $x
+  query backward VALUE via ...     anchors reaching VALUE
+  select p from v in Var where ... SQL-like query (paper syntax, §2.2/2.3)
+  save FILE / load FILE            dump or restore the object base (JSON)
+  quit
+`)
+}
+
+func (sh *shell) cmdNew(args []string) error {
+	if len(args) != 3 || args[1] != "as" || !strings.HasPrefix(args[2], "$") {
+		return fmt.Errorf("usage: new TYPE as $x")
+	}
+	t, ok := sh.schema.Lookup(args[0])
+	if !ok {
+		return fmt.Errorf("unknown type %q", args[0])
+	}
+	o, err := sh.base.New(t)
+	if err != nil {
+		return err
+	}
+	sh.vars[args[2][1:]] = o.ID()
+	fmt.Fprintf(sh.out, "%s = %s\n", args[2], o.ID())
+	return nil
+}
+
+// parseValue interprets a literal or $variable.
+func (sh *shell) parseValue(tok string) (gom.Value, error) {
+	switch {
+	case tok == "null":
+		return nil, nil
+	case tok == "true":
+		return gom.Bool(true), nil
+	case tok == "false":
+		return gom.Bool(false), nil
+	case strings.HasPrefix(tok, "$"):
+		id, ok := sh.vars[tok[1:]]
+		if !ok {
+			return nil, fmt.Errorf("unbound variable %s", tok)
+		}
+		return gom.Ref(id), nil
+	case strings.HasPrefix(tok, `"`):
+		s, err := strconv.Unquote(tok)
+		if err != nil {
+			return nil, fmt.Errorf("bad string literal %s", tok)
+		}
+		return gom.String(s), nil
+	case strings.ContainsAny(tok, "."):
+		f, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %s", tok)
+		}
+		return gom.Decimal(f), nil
+	default:
+		n, err := strconv.ParseInt(tok, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad literal %s", tok)
+		}
+		return gom.Integer(n), nil
+	}
+}
+
+func (sh *shell) cmdSet(line string) error {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "set"))
+	eq := strings.Index(rest, "=")
+	if eq < 0 {
+		return fmt.Errorf("usage: set $x.Attr = VALUE")
+	}
+	lhs := strings.TrimSpace(rest[:eq])
+	rhs := strings.TrimSpace(rest[eq+1:])
+	dot := strings.Index(lhs, ".")
+	if !strings.HasPrefix(lhs, "$") || dot < 0 {
+		return fmt.Errorf("usage: set $x.Attr = VALUE")
+	}
+	id, ok := sh.vars[lhs[1:dot]]
+	if !ok {
+		return fmt.Errorf("unbound variable %s", lhs[:dot])
+	}
+	v, err := sh.parseValue(rhs)
+	if err != nil {
+		return err
+	}
+	return sh.base.SetAttr(id, lhs[dot+1:], v)
+}
+
+func (sh *shell) cmdInsert(args []string) error {
+	if len(args) != 3 || args[1] != "into" {
+		return fmt.Errorf("usage: insert VALUE into $set")
+	}
+	v, err := sh.parseValue(args[0])
+	if err != nil {
+		return err
+	}
+	set, err := sh.parseValue(args[2])
+	if err != nil {
+		return err
+	}
+	ref, ok := set.(gom.Ref)
+	if !ok {
+		return fmt.Errorf("%s is not an object", args[2])
+	}
+	return sh.base.InsertIntoSet(ref.OID(), v)
+}
+
+func (sh *shell) cmdShow(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: show $x")
+	}
+	v, err := sh.parseValue(args[0])
+	if err != nil {
+		return err
+	}
+	ref, ok := v.(gom.Ref)
+	if !ok {
+		fmt.Fprintln(sh.out, gom.ValueString(v))
+		return nil
+	}
+	o, ok := sh.base.Get(ref.OID())
+	if !ok {
+		return fmt.Errorf("object %s deleted", ref.OID())
+	}
+	fmt.Fprintln(sh.out, o.String())
+	return nil
+}
+
+func (sh *shell) cmdExtent(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: extent TYPE")
+	}
+	t, ok := sh.schema.Lookup(args[0])
+	if !ok {
+		return fmt.Errorf("unknown type %q", args[0])
+	}
+	for _, id := range sh.base.Extent(t, true) {
+		o, _ := sh.base.Get(id)
+		fmt.Fprintln(sh.out, o.String())
+	}
+	return nil
+}
+
+// resolvePathArg parses TYPE.A.B.C into a path expression.
+func (sh *shell) resolvePathArg(arg string) (*gom.PathExpression, error) {
+	parts := strings.Split(arg, ".")
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("path must be TYPE.Attr[.Attr...]")
+	}
+	t, ok := sh.schema.Lookup(parts[0])
+	if !ok {
+		return nil, fmt.Errorf("unknown type %q", parts[0])
+	}
+	return gom.ResolvePath(t, parts[1:]...)
+}
+
+func (sh *shell) cmdIndex(args []string) error {
+	if len(args) != 4 || args[2] != "on" {
+		return fmt.Errorf("usage: index EXT DEC on TYPE.A.B...")
+	}
+	var ext asr.Extension
+	switch args[0] {
+	case "can":
+		ext = asr.Canonical
+	case "full":
+		ext = asr.Full
+	case "left":
+		ext = asr.LeftComplete
+	case "right":
+		ext = asr.RightComplete
+	default:
+		return fmt.Errorf("extension %q, want can|full|left|right", args[0])
+	}
+	path, err := sh.resolvePathArg(args[3])
+	if err != nil {
+		return err
+	}
+	m := path.Arity() - 1
+	var dec asr.Decomposition
+	switch args[1] {
+	case "binary":
+		dec = asr.BinaryDecomposition(m)
+	case "none":
+		dec = asr.NoDecomposition(m)
+	default:
+		return fmt.Errorf("decomposition %q, want binary|none", args[1])
+	}
+	ix, err := sh.manager.CreateIndex(path, ext, dec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(sh.out, "built %s\n", ix)
+	return nil
+}
+
+func (sh *shell) cmdQuery(args []string) error {
+	if len(args) != 4 || args[2] != "via" {
+		return fmt.Errorf("usage: query forward|backward VALUE via TYPE.A.B...")
+	}
+	path, err := sh.resolvePathArg(args[3])
+	if err != nil {
+		return err
+	}
+	v, err := sh.parseValue(args[1])
+	if err != nil {
+		return err
+	}
+	var results []gom.Value
+	switch args[0] {
+	case "forward":
+		results, err = sh.manager.QueryForward(path, 0, path.Len(), v)
+	case "backward":
+		results, err = sh.manager.QueryBackward(path, 0, path.Len(), v)
+	default:
+		return fmt.Errorf("query kind %q, want forward|backward", args[0])
+	}
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(sh.out, "(no results)")
+		return nil
+	}
+	for _, r := range results {
+		if ref, ok := r.(gom.Ref); ok {
+			if o, live := sh.base.Get(ref.OID()); live {
+				fmt.Fprintln(sh.out, o.String())
+				continue
+			}
+		}
+		fmt.Fprintln(sh.out, gom.ValueString(r))
+	}
+	return nil
+}
+
+// cmdSelect evaluates a select-from-where query in the paper's notation,
+// routing predicates through declared indexes when possible.
+func (sh *shell) cmdSelect(line string) error {
+	q, err := query.Parse(line)
+	if err != nil {
+		return err
+	}
+	// Collections named in from-clauses refer to shell variables: bind
+	// them as database vars so the query engine can resolve them.
+	for _, r := range q.Ranges {
+		if r.Collection == "" {
+			continue
+		}
+		if _, ok := sh.base.Var(r.Collection); ok {
+			continue
+		}
+		if id, ok := sh.vars[r.Collection]; ok {
+			if err := sh.base.BindVar(r.Collection, id); err != nil {
+				return err
+			}
+		}
+	}
+	eng := query.New(sh.base, sh.manager)
+	res, err := eng.Run(q)
+	if err != nil {
+		return err
+	}
+	if len(res.Values) == 0 {
+		fmt.Fprintln(sh.out, "(no results)")
+	}
+	for _, v := range res.Values {
+		if ref, ok := v.(gom.Ref); ok {
+			if o, live := sh.base.Get(ref.OID()); live {
+				fmt.Fprintln(sh.out, o.String())
+				continue
+			}
+		}
+		fmt.Fprintln(sh.out, gom.ValueString(v))
+	}
+	fmt.Fprintf(sh.out, "plan: %s\n", res.Plan)
+	return nil
+}
+
+// cmdSave dumps the object base (schema, objects, vars) to a JSON file.
+func (sh *shell) cmdSave(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: save FILE")
+	}
+	f, err := os.Create(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := dump.Save(sh.base, f); err != nil {
+		return err
+	}
+	fmt.Fprintf(sh.out, "saved %d objects to %s\n", sh.base.Count(), args[0])
+	return nil
+}
+
+// cmdLoad restores an object base from a JSON dump; indexes must be
+// re-declared afterwards (they are derived data).
+func (sh *shell) cmdLoad(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: load FILE")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ob, err := dump.Load(f)
+	if err != nil {
+		return err
+	}
+	sh.base = ob
+	sh.schema = ob.Schema()
+	sh.manager = asr.NewManager(ob, storage.NewBufferPool(storage.NewDisk(0), 0, storage.LRU))
+	sh.vars = map[string]gom.OID{}
+	for _, name := range ob.VarNames() {
+		if id, ok := ob.Var(name); ok {
+			sh.vars[name] = id
+		}
+	}
+	sh.pending.Reset()
+	fmt.Fprintf(sh.out, "loaded %d objects from %s (re-declare indexes with 'index')\n", ob.Count(), args[0])
+	return nil
+}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+
+	"asr/internal/gom"
+)
+
+// newTestShell returns a shell writing into buf.
+func newTestShell(buf *bytes.Buffer) *shell {
+	sh := &shell{vars: map[string]gom.OID{}, out: bufio.NewWriter(buf)}
+	sh.reset()
+	return sh
+}
+
+// runScript executes lines, failing the test on unexpected errors.
+func runScript(t *testing.T, sh *shell, buf *bytes.Buffer, lines ...string) string {
+	t.Helper()
+	for _, line := range lines {
+		if err := sh.exec(line); err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+	}
+	sh.out.Flush()
+	return buf.String()
+}
+
+func TestShellEndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	sh := newTestShell(&buf)
+	out := runScript(t, sh, &buf,
+		`type CITY is [Name: STRING];`,
+		`type PERSON is [Name: STRING, Lives: CITY];`,
+		`type PEOPLE is {PERSON};`,
+		`new PEOPLE as $Everyone`,
+		`new CITY as $c`,
+		`set $c.Name = "Karlsruhe"`,
+		`new PERSON as $p`,
+		`set $p.Name = "Alfons"`,
+		`set $p.Lives = $c`,
+		`insert $p into $Everyone`,
+		`index full binary on PERSON.Lives.Name`,
+		`query backward "Karlsruhe" via PERSON.Lives.Name`,
+		`select p.Name from p in Everyone where p.Lives.Name = "Karlsruhe"`,
+		`show $p`,
+		`extent PERSON`,
+		`schema`,
+		`help`,
+	)
+	for _, want := range []string{
+		"built ASR PERSON.Lives.Name",
+		`"Alfons"`,
+		"plan: predicate p.Lives.Name",
+		"type PERSON is [Name: STRING, Lives: CITY];",
+		"commands:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellQueryFallsBackWithoutIndex(t *testing.T) {
+	var buf bytes.Buffer
+	sh := newTestShell(&buf)
+	out := runScript(t, sh, &buf,
+		`type CITY is [Name: STRING];`,
+		`type PERSON is [Lives: CITY];`,
+		`new CITY as $c`,
+		`set $c.Name = "Bonn"`,
+		`new PERSON as $p`,
+		`set $p.Lives = $c`,
+		`query backward "Bonn" via PERSON.Lives.Name`,
+	)
+	if !strings.Contains(out, "i2:PERSON") {
+		t.Errorf("fallback query found nothing:\n%s", out)
+	}
+}
+
+func TestShellErrors(t *testing.T) {
+	var buf bytes.Buffer
+	sh := newTestShell(&buf)
+	runScript(t, sh, &buf, `type CITY is [Name: STRING];`)
+	bad := []string{
+		`new NOPE as $x`,
+		`new CITY $x`,
+		`set $x.Name = "y"`, // unbound var
+		`set $x = "y"`,      // no attr
+		`insert $x into $y`, // unbound
+		`show $x`,           // unbound
+		`extent NOPE`,       // unknown type
+		`index bogus binary on CITY.Name`,
+		`index full bogus on CITY.Name`,
+		`index full binary on NOPE.Name`,
+		`query sideways "x" via CITY.Name`,
+		`query backward "x" via CITY.Name`, // no index AND... actually falls back fine
+		`frobnicate`,
+		`select from where`,
+	}
+	for _, line := range bad {
+		err := sh.exec(line)
+		if line == `query backward "x" via CITY.Name` {
+			if err != nil {
+				t.Errorf("%q should fall back, got %v", line, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("accepted %q", line)
+		}
+	}
+	// A failed type declaration rolls back cleanly.
+	if err := sh.exec(`type BROKEN is [X: NOPE];`); err == nil {
+		t.Error("broken type accepted")
+	}
+	if err := sh.exec(`type OK is [X: STRING];`); err != nil {
+		t.Errorf("rollback left the parser dirty: %v", err)
+	}
+}
+
+func TestShellValueParsing(t *testing.T) {
+	var buf bytes.Buffer
+	sh := newTestShell(&buf)
+	runScript(t, sh, &buf,
+		`type T is [S: STRING, N: INTEGER, D: DECIMAL, B: BOOL];`,
+		`new T as $t`,
+		`set $t.S = "hello"`,
+		`set $t.N = 42`,
+		`set $t.D = 2.75`,
+		`set $t.B = true`,
+		`set $t.B = null`,
+	)
+	id := sh.vars["t"]
+	o, _ := sh.base.Get(id)
+	if v, _ := o.Attr("S"); !v.Equal(gom.String("hello")) {
+		t.Errorf("S = %v", v)
+	}
+	if v, _ := o.Attr("N"); !v.Equal(gom.Integer(42)) {
+		t.Errorf("N = %v", v)
+	}
+	if v, _ := o.Attr("D"); !v.Equal(gom.Decimal(2.75)) {
+		t.Errorf("D = %v", v)
+	}
+	if v, _ := o.Attr("B"); v != nil {
+		t.Errorf("B = %v, want NULL", v)
+	}
+}
+
+func TestShellSaveLoad(t *testing.T) {
+	var buf bytes.Buffer
+	sh := newTestShell(&buf)
+	file := t.TempDir() + "/db.json"
+	runScript(t, sh, &buf,
+		`type CITY is [Name: STRING];`,
+		`new CITY as $c`,
+		`set $c.Name = "Bonn"`,
+		`save `+file,
+	)
+	// Fresh shell loads the dump.
+	var buf2 bytes.Buffer
+	sh2 := newTestShell(&buf2)
+	out := runScript(t, sh2, &buf2,
+		`load `+file,
+		`extent CITY`,
+	)
+	if !strings.Contains(out, `"Bonn"`) {
+		t.Errorf("restored object missing:\n%s", out)
+	}
+	if err := sh2.exec(`load /nonexistent/file.json`); err == nil {
+		t.Error("load of missing file accepted")
+	}
+}

@@ -1,0 +1,83 @@
+// The paper's three example queries (§2.2, §2.3), written verbatim in
+// its SQL-like notation and evaluated through the query engine — first
+// by plain object traversal, then with access support relations
+// installed, showing the plan change.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"asr/internal/asr"
+	"asr/internal/gom"
+	"asr/internal/paperdb"
+	"asr/internal/query"
+	"asr/internal/storage"
+)
+
+func main() {
+	fmt.Println("== Query 1 (robots, linear path) ==")
+	r := paperdb.BuildRobots()
+	q1 := query.MustParse(`
+		select r.Name
+		from r in OurRobots
+		where r.Arm.MountedTool.ManufacturedBy.Location = "Utopia"`)
+	fmt.Println(q1)
+
+	runBoth(r.Base, q1, func(mgr *asr.Manager) {
+		if _, err := mgr.CreateIndex(r.Path, asr.Canonical, asr.NoDecomposition(r.Path.Arity()-1)); err != nil {
+			log.Fatal(err)
+		}
+	})
+
+	fmt.Println("\n== Query 2 (company, set-valued path, dependent range) ==")
+	c := paperdb.BuildCompany()
+	q2 := query.MustParse(`
+		select d.Name
+		from d in Mercedes, b in d.Manufactures.Composition
+		where b.Name = "Door"`)
+	fmt.Println(q2)
+	runBoth(c.Base, q2, func(mgr *asr.Manager) {
+		if _, err := mgr.CreateIndex(c.Path, asr.Full, asr.BinaryDecomposition(5)); err != nil {
+			log.Fatal(err)
+		}
+	})
+
+	fmt.Println("\n== Query 3 (path projection) ==")
+	q3 := query.MustParse(`
+		select d.Manufactures.Composition.Name
+		from d in Mercedes
+		where d.Name = "Auto"`)
+	fmt.Println(q3)
+	runBoth(c.Base, q3, nil)
+}
+
+// runBoth evaluates the query without any index, then — when install is
+// non-nil — with the access support relation it creates.
+func runBoth(ob *gom.ObjectBase, q *query.Query, install func(*asr.Manager)) {
+	naive := query.New(ob, nil)
+	res, err := naive.Run(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printResult("traversal", res)
+
+	if install == nil {
+		return
+	}
+	mgr := asr.NewManager(ob, storage.NewBufferPool(storage.NewDisk(0), 0, storage.LRU))
+	install(mgr)
+	indexed := query.New(ob, mgr)
+	res, err = indexed.Run(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printResult("with ASR", res)
+}
+
+func printResult(label string, res *query.Result) {
+	fmt.Printf("  [%s] plan: %s\n", label, res.Plan)
+	for _, v := range res.Values {
+		fmt.Printf("  [%s]   %s\n", label, gom.ValueString(v))
+	}
+}

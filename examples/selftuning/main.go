@@ -1,0 +1,94 @@
+// The §7 self-tuning loop end to end: a workload runs through the index
+// manager, the tuner records it, measures the application parameters
+// from the live base, recommends a design, installs it, and adapts when
+// the workload shifts — "for a recorded database usage pattern the
+// system could (semi-)automatically adjust the physical database
+// design."
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"asr/internal/asr"
+	"asr/internal/gendb"
+	"asr/internal/gom"
+	"asr/internal/storage"
+	"asr/internal/tuner"
+)
+
+func main() {
+	// A mid-sized synthetic object base.
+	db, err := gendb.Generate(gendb.Spec{
+		N:    3,
+		C:    []int{200, 500, 1000, 2000},
+		D:    []int{180, 400, 800},
+		Fan:  []int{2, 2, 2},
+		Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool := storage.NewBufferPool(storage.NewDisk(0), 0, storage.LRU)
+	mgr := asr.NewManager(db.Base, pool)
+	tn := tuner.New(db.Base, mgr)
+	tn.Watch(db.Path)
+
+	fmt.Println("phase 1: query-heavy workload (no index yet — every query is a traversal)")
+	for k := 0; k < 40; k++ {
+		target := db.Extents[3][k%len(db.Extents[3])]
+		if _, err := mgr.QueryBackward(db.Path, 0, 3, gom.Ref(target)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	insertRandom(db, 2) // a couple of updates
+
+	recs, err := tn.Autotune(1.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range recs {
+		fmt.Println("  tuner:", r)
+	}
+	fmt.Printf("  installed: %v\n\n", mgr.Indexes()[0])
+
+	fmt.Println("phase 2: the workload turns update-heavy")
+	insertRandom(db, 150)
+	for k := 0; k < 10; k++ {
+		target := db.Extents[3][k]
+		if _, err := mgr.QueryBackward(db.Path, 0, 3, gom.Ref(target)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	recs, err = tn.Autotune(1.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range recs {
+		fmt.Println("  tuner:", r)
+		fmt.Printf("  mix now has P_up = %.2f\n", r.Mix.PUp)
+	}
+	fmt.Printf("  installed: %v\n", mgr.Indexes()[0])
+
+	if err := mgr.Healthy(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nall indexes consistent after the shift")
+}
+
+// insertRandom performs n set insertions at level 1 (the paper's ins_i).
+func insertRandom(db *gendb.Database, n int) {
+	for k := 0; k < n; k++ {
+		src := db.Extents[1][k%len(db.Extents[1])]
+		o, _ := db.Base.Get(src)
+		v, _ := o.Attr("Next")
+		if v == nil {
+			continue
+		}
+		setID := v.(gom.Ref).OID()
+		dst := db.Extents[2][(k*7)%len(db.Extents[2])]
+		if err := db.Base.InsertIntoSet(setID, gom.Ref(dst)); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

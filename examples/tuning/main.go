@@ -1,0 +1,88 @@
+// Physical database design with the analytical cost model (§4–§6): for
+// an application profile and usage mix, evaluate every extension ×
+// decomposition, rank the designs, find break-even update probabilities,
+// and show how the recommendation flips as the workload shifts from
+// query-heavy to update-heavy — the (semi-)automatic physical design the
+// paper's conclusion proposes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"asr/internal/costmodel"
+)
+
+func main() {
+	// The §6.4.2 engineering profile.
+	model, err := costmodel.New(costmodel.DefaultSystem(), costmodel.Profile{
+		N:    4,
+		C:    []float64{1000, 5000, 10000, 50000, 100000},
+		D:    []float64{900, 4000, 8000, 20000},
+		Fan:  []float64{2, 2, 3, 4},
+		Size: []float64{500, 400, 300, 300, 100},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mix := costmodel.Mix{
+		Queries: []costmodel.WeightedQuery{
+			{W: 0.5, Kind: costmodel.Backward, I: 0, J: 4},
+			{W: 0.25, Kind: costmodel.Backward, I: 0, J: 3},
+			{W: 0.25, Kind: costmodel.Forward, I: 1, J: 2},
+		},
+		Updates: []costmodel.WeightedUpdate{
+			{W: 0.5, I: 2},
+			{W: 0.5, I: 3},
+		},
+	}
+
+	fmt.Println("design ranking as the update probability grows:")
+	for _, pup := range []float64{0.05, 0.2, 0.5, 0.9} {
+		ranked, noSup, err := model.Advise(mix.WithPUp(pup))
+		if err != nil {
+			log.Fatal(err)
+		}
+		best := ranked[0]
+		fmt.Printf("  P_up = %.2f: best = %-22s cost %8.1f (no support: %8.1f, %6.1fx)\n",
+			pup, best.Design.String(), best.MixCost, noSup, noSup/best.MixCost)
+	}
+
+	fmt.Println("\ntop designs at P_up = 0.2:")
+	ranked, noSup, _ := model.Advise(mix.WithPUp(0.2))
+	fmt.Print(costmodel.FormatRanking(ranked, 8))
+	fmt.Printf("no-support baseline: %.1f\n", noSup)
+
+	// Break-even analysis between the classic contenders.
+	bi := costmodel.BinaryDecomposition(4)
+	pairs := []struct {
+		name string
+		a, b costmodel.Design
+	}{
+		{"left vs full (binary)",
+			costmodel.Design{Ext: costmodel.LeftComplete, Dec: bi},
+			costmodel.Design{Ext: costmodel.Full, Dec: bi}},
+		{"best-dec left vs best-dec full",
+			costmodel.Design{Ext: costmodel.LeftComplete, Dec: costmodel.Decomposition{0, 3, 4}},
+			costmodel.Design{Ext: costmodel.Full, Dec: costmodel.Decomposition{0, 3, 4}}},
+	}
+	fmt.Println("\nbreak-even update probabilities:")
+	for _, p := range pairs {
+		if pup, ok := model.BreakEvenPUp(p.a, p.b, mix, 1e-4); ok {
+			fmt.Printf("  %-32s P_up = %.3f\n", p.name, pup)
+		} else {
+			fmt.Printf("  %-32s no crossover in (0,1)\n", p.name)
+		}
+	}
+
+	// Storage-vs-speed tradeoff: what does each extension cost in pages?
+	fmt.Println("\nstorage (pages, non-redundant) per extension under binary decomposition:")
+	for _, x := range costmodel.Extensions {
+		fmt.Printf("  %-5s %6.0f pages (no-dec: %6.0f)\n",
+			x, model.StoragePages(x, bi), model.StoragePages(x, costmodel.NoDecomposition(4)))
+	}
+	for _, w := range model.Warnings {
+		fmt.Println("warning:", w)
+	}
+}

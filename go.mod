@@ -1,0 +1,3 @@
+module asr
+
+go 1.22

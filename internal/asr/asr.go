@@ -1,0 +1,420 @@
+package asr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"asr/internal/gom"
+	"asr/internal/relation"
+	"asr/internal/storage"
+)
+
+// ErrNotSupported is returned when a query span cannot be answered by
+// the chosen extension (§5.3): callers fall back to object traversal.
+var ErrNotSupported = fmt.Errorf("asr: query span not supported by this extension")
+
+// PlacedPartition is a stored partition together with the inclusive
+// column window [Lo, Hi] it covers within this index's path. The same
+// *Partition may be placed in two indexes at different windows when
+// paths share a segment (§5.4).
+type PlacedPartition struct {
+	Lo, Hi int
+	Part   *Partition
+}
+
+// Index is a materialized access support relation over one path
+// expression: the chosen extension, decomposed per Definition 3.8, each
+// partition stored in two clustered B⁺-trees, kept consistent with the
+// object base by the Maintainer.
+type Index struct {
+	ob    *gom.ObjectBase
+	path  *gom.PathExpression
+	ext   Extension
+	dec   Decomposition
+	parts []PlacedPartition
+	graph *pathGraph
+	pool  *storage.BufferPool
+}
+
+// Build materializes the access support relation for path over ob in the
+// given extension and decomposition, storing partitions on pool's pages.
+func Build(ob *gom.ObjectBase, path *gom.PathExpression, ext Extension, dec Decomposition, pool *storage.BufferPool) (*Index, error) {
+	return build(ob, path, ext, dec, pool, nil)
+}
+
+// build optionally accepts preset partitions keyed by partition index —
+// used for physical sharing between overlapping paths (§5.4). Preset
+// partitions receive this index's projected rows on top of whatever they
+// already hold; equal rows merge via reference counting.
+func build(ob *gom.ObjectBase, path *gom.PathExpression, ext Extension, dec Decomposition, pool *storage.BufferPool, preset map[int]*Partition) (*Index, error) {
+	m := path.Arity() - 1
+	if err := dec.Validate(m); err != nil {
+		return nil, err
+	}
+	g, err := newPathGraph(ob, path)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{ob: ob, path: path, ext: ext, dec: dec, graph: g, pool: pool}
+
+	// Accumulate each partition's reference-counted projections in one
+	// pass over the logical rows, then bulk-load fresh partitions (one
+	// sequential tree build instead of a random insert per row). Preset
+	// partitions — physically shared with another index (§5.4) — already
+	// hold rows and are merged incrementally instead.
+	rows := g.allRows(ext)
+	type accum struct {
+		rows   map[string]relation.Tuple
+		refcnt map[string]int
+	}
+	accums := make([]accum, dec.NumPartitions())
+	for p := range accums {
+		if preset[p] == nil {
+			accums[p] = accum{rows: map[string]relation.Tuple{}, refcnt: map[string]int{}}
+		}
+	}
+	for p := 0; p < dec.NumPartitions(); p++ {
+		lo, hi := dec.Partition(p)
+		if preset[p] != nil {
+			continue
+		}
+		for _, row := range rows {
+			proj := row[lo : hi+1]
+			if proj.IsAllNull() {
+				continue
+			}
+			k := proj.Key()
+			if accums[p].refcnt[k] == 0 {
+				accums[p].rows[k] = proj.Clone()
+			}
+			accums[p].refcnt[k]++
+		}
+	}
+
+	for p := 0; p < dec.NumPartitions(); p++ {
+		lo, hi := dec.Partition(p)
+		part := preset[p]
+		if part == nil {
+			part, err = NewPartitionBulk(pool, fmt.Sprintf("E_%s^%d,%d", ext, lo, hi),
+				hi-lo+1, accums[p].rows, accums[p].refcnt)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			if part.Arity() != hi-lo+1 {
+				return nil, fmt.Errorf("asr: preset partition %s has arity %d, window [%d,%d] needs %d",
+					part.Name(), part.Arity(), lo, hi, hi-lo+1)
+			}
+			for _, row := range rows {
+				if err := part.AddProjected(row[lo : hi+1].Clone()); err != nil {
+					return nil, err
+				}
+			}
+		}
+		part.acquire()
+		ix.parts = append(ix.parts, PlacedPartition{Lo: lo, Hi: hi, Part: part})
+	}
+	return ix, nil
+}
+
+// ReleasePages releases the index's claim on its partitions; partitions
+// not shared with another index have their B⁺-tree pages reclaimed. The
+// index must not be used afterwards.
+func (ix *Index) ReleasePages() error {
+	for _, pp := range ix.parts {
+		if err := pp.Part.release(); err != nil {
+			return err
+		}
+	}
+	ix.parts = nil
+	return nil
+}
+
+// Path returns the indexed path expression.
+func (ix *Index) Path() *gom.PathExpression { return ix.path }
+
+// Extension returns the stored extension.
+func (ix *Index) Extension() Extension { return ix.ext }
+
+// Decomposition returns the stored decomposition.
+func (ix *Index) Decomposition() Decomposition { return append(Decomposition(nil), ix.dec...) }
+
+// Partitions returns the placed partitions in column order.
+func (ix *Index) Partitions() []PlacedPartition { return append([]PlacedPartition(nil), ix.parts...) }
+
+// Pool returns the buffer pool the partitions live on.
+func (ix *Index) Pool() *storage.BufferPool { return ix.pool }
+
+func (ix *Index) addLogical(row relation.Tuple) error {
+	for _, pp := range ix.parts {
+		if err := pp.Part.AddProjected(row[pp.Lo : pp.Hi+1].Clone()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ix *Index) removeLogical(row relation.Tuple) error {
+	for _, pp := range ix.parts {
+		if err := pp.Part.RemoveProjected(row[pp.Lo : pp.Hi+1].Clone()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Supports reports whether the index can evaluate Q_{i,j} (object steps
+// 0 ≤ i < j ≤ n), per eq. (35).
+func (ix *Index) Supports(i, j int) bool {
+	return SupportsQuery(ix.ext, ix.path.Len(), i, j)
+}
+
+// partitionAt returns the partition whose window contains col with
+// lo ≤ col < hi (the last partition also claims its hi column).
+func (ix *Index) partitionAt(col int) (PlacedPartition, error) {
+	for _, pp := range ix.parts {
+		if col >= pp.Lo && col < pp.Hi {
+			return pp, nil
+		}
+	}
+	if last := ix.parts[len(ix.parts)-1]; col == last.Hi {
+		return last, nil
+	}
+	return PlacedPartition{}, fmt.Errorf("asr: no partition covers column %d", col)
+}
+
+// partitionAtFromRight locates the partition containing col with
+// lo < col ≤ hi (the first partition also claims its lo column).
+func (ix *Index) partitionAtFromRight(col int) (PlacedPartition, error) {
+	for _, pp := range ix.parts {
+		if col > pp.Lo && col <= pp.Hi {
+			return pp, nil
+		}
+	}
+	if first := ix.parts[0]; col == first.Lo {
+		return first, nil
+	}
+	return PlacedPartition{}, fmt.Errorf("asr: no partition covers column %d", col)
+}
+
+// QueryForward evaluates Q_{i,j}(fw): the distinct column values at
+// object step j reachable from the given start values at object step i,
+// following stored rows left to right across partitions (§5.7.1). When
+// a step's column is a partition's first column the clustered forward
+// tree is probed per value; when it falls inside a partition the whole
+// partition is scanned and filtered — exactly the two cases of eq. (33).
+func (ix *Index) QueryForward(i, j int, start ...gom.Value) ([]gom.Value, error) {
+	if !ix.Supports(i, j) {
+		return nil, ErrNotSupported
+	}
+	ci := ix.path.ObjectColumn(i)
+	cj := ix.path.ObjectColumn(j)
+	cur := newValueSet(start...)
+	col := ci
+	for col < cj {
+		pp, err := ix.partitionAt(col)
+		if err != nil {
+			return nil, err
+		}
+		target := pp.Hi
+		if cj < pp.Hi {
+			target = cj
+		}
+		next := newValueSet()
+		if col == pp.Lo {
+			for _, v := range cur.values() {
+				rows, err := pp.Part.LookupForward(v)
+				if err != nil {
+					return nil, err
+				}
+				for _, r := range rows {
+					next.add(r[target-pp.Lo])
+				}
+			}
+		} else {
+			err := pp.Part.ScanAll(func(r relation.Tuple) bool {
+				if cur.contains(r[col-pp.Lo]) {
+					next.add(r[target-pp.Lo])
+				}
+				return true
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		cur = next
+		col = target
+	}
+	return cur.values(), nil
+}
+
+// QueryBackward evaluates Q_{i,j}(bw): the distinct column values at
+// object step i from which some given end value at object step j is
+// reachable, following stored rows right to left via the backward-
+// clustered trees (§5.7.2).
+func (ix *Index) QueryBackward(i, j int, end ...gom.Value) ([]gom.Value, error) {
+	if !ix.Supports(i, j) {
+		return nil, ErrNotSupported
+	}
+	ci := ix.path.ObjectColumn(i)
+	cj := ix.path.ObjectColumn(j)
+	cur := newValueSet(end...)
+	col := cj
+	for col > ci {
+		pp, err := ix.partitionAtFromRight(col)
+		if err != nil {
+			return nil, err
+		}
+		target := pp.Lo
+		if ci > pp.Lo {
+			target = ci
+		}
+		next := newValueSet()
+		if col == pp.Hi {
+			for _, v := range cur.values() {
+				rows, err := pp.Part.LookupBackward(v)
+				if err != nil {
+					return nil, err
+				}
+				for _, r := range rows {
+					next.add(r[target-pp.Lo])
+				}
+			}
+		} else {
+			err := pp.Part.ScanAll(func(r relation.Tuple) bool {
+				if cur.contains(r[col-pp.Lo]) {
+					next.add(r[target-pp.Lo])
+				}
+				return true
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		cur = next
+		col = target
+	}
+	return cur.values(), nil
+}
+
+// OIDsOf filters reference values down to their OIDs, in sorted order —
+// a convenience for query results over object columns.
+func OIDsOf(vals []gom.Value) []gom.OID {
+	var out []gom.OID
+	for _, v := range vals {
+		if r, ok := v.(gom.Ref); ok {
+			out = append(out, r.OID())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TotalRows returns the stored row count per partition.
+func (ix *Index) TotalRows() []int {
+	out := make([]int, len(ix.parts))
+	for i, pp := range ix.parts {
+		out[i] = pp.Part.Rows()
+	}
+	return out
+}
+
+// LogicalRelation materializes the undecomposed logical extension —
+// primarily for tests and the §3 golden tables.
+func (ix *Index) LogicalRelation() *relation.Relation {
+	rel := relation.New("E_"+ix.ext.String(), columnNamesFor(ix.path)...)
+	for _, row := range ix.graph.allRows(ix.ext) {
+		rel.MustInsert(row)
+	}
+	return rel
+}
+
+// CheckConsistent validates every partition against its reference counts
+// and tree invariants, and the partitions against a fresh enumeration of
+// the logical extension. It assumes the index's partitions are not
+// shared with another index (shared partitions legitimately hold foreign
+// rows). Intended for tests.
+func (ix *Index) CheckConsistent() error {
+	for _, pp := range ix.parts {
+		if err := pp.Part.CheckConsistent(); err != nil {
+			return err
+		}
+	}
+	want := make([]map[string]int, len(ix.parts))
+	for i := range want {
+		want[i] = map[string]int{}
+	}
+	for _, row := range ix.graph.allRows(ix.ext) {
+		for i, pp := range ix.parts {
+			proj := row[pp.Lo : pp.Hi+1]
+			if proj.IsAllNull() {
+				continue
+			}
+			want[i][proj.Key()]++
+		}
+	}
+	for i, pp := range ix.parts {
+		p := pp.Part
+		if len(want[i]) != len(p.refcnt) {
+			return fmt.Errorf("asr: partition %s: %d live rows, expected %d", p.name, len(p.refcnt), len(want[i]))
+		}
+		for k, cnt := range want[i] {
+			if p.refcnt[k] != cnt {
+				return fmt.Errorf("asr: partition %s: row %q refcount %d, expected %d", p.name, k, p.refcnt[k], cnt)
+			}
+		}
+	}
+	return nil
+}
+
+// String summarizes the index.
+func (ix *Index) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ASR %s ext=%s dec=%s:", ix.path, ix.ext, ix.dec)
+	for _, pp := range ix.parts {
+		fmt.Fprintf(&b, " %s[%d rows]", pp.Part.Name(), pp.Part.Rows())
+	}
+	return b.String()
+}
+
+// valueSet is a small deduplicating set of values.
+type valueSet struct {
+	byKey map[string]gom.Value
+}
+
+func newValueSet(vs ...gom.Value) *valueSet {
+	s := &valueSet{byKey: map[string]gom.Value{}}
+	for _, v := range vs {
+		s.add(v)
+	}
+	return s
+}
+
+func (s *valueSet) add(v gom.Value) {
+	if v == nil {
+		return
+	}
+	s.byKey[gom.ValueString(v)] = v
+}
+
+func (s *valueSet) contains(v gom.Value) bool {
+	if v == nil {
+		return false
+	}
+	_, ok := s.byKey[gom.ValueString(v)]
+	return ok
+}
+
+func (s *valueSet) values() []gom.Value {
+	keys := make([]string, 0, len(s.byKey))
+	for k := range s.byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]gom.Value, len(keys))
+	for i, k := range keys {
+		out[i] = s.byKey[k]
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package asr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"asr/internal/gom"
+	"asr/internal/relation"
+)
+
+// Column encoding for B⁺-tree keys. Each column value is encoded
+// self-delimitingly as
+//
+//	tag(1) | length(2, big-endian) | payload
+//
+// so that (a) encodings are injective, (b) all keys sharing a column
+// value share its exact byte prefix — which makes clustered prefix scans
+// per first/last column value work (§5.2) — and (c) payloads of equal
+// kind sort meaningfully (big-endian OIDs, sign-flipped integers,
+// order-preserving float bits, raw string bytes).
+const (
+	tagNull    byte = 0
+	tagRef     byte = 1
+	tagString  byte = 2
+	tagInteger byte = 3
+	tagDecimal byte = 4
+	tagBool    byte = 5
+	tagChar    byte = 6
+)
+
+// appendValue appends the encoding of one (possibly NULL) column value.
+func appendValue(dst []byte, v gom.Value) ([]byte, error) {
+	put := func(tag byte, payload []byte) []byte {
+		dst = append(dst, tag)
+		var l [2]byte
+		binary.BigEndian.PutUint16(l[:], uint16(len(payload)))
+		dst = append(dst, l[:]...)
+		return append(dst, payload...)
+	}
+	switch w := v.(type) {
+	case nil:
+		return put(tagNull, nil), nil
+	case gom.Ref:
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(w.OID()))
+		return put(tagRef, b[:]), nil
+	case gom.String:
+		if len(w) > math.MaxUint16 {
+			return nil, fmt.Errorf("asr: string value of %d bytes too long to index", len(w))
+		}
+		return put(tagString, []byte(w)), nil
+	case gom.Integer:
+		var b [8]byte
+		// Flip the sign bit so big-endian byte order equals numeric order.
+		binary.BigEndian.PutUint64(b[:], uint64(w)^(1<<63))
+		return put(tagInteger, b[:]), nil
+	case gom.Decimal:
+		bits := math.Float64bits(float64(w))
+		if bits&(1<<63) != 0 {
+			bits = ^bits // negative: flip all
+		} else {
+			bits |= 1 << 63 // positive: flip sign
+		}
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], bits)
+		return put(tagDecimal, b[:]), nil
+	case gom.Bool:
+		if w {
+			return put(tagBool, []byte{1}), nil
+		}
+		return put(tagBool, []byte{0}), nil
+	case gom.Char:
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], uint32(w))
+		return put(tagChar, b[:]), nil
+	default:
+		return nil, fmt.Errorf("asr: cannot encode value of type %T", v)
+	}
+}
+
+// decodeValue decodes one column value, returning it and the remaining
+// bytes.
+func decodeValue(src []byte) (gom.Value, []byte, error) {
+	if len(src) < 3 {
+		return nil, nil, fmt.Errorf("asr: truncated value encoding")
+	}
+	tag := src[0]
+	l := int(binary.BigEndian.Uint16(src[1:3]))
+	if len(src) < 3+l {
+		return nil, nil, fmt.Errorf("asr: truncated value payload")
+	}
+	payload, rest := src[3:3+l], src[3+l:]
+	switch tag {
+	case tagNull:
+		return nil, rest, nil
+	case tagRef:
+		if l != 8 {
+			return nil, nil, fmt.Errorf("asr: bad ref payload length %d", l)
+		}
+		return gom.Ref(binary.BigEndian.Uint64(payload)), rest, nil
+	case tagString:
+		return gom.String(payload), rest, nil
+	case tagInteger:
+		if l != 8 {
+			return nil, nil, fmt.Errorf("asr: bad integer payload length %d", l)
+		}
+		return gom.Integer(binary.BigEndian.Uint64(payload) ^ (1 << 63)), rest, nil
+	case tagDecimal:
+		if l != 8 {
+			return nil, nil, fmt.Errorf("asr: bad decimal payload length %d", l)
+		}
+		bits := binary.BigEndian.Uint64(payload)
+		if bits&(1<<63) != 0 {
+			bits &^= 1 << 63
+		} else {
+			bits = ^bits
+		}
+		return gom.Decimal(math.Float64frombits(bits)), rest, nil
+	case tagBool:
+		if l != 1 {
+			return nil, nil, fmt.Errorf("asr: bad bool payload length %d", l)
+		}
+		return gom.Bool(payload[0] != 0), rest, nil
+	case tagChar:
+		if l != 4 {
+			return nil, nil, fmt.Errorf("asr: bad char payload length %d", l)
+		}
+		return gom.Char(binary.BigEndian.Uint32(payload)), rest, nil
+	default:
+		return nil, nil, fmt.Errorf("asr: unknown value tag %d", tag)
+	}
+}
+
+// encodeTuple encodes a tuple with the column at clusterCol first and
+// the remaining columns in order afterwards. The result is the B⁺-tree
+// key: all entries sharing the cluster-column value are contiguous.
+func encodeTuple(t relation.Tuple, clusterCol int) ([]byte, error) {
+	if clusterCol < 0 || clusterCol >= len(t) {
+		return nil, fmt.Errorf("asr: cluster column %d out of range for arity %d", clusterCol, len(t))
+	}
+	var out []byte
+	var err error
+	if out, err = appendValue(out, t[clusterCol]); err != nil {
+		return nil, err
+	}
+	for i, v := range t {
+		if i == clusterCol {
+			continue
+		}
+		if out, err = appendValue(out, v); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// decodeTuple reverses encodeTuple for a tuple of the given arity.
+func decodeTuple(key []byte, arity, clusterCol int) (relation.Tuple, error) {
+	vals := make([]gom.Value, 0, arity)
+	rest := key
+	var v gom.Value
+	var err error
+	for len(rest) > 0 {
+		v, rest, err = decodeValue(rest)
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+	}
+	if len(vals) != arity {
+		return nil, fmt.Errorf("asr: decoded %d columns, want %d", len(vals), arity)
+	}
+	t := make(relation.Tuple, arity)
+	t[clusterCol] = vals[0]
+	j := 1
+	for i := 0; i < arity; i++ {
+		if i == clusterCol {
+			continue
+		}
+		t[i] = vals[j]
+		j++
+	}
+	return t, nil
+}
+
+// encodePrefix encodes a single value as a key prefix for clustered
+// lookups.
+func encodePrefix(v gom.Value) ([]byte, error) { return appendValue(nil, v) }

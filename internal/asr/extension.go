@@ -1,0 +1,130 @@
+// Package asr implements access support relations — the paper's primary
+// contribution (Kemper & Moerkotte, "Access Support in Object Bases",
+// SIGMOD 1990). An access support relation materializes the object
+// identifiers along a path expression t_0.A_1.….A_n so that forward and
+// backward queries over the path become index lookups instead of object
+// traversals or exhaustive searches.
+//
+// The package provides:
+//   - auxiliary relations E_0 … E_{n-1} over a GOM object base (Def. 3.3),
+//   - the four extensions — canonical, full, left-complete,
+//     right-complete — built by join composition (Defs. 3.4–3.7),
+//   - arbitrary decompositions into partitions (Def. 3.8) with the
+//     losslessness property of Theorem 3.9,
+//   - dual-clustered B⁺-tree storage per partition (§5.2),
+//   - query evaluation over the partitions (§5.3, §5.7), and
+//   - incremental maintenance under object-base updates (§6).
+package asr
+
+import (
+	"fmt"
+
+	"asr/internal/gom"
+	"asr/internal/relation"
+)
+
+// Extension selects how much (partial) path information an access
+// support relation keeps (§3).
+type Extension int
+
+// The four extensions of Definitions 3.4–3.7.
+const (
+	// Canonical keeps only complete paths from t_0 to t_n.
+	Canonical Extension = iota
+	// Full keeps every maximal partial path.
+	Full
+	// LeftComplete keeps partial paths originating in t_0.
+	LeftComplete
+	// RightComplete keeps partial paths reaching t_n.
+	RightComplete
+)
+
+// Extensions lists all four extensions, for sweeps.
+var Extensions = []Extension{Canonical, Full, LeftComplete, RightComplete}
+
+// String names the extension as the paper abbreviates it.
+func (e Extension) String() string {
+	switch e {
+	case Canonical:
+		return "can"
+	case Full:
+		return "full"
+	case LeftComplete:
+		return "left"
+	case RightComplete:
+		return "right"
+	default:
+		return fmt.Sprintf("Extension(%d)", int(e))
+	}
+}
+
+// BuildExtension composes the auxiliary relations into the chosen
+// extension of the access support relation:
+//
+//	E_can   = E_0 ⨝ … ⨝ E_{n-1}              (Def. 3.4)
+//	E_full  = E_0 ⟗ … ⟗ E_{n-1}              (Def. 3.5)
+//	E_left  = (…(E_0 ⟕ E_1) ⟕ …) ⟕ E_{n-1}   (Def. 3.6)
+//	E_right = E_0 ⟖ (… ⟖ (E_{n-2} ⟖ E_{n-1})) (Def. 3.7)
+func BuildExtension(ext Extension, name string, aux []*relation.Relation) (*relation.Relation, error) {
+	if len(aux) == 0 {
+		return nil, fmt.Errorf("asr: BuildExtension: no auxiliary relations")
+	}
+	switch ext {
+	case Canonical:
+		return relation.JoinChain(relation.NaturalJoin, name, true, aux...)
+	case Full:
+		return relation.JoinChain(relation.FullOuterJoin, name, true, aux...)
+	case LeftComplete:
+		return relation.JoinChain(relation.LeftOuterJoin, name, true, aux...)
+	case RightComplete:
+		return relation.JoinChain(relation.RightOuterJoin, name, false, aux...)
+	default:
+		return nil, fmt.Errorf("asr: BuildExtension: unknown extension %v", ext)
+	}
+}
+
+// SupportsQuery reports whether an access support relation in extension
+// ext over a path of length n can evaluate a query spanning object steps
+// i..j (0 ≤ i < j ≤ n), per the usability rules of §5.3 / eq. (35):
+// canonical supports only complete spans, left-complete requires i = 0,
+// right-complete requires j = n, and full supports everything.
+func SupportsQuery(ext Extension, n, i, j int) bool {
+	if i < 0 || j > n || i >= j {
+		return false
+	}
+	switch ext {
+	case Canonical:
+		return i == 0 && j == n
+	case Full:
+		return true
+	case LeftComplete:
+		return i == 0
+	case RightComplete:
+		return j == n
+	default:
+		return false
+	}
+}
+
+// ExtensionContains reports the paper's containment structure on
+// complete-path information: every extension's complete rows coincide,
+// and can ⊆ left,right ⊆ full as row sets. Used by property tests.
+func ExtensionContains(outer, inner Extension) bool {
+	if outer == inner || outer == Full {
+		return true
+	}
+	return inner == Canonical
+}
+
+// AuxiliaryNames returns display names E_0 … E_{n-1} for a path of
+// length n.
+func AuxiliaryNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("E_%d", i)
+	}
+	return out
+}
+
+// columnNamesFor derives relation column headers from the path.
+func columnNamesFor(p *gom.PathExpression) []string { return p.ColumnNames() }

@@ -1,0 +1,240 @@
+package asr
+
+import (
+	"fmt"
+
+	"asr/internal/gom"
+	"asr/internal/relation"
+)
+
+// Maintainer keeps an Index consistent under object-base updates (§6).
+// Register it as an observer on the object base:
+//
+//	m := asr.NewMaintainer(ix)
+//	ob.AddObserver(m)
+//
+// Maintenance is incremental: an update is translated into the set of
+// path-graph edges it adds or removes; the logical rows passing through
+// any endpoint of a changed edge are enumerated before and after the
+// change, and the difference is applied to every partition (whose
+// reference counts absorb shared projections). Errors encountered inside
+// observer callbacks are retained and reported by Err — the object base
+// update itself has already happened, matching the paper's model where
+// the object update precedes index maintenance.
+type Maintainer struct {
+	ix  *Index
+	err error
+}
+
+// NewMaintainer creates a maintainer for the index.
+func NewMaintainer(ix *Index) *Maintainer { return &Maintainer{ix: ix} }
+
+// Err returns the first maintenance error, if any. After a non-nil Err
+// the index must be rebuilt.
+func (m *Maintainer) Err() error { return m.err }
+
+func (m *Maintainer) fail(err error) {
+	if m.err == nil && err != nil {
+		m.err = err
+	}
+}
+
+// edgeChange is one path-graph edge addition or removal at column col
+// (edge from col to col+1).
+type edgeChange struct {
+	col      int
+	from, to gom.Value
+	add      bool
+}
+
+// AttrAssigned implements gom.Observer.
+func (m *Maintainer) AttrAssigned(o *gom.Object, attr string, old, new gom.Value) {
+	if m.err != nil {
+		return
+	}
+	for j := 1; j <= m.ix.path.Len(); j++ {
+		step := m.ix.path.Step(j)
+		if step.Attr != attr || !o.Type().IsSubtypeOf(step.Domain) {
+			continue
+		}
+		domCol := m.ix.path.ObjectColumn(j - 1)
+		u := gom.Value(gom.Ref(o.ID()))
+		var changes []edgeChange
+		if step.IsSetOccurrence() {
+			changes = m.setAttrChanges(domCol, u, old, new)
+		} else {
+			if old != nil {
+				changes = append(changes, edgeChange{domCol, u, old, false})
+			}
+			if new != nil {
+				changes = append(changes, edgeChange{domCol, u, new, true})
+			}
+		}
+		m.fail(m.ix.applyChanges(changes))
+	}
+}
+
+// setAttrChanges computes the edge changes for reassigning a set-valued
+// attribute from set object old to set object new: the o→set edge moves,
+// and element edges of a set object exist in the graph only while the
+// set is referenced from within the path (Definition 3.3 pairs set
+// elements with a referencing object).
+func (m *Maintainer) setAttrChanges(domCol int, u, old, new gom.Value) []edgeChange {
+	g := m.ix.graph
+	var changes []edgeChange
+	if old != nil {
+		changes = append(changes, edgeChange{domCol, u, old, false})
+		// If u was the only referencer, the old set's element edges die.
+		if preds := g.predecessors(domCol+1, old); len(preds) == 1 && gom.ValuesEqual(preds[0], u) {
+			for _, e := range g.successors(domCol+1, old) {
+				changes = append(changes, edgeChange{domCol + 1, old, e, false})
+			}
+		}
+	}
+	if new != nil {
+		// If the new set was unreferenced, its element edges come alive.
+		if !g.referenced(domCol+1, new) {
+			if ref, ok := new.(gom.Ref); ok {
+				if setObj, ok := m.ix.ob.Get(ref.OID()); ok {
+					for _, e := range liveElements(m.ix.ob, setObj) {
+						changes = append(changes, edgeChange{domCol + 1, new, e, true})
+					}
+				}
+			}
+		}
+		changes = append(changes, edgeChange{domCol, u, new, true})
+	}
+	return changes
+}
+
+// SetInserted implements gom.Observer: the paper's characteristic update
+// operation ins_i (§6).
+func (m *Maintainer) SetInserted(set *gom.Object, elem gom.Value) {
+	m.setElementChanged(set, elem, true)
+}
+
+// SetRemoved implements gom.Observer.
+func (m *Maintainer) SetRemoved(set *gom.Object, elem gom.Value) {
+	m.setElementChanged(set, elem, false)
+}
+
+func (m *Maintainer) setElementChanged(set *gom.Object, elem gom.Value, add bool) {
+	if m.err != nil {
+		return
+	}
+	for j := 1; j <= m.ix.path.Len(); j++ {
+		step := m.ix.path.Step(j)
+		if !step.IsSetOccurrence() || step.Set != set.Type() {
+			continue
+		}
+		setCol := m.ix.path.ObjectColumn(j-1) + 1
+		s := gom.Value(gom.Ref(set.ID()))
+		// Element edges only exist while the set is referenced within the
+		// path; an unreferenced set contributes no rows.
+		if !m.ix.graph.referenced(setCol, s) {
+			continue
+		}
+		m.fail(m.ix.applyChanges([]edgeChange{{setCol, s, elem, add}}))
+	}
+}
+
+// ObjectDeleted implements gom.Observer: every edge adjacent to the
+// deleted object disappears, with the set-element cascade applied where
+// the object referenced a set it was the last referencer of.
+func (m *Maintainer) ObjectDeleted(o *gom.Object) {
+	if m.err != nil {
+		return
+	}
+	g := m.ix.graph
+	v := gom.Value(gom.Ref(o.ID()))
+	var changes []edgeChange
+	for c := 0; c <= g.m; c++ {
+		for _, to := range g.successors(c, v) {
+			changes = append(changes, edgeChange{c, v, to, false})
+			// Cascade: o may have been the only path reference keeping a
+			// set object's element edges alive.
+			if c+1 <= g.m {
+				if preds := g.predecessors(c+1, to); len(preds) == 1 && gom.ValuesEqual(preds[0], v) && m.isSetColumn(c+1) {
+					for _, e := range g.successors(c+1, to) {
+						changes = append(changes, edgeChange{c + 1, to, e, false})
+					}
+				}
+			}
+		}
+		for _, from := range g.predecessors(c, v) {
+			changes = append(changes, edgeChange{c - 1, from, v, false})
+		}
+	}
+	m.fail(m.ix.applyChanges(changes))
+}
+
+// isSetColumn reports whether relation column c holds set-object OIDs.
+func (m *Maintainer) isSetColumn(c int) bool {
+	if c == 0 {
+		return false
+	}
+	_, isSet := m.ix.path.StepOfColumn(c)
+	return isSet
+}
+
+// applyChanges performs the diff protocol: enumerate affected rows
+// before the graph mutation, mutate, enumerate after, and apply the row
+// difference to all partitions.
+func (ix *Index) applyChanges(changes []edgeChange) error {
+	if len(changes) == 0 {
+		return nil
+	}
+	// Affected (column, value) endpoints, deduplicated.
+	type cv struct {
+		col int
+		key string
+	}
+	affected := map[cv]gom.Value{}
+	addAffected := func(col int, v gom.Value) {
+		if v != nil {
+			affected[cv{col, gom.ValueString(v)}] = v
+		}
+	}
+	for _, ch := range changes {
+		addAffected(ch.col, ch.from)
+		addAffected(ch.col+1, ch.to)
+	}
+
+	collect := func() map[string]relation.Tuple {
+		rows := map[string]relation.Tuple{}
+		for k, v := range affected {
+			for _, row := range ix.graph.rowsThrough(ix.ext, k.col, v) {
+				rows[row.Key()] = row
+			}
+		}
+		return rows
+	}
+
+	before := collect()
+	for _, ch := range changes {
+		if ch.add {
+			ix.graph.addEdge(ch.col, ch.from, ch.to)
+		} else {
+			ix.graph.removeEdge(ch.col, ch.from, ch.to)
+		}
+	}
+	after := collect()
+
+	for k, row := range before {
+		if _, still := after[k]; still {
+			continue
+		}
+		if err := ix.removeLogical(row); err != nil {
+			return fmt.Errorf("asr: maintenance remove: %w", err)
+		}
+	}
+	for k, row := range after {
+		if _, was := before[k]; was {
+			continue
+		}
+		if err := ix.addLogical(row); err != nil {
+			return fmt.Errorf("asr: maintenance add: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package asr
+
+import (
+	"fmt"
+	"sort"
+
+	"asr/internal/gom"
+	"asr/internal/storage"
+)
+
+// QueryEvent describes one routed path query; the Manager reports it to
+// an optional hook so a workload recorder (package tuner) can derive the
+// operation mix the paper's design procedure needs (§6.4, §7).
+type QueryEvent struct {
+	Path    string
+	Forward bool
+	I, J    int
+}
+
+// Manager owns the access support relations of one object base: it
+// builds and drops indexes (keeping a Maintainer registered for each),
+// routes path queries to the best usable index, and falls back to object
+// traversal (forward) or exhaustive search (backward) when no index
+// applies — the execution strategies of §5.6.
+type Manager struct {
+	ob      *gom.ObjectBase
+	pool    *storage.BufferPool
+	entries []*managedIndex
+	hook    func(QueryEvent)
+}
+
+type managedIndex struct {
+	ix         *Index
+	maintainer *Maintainer
+}
+
+// NewManager creates a manager whose indexes allocate pages from pool.
+func NewManager(ob *gom.ObjectBase, pool *storage.BufferPool) *Manager {
+	return &Manager{ob: ob, pool: pool}
+}
+
+// SetHook installs a query-event callback (nil to remove).
+func (m *Manager) SetHook(fn func(QueryEvent)) { m.hook = fn }
+
+// CreateIndex builds and registers a maintained index.
+func (m *Manager) CreateIndex(path *gom.PathExpression, ext Extension, dec Decomposition) (*Index, error) {
+	for _, e := range m.entries {
+		if e.ix.path.String() == path.String() && e.ix.ext == ext && e.ix.dec.String() == dec.String() {
+			return nil, fmt.Errorf("asr: index %s %s %s already exists", path, ext, dec)
+		}
+	}
+	ix, err := Build(m.ob, path, ext, dec, m.pool)
+	if err != nil {
+		return nil, err
+	}
+	mt := NewMaintainer(ix)
+	m.ob.AddObserver(mt)
+	m.entries = append(m.entries, &managedIndex{ix: ix, maintainer: mt})
+	return ix, nil
+}
+
+// DropIndex unregisters an index and its maintainer and reclaims the
+// pages of every partition not shared with another index (§5.4 sharing
+// keeps shared partitions alive until their last owner is dropped).
+func (m *Manager) DropIndex(ix *Index) error {
+	for i, e := range m.entries {
+		if e.ix == ix {
+			m.ob.RemoveObserver(e.maintainer)
+			m.entries = append(m.entries[:i], m.entries[i+1:]...)
+			return ix.ReleasePages()
+		}
+	}
+	return fmt.Errorf("asr: index not managed: %s", ix)
+}
+
+// Indexes returns the managed indexes.
+func (m *Manager) Indexes() []*Index {
+	out := make([]*Index, len(m.entries))
+	for i, e := range m.entries {
+		out[i] = e.ix
+	}
+	return out
+}
+
+// Healthy reports the first maintenance error across all indexes, if
+// any.
+func (m *Manager) Healthy() error {
+	for _, e := range m.entries {
+		if err := e.maintainer.Err(); err != nil {
+			return fmt.Errorf("asr: index %s: %w", e.ix, err)
+		}
+	}
+	return nil
+}
+
+// FindIndex returns the cheapest usable index for Q_{i,j} over the path,
+// or nil. "Cheapest" prefers the fewest stored rows — a proxy for the
+// eq. (33)/(34) cost that needs no model evaluation.
+func (m *Manager) FindIndex(path *gom.PathExpression, i, j int) *Index {
+	var candidates []*Index
+	for _, e := range m.entries {
+		if e.ix.path.String() == path.String() && e.ix.Supports(i, j) {
+			candidates = append(candidates, e.ix)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	sort.Slice(candidates, func(a, b int) bool {
+		return totalRows(candidates[a]) < totalRows(candidates[b])
+	})
+	return candidates[0]
+}
+
+func totalRows(ix *Index) int {
+	total := 0
+	for _, n := range ix.TotalRows() {
+		total += n
+	}
+	return total
+}
+
+// QueryForward evaluates Q_{i,j}(fw) through the best index, or by
+// object traversal when none applies.
+func (m *Manager) QueryForward(path *gom.PathExpression, i, j int, start ...gom.Value) ([]gom.Value, error) {
+	if m.hook != nil {
+		m.hook(QueryEvent{Path: path.String(), Forward: true, I: i, J: j})
+	}
+	if ix := m.FindIndex(path, i, j); ix != nil {
+		return ix.QueryForward(i, j, start...)
+	}
+	return m.traverseForward(path, i, j, start)
+}
+
+// QueryBackward evaluates Q_{i,j}(bw) through the best index, or by
+// exhaustive search over the uni-directional references when none
+// applies (§5.6.2).
+func (m *Manager) QueryBackward(path *gom.PathExpression, i, j int, end ...gom.Value) ([]gom.Value, error) {
+	if m.hook != nil {
+		m.hook(QueryEvent{Path: path.String(), Forward: false, I: i, J: j})
+	}
+	if ix := m.FindIndex(path, i, j); ix != nil {
+		return ix.QueryBackward(i, j, end...)
+	}
+	// Exhaustive search: traverse forward from every t_i instance and
+	// keep the anchors whose closure hits an end value.
+	targets := newValueSet(end...)
+	result := newValueSet()
+	for _, id := range m.ob.Extent(path.Step(i+1).Domain, true) {
+		vals, err := m.traverseForward(path, i, j, []gom.Value{gom.Ref(id)})
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range vals {
+			if targets.contains(v) {
+				result.add(gom.Ref(id))
+				break
+			}
+		}
+	}
+	return result.values(), nil
+}
+
+// traverseForward walks the object graph (no index) from the start
+// values at object step i to step j.
+func (m *Manager) traverseForward(path *gom.PathExpression, i, j int, start []gom.Value) ([]gom.Value, error) {
+	if i < 0 || j > path.Len() || i >= j {
+		return nil, fmt.Errorf("asr: bad query span (%d,%d) for path of length %d", i, j, path.Len())
+	}
+	cur := newValueSet(start...)
+	for s := i + 1; s <= j; s++ {
+		step := path.Step(s)
+		next := newValueSet()
+		for _, v := range cur.values() {
+			ref, ok := v.(gom.Ref)
+			if !ok {
+				continue
+			}
+			o, ok := m.ob.Get(ref.OID())
+			if !ok {
+				continue
+			}
+			av, _ := o.Attr(step.Attr)
+			if av == nil {
+				continue
+			}
+			if step.IsSetOccurrence() {
+				setRef, ok := av.(gom.Ref)
+				if !ok {
+					continue
+				}
+				setObj, ok := m.ob.Get(setRef.OID())
+				if !ok {
+					continue
+				}
+				for _, e := range liveElements(m.ob, setObj) {
+					next.add(e)
+				}
+			} else {
+				if r, ok := av.(gom.Ref); ok {
+					if _, live := m.ob.Get(r.OID()); !live {
+						continue
+					}
+				}
+				next.add(av)
+			}
+		}
+		cur = next
+	}
+	return cur.values(), nil
+}

@@ -1,0 +1,339 @@
+package asr
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"asr/internal/btree"
+	"asr/internal/gom"
+	"asr/internal/relation"
+	"asr/internal/storage"
+)
+
+// Partition is one stored piece E^{lo,hi}_X of a decomposed access
+// support relation: the projection of the logical extension onto a
+// column window, materialized in two redundant B⁺-trees — one clustered
+// on the first column (fast lookup of all partial paths originating in
+// an object) and one on the last (fast lookup of all partial paths
+// leading to an object), following Valduriez's join-index storage
+// (§5.2).
+//
+// A Partition knows only its arity, not which path columns it covers:
+// the owning Index records the placement. That separation is what allows
+// one physical partition to be shared between overlapping path
+// expressions at different column offsets (§5.4).
+//
+// Because a projected row may be shared by several logical rows (and,
+// when shared, by several paths), the partition keeps a reference count
+// per row; the trees hold exactly the rows with a positive count.
+type Partition struct {
+	name     string
+	arity    int
+	fwd      *btree.Tree // clustered on column 0 of the projection
+	bwd      *btree.Tree // clustered on the last column
+	refcnt   map[string]int
+	rowByKey map[string]relation.Tuple
+	owners   int // indexes this partition is placed in (§5.4 sharing)
+}
+
+// NewPartition creates an empty stored partition of the given arity
+// (≥ 2: at least one edge).
+func NewPartition(pool *storage.BufferPool, name string, arity int) (*Partition, error) {
+	if arity < 2 {
+		return nil, fmt.Errorf("asr: partition %s: arity %d, want ≥ 2", name, arity)
+	}
+	fwd, err := btree.New(pool, name+".fwd")
+	if err != nil {
+		return nil, err
+	}
+	bwd, err := btree.New(pool, name+".bwd")
+	if err != nil {
+		return nil, err
+	}
+	return &Partition{
+		name:     name,
+		arity:    arity,
+		fwd:      fwd,
+		bwd:      bwd,
+		refcnt:   map[string]int{},
+		rowByKey: map[string]relation.Tuple{},
+	}, nil
+}
+
+// NewPartitionBulk creates a partition holding the given reference-
+// counted rows, bulk-loading both clustered trees in one sequential pass
+// each — the fast path used when an access support relation is first
+// materialized.
+func NewPartitionBulk(pool *storage.BufferPool, name string, arity int, rows map[string]relation.Tuple, refcnt map[string]int) (*Partition, error) {
+	if arity < 2 {
+		return nil, fmt.Errorf("asr: partition %s: arity %d, want ≥ 2", name, arity)
+	}
+	p := &Partition{
+		name:     name,
+		arity:    arity,
+		refcnt:   make(map[string]int, len(rows)),
+		rowByKey: make(map[string]relation.Tuple, len(rows)),
+	}
+	fwdEntries := make([]btree.KV, 0, len(rows))
+	bwdEntries := make([]btree.KV, 0, len(rows))
+	for k, row := range rows {
+		if len(row) != arity {
+			return nil, fmt.Errorf("asr: partition %s: row arity %d, want %d", name, len(row), arity)
+		}
+		cnt := refcnt[k]
+		if cnt <= 0 {
+			return nil, fmt.Errorf("asr: partition %s: row %v has reference count %d", name, row, cnt)
+		}
+		p.refcnt[k] = cnt
+		p.rowByKey[k] = row.Clone()
+		fk, err := encodeTuple(row, 0)
+		if err != nil {
+			return nil, err
+		}
+		bk, err := encodeTuple(row, arity-1)
+		if err != nil {
+			return nil, err
+		}
+		fwdEntries = append(fwdEntries, btree.KV{Key: fk})
+		bwdEntries = append(bwdEntries, btree.KV{Key: bk})
+	}
+	sortKVs(fwdEntries)
+	sortKVs(bwdEntries)
+	var err error
+	if p.fwd, err = btree.BulkLoad(pool, name+".fwd", fwdEntries); err != nil {
+		return nil, err
+	}
+	if p.bwd, err = btree.BulkLoad(pool, name+".bwd", bwdEntries); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func sortKVs(kvs []btree.KV) {
+	sort.Slice(kvs, func(i, j int) bool { return bytes.Compare(kvs[i].Key, kvs[j].Key) < 0 })
+}
+
+// Name returns the partition name.
+func (p *Partition) Name() string { return p.name }
+
+// Owners returns how many indexes currently place this partition.
+func (p *Partition) Owners() int { return p.owners }
+
+// acquire/release track index placements; the last release drops the
+// trees and reclaims their pages.
+func (p *Partition) acquire() { p.owners++ }
+
+func (p *Partition) release() error {
+	if p.owners > 0 {
+		p.owners--
+	}
+	if p.owners > 0 {
+		return nil
+	}
+	if err := p.fwd.Drop(); err != nil {
+		return err
+	}
+	if err := p.bwd.Drop(); err != nil {
+		return err
+	}
+	p.refcnt = map[string]int{}
+	p.rowByKey = map[string]relation.Tuple{}
+	return nil
+}
+
+// Arity returns the partition's column count.
+func (p *Partition) Arity() int { return p.arity }
+
+// Rows returns the number of distinct stored rows.
+func (p *Partition) Rows() int { return len(p.refcnt) }
+
+// Forward returns the tree clustered on the first column.
+func (p *Partition) Forward() *btree.Tree { return p.fwd }
+
+// Backward returns the tree clustered on the last column.
+func (p *Partition) Backward() *btree.Tree { return p.bwd }
+
+// AddProjected increments the reference count of a projected row,
+// inserting it into both trees when it becomes live. All-NULL rows are
+// ignored (they describe no path segment).
+func (p *Partition) AddProjected(row relation.Tuple) error {
+	if len(row) != p.arity {
+		return fmt.Errorf("asr: partition %s: row arity %d, want %d", p.name, len(row), p.arity)
+	}
+	if row.IsAllNull() {
+		return nil
+	}
+	k := row.Key()
+	p.refcnt[k]++
+	if p.refcnt[k] > 1 {
+		return nil
+	}
+	p.rowByKey[k] = row.Clone()
+	return p.insertRow(row)
+}
+
+// RemoveProjected decrements the reference count of a projected row,
+// deleting it from both trees when it dies.
+func (p *Partition) RemoveProjected(row relation.Tuple) error {
+	if row.IsAllNull() {
+		return nil
+	}
+	k := row.Key()
+	cnt, ok := p.refcnt[k]
+	if !ok {
+		return fmt.Errorf("asr: partition %s: removing untracked row %v", p.name, row)
+	}
+	if cnt > 1 {
+		p.refcnt[k] = cnt - 1
+		return nil
+	}
+	delete(p.refcnt, k)
+	delete(p.rowByKey, k)
+	return p.deleteRow(row)
+}
+
+func (p *Partition) insertRow(row relation.Tuple) error {
+	fk, err := encodeTuple(row, 0)
+	if err != nil {
+		return err
+	}
+	bk, err := encodeTuple(row, p.arity-1)
+	if err != nil {
+		return err
+	}
+	if _, err := p.fwd.Insert(fk, nil); err != nil {
+		return err
+	}
+	_, err = p.bwd.Insert(bk, nil)
+	return err
+}
+
+func (p *Partition) deleteRow(row relation.Tuple) error {
+	fk, err := encodeTuple(row, 0)
+	if err != nil {
+		return err
+	}
+	bk, err := encodeTuple(row, p.arity-1)
+	if err != nil {
+		return err
+	}
+	if _, err := p.fwd.Delete(fk); err != nil {
+		return err
+	}
+	_, err = p.bwd.Delete(bk)
+	return err
+}
+
+// LookupForward returns all stored rows whose first column equals v — a
+// clustered prefix scan on the forward tree.
+func (p *Partition) LookupForward(v gom.Value) ([]relation.Tuple, error) {
+	prefix, err := encodePrefix(v)
+	if err != nil {
+		return nil, err
+	}
+	var out []relation.Tuple
+	var derr error
+	err = p.fwd.ScanPrefix(prefix, func(k, _ []byte) bool {
+		t, err := decodeTuple(k, p.arity, 0)
+		if err != nil {
+			derr = err
+			return false
+		}
+		out = append(out, t)
+		return true
+	})
+	if err == nil {
+		err = derr
+	}
+	return out, err
+}
+
+// LookupBackward returns all stored rows whose last column equals v — a
+// clustered prefix scan on the backward tree.
+func (p *Partition) LookupBackward(v gom.Value) ([]relation.Tuple, error) {
+	prefix, err := encodePrefix(v)
+	if err != nil {
+		return nil, err
+	}
+	var out []relation.Tuple
+	var derr error
+	err = p.bwd.ScanPrefix(prefix, func(k, _ []byte) bool {
+		t, err := decodeTuple(k, p.arity, p.arity-1)
+		if err != nil {
+			derr = err
+			return false
+		}
+		out = append(out, t)
+		return true
+	})
+	if err == nil {
+		err = derr
+	}
+	return out, err
+}
+
+// ScanAll iterates every stored row (forward-clustered order); fn
+// returning false stops early.
+func (p *Partition) ScanAll(fn func(relation.Tuple) bool) error {
+	var derr error
+	err := p.fwd.Scan(func(k, _ []byte) bool {
+		t, err := decodeTuple(k, p.arity, 0)
+		if err != nil {
+			derr = err
+			return false
+		}
+		return fn(t)
+	})
+	if err == nil {
+		err = derr
+	}
+	return err
+}
+
+// AsRelation materializes the stored rows as an in-memory relation with
+// the given column names (len must equal Arity).
+func (p *Partition) AsRelation(cols []string) (*relation.Relation, error) {
+	if len(cols) != p.arity {
+		return nil, fmt.Errorf("asr: partition %s: %d column names for arity %d", p.name, len(cols), p.arity)
+	}
+	rel := relation.New(p.name, cols...)
+	err := p.ScanAll(func(t relation.Tuple) bool {
+		rel.MustInsert(t)
+		return true
+	})
+	return rel, err
+}
+
+// CheckConsistent verifies that both trees hold exactly the reference-
+// counted rows and satisfy their structural invariants; intended for
+// tests.
+func (p *Partition) CheckConsistent() error {
+	if p.fwd.Len() != len(p.refcnt) || p.bwd.Len() != len(p.refcnt) {
+		return fmt.Errorf("asr: partition %s: fwd=%d bwd=%d refcnt=%d",
+			p.name, p.fwd.Len(), p.bwd.Len(), len(p.refcnt))
+	}
+	var derr error
+	err := p.fwd.Scan(func(k, _ []byte) bool {
+		t, err := decodeTuple(k, p.arity, 0)
+		if err != nil {
+			derr = err
+			return false
+		}
+		if _, ok := p.refcnt[t.Key()]; !ok {
+			derr = fmt.Errorf("asr: partition %s: stored row %v not refcounted", p.name, t)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if derr != nil {
+		return derr
+	}
+	if err := p.fwd.CheckInvariants(); err != nil {
+		return err
+	}
+	return p.bwd.CheckInvariants()
+}

@@ -1,0 +1,140 @@
+package asr
+
+import (
+	"testing"
+
+	"asr/internal/gom"
+)
+
+// middleFixture builds a schema where two paths share an interior
+// segment only: EMP.WorksIn.LocatedIn.Mayor and GUEST.Visits.LocatedIn.
+// Mayor share the DEPT→CITY→PERSON suffix... to force a *middle* share,
+// the paths continue differently after the common part:
+//
+//	p: EMP.WorksIn.LocatedIn.Mayor.Name   (EMP→DEPT→CITY→PERSON→STRING)
+//	q: GUEST.Visits.LocatedIn.Mayor.Age   (GUEST→DEPT→CITY→PERSON→INTEGER)
+//
+// Shared steps: LocatedIn (DEPT→CITY) and Mayor (CITY→PERSON) — interior
+// on both sides, so only the full extension admits sharing (§5.4).
+func middleFixture(t *testing.T) (*gom.ObjectBase, *gom.PathExpression, *gom.PathExpression) {
+	t.Helper()
+	schema, _, err := gom.ParseSchema(`
+		type PERSON is [Name: STRING, Age: INTEGER];
+		type CITY   is [Mayor: PERSON];
+		type DEPT   is [LocatedIn: CITY];
+		type EMP    is [WorksIn: DEPT];
+		type GUEST  is [Visits: DEPT];
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := gom.NewObjectBase(schema)
+	mayor := ob.MustNew(schema.MustLookup("PERSON"))
+	ob.MustSetAttr(mayor.ID(), "Name", gom.String("Frank"))
+	ob.MustSetAttr(mayor.ID(), "Age", gom.Integer(61))
+	city := ob.MustNew(schema.MustLookup("CITY"))
+	ob.MustSetAttr(city.ID(), "Mayor", gom.Ref(mayor.ID()))
+	dept := ob.MustNew(schema.MustLookup("DEPT"))
+	ob.MustSetAttr(dept.ID(), "LocatedIn", gom.Ref(city.ID()))
+	emp := ob.MustNew(schema.MustLookup("EMP"))
+	ob.MustSetAttr(emp.ID(), "WorksIn", gom.Ref(dept.ID()))
+	guest := ob.MustNew(schema.MustLookup("GUEST"))
+	ob.MustSetAttr(guest.ID(), "Visits", gom.Ref(dept.ID()))
+
+	p := gom.MustResolvePath(schema.MustLookup("EMP"), "WorksIn", "LocatedIn", "Mayor", "Name")
+	q := gom.MustResolvePath(schema.MustLookup("GUEST"), "Visits", "LocatedIn", "Mayor", "Age")
+	return ob, p, q
+}
+
+func TestMiddleSegmentSharingRequiresFull(t *testing.T) {
+	_, p, q := middleFixture(t)
+	plan, err := PlanSharing(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Extension != Full {
+		t.Errorf("interior segment must require Full sharing, got %v", plan.Extension)
+	}
+	if plan.Length != 2 || plan.PStart != 1 || plan.QStart != 1 {
+		t.Errorf("plan = %+v", plan)
+	}
+	// The derived decompositions isolate steps [1,3] as one partition:
+	// (0, 1, 3, 4) in column space for both paths.
+	want := "(0, 1, 3, 4)"
+	if plan.PDec.String() != want || plan.QDec.String() != want {
+		t.Errorf("decompositions = %v / %v, want %s", plan.PDec, plan.QDec, want)
+	}
+	if plan.PPartIdx != 1 || plan.QPartIdx != 1 {
+		t.Errorf("shared partition indexes = %d / %d", plan.PPartIdx, plan.QPartIdx)
+	}
+}
+
+func TestMiddleSegmentSharedQueries(t *testing.T) {
+	ob, p, q := middleFixture(t)
+	pair, err := BuildShared(ob, p, q, newPool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := pair.P.QueryBackward(0, 4, gom.String("Frank"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := OIDsOf(names); len(got) != 1 {
+		t.Errorf("P backward = %v", got)
+	}
+	guests, err := pair.Q.QueryBackward(0, 4, gom.Integer(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := OIDsOf(guests); len(got) != 1 {
+		t.Errorf("Q backward = %v", got)
+	}
+	if pair.SharedPartition().Owners() != 2 {
+		t.Errorf("shared partition owners = %d", pair.SharedPartition().Owners())
+	}
+}
+
+func TestSharedPartitionSurvivesFirstDrop(t *testing.T) {
+	ob, p, q := middleFixture(t)
+	pool := newPool()
+	pair, err := BuildShared(ob, p, q, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := pair.SharedPartition()
+	// Releasing the first index keeps the shared partition alive.
+	if err := pair.P.ReleasePages(); err != nil {
+		t.Fatal(err)
+	}
+	if shared.Owners() != 1 {
+		t.Fatalf("owners after first release = %d", shared.Owners())
+	}
+	// The second index still answers through the shared partition.
+	guests, err := pair.Q.QueryBackward(0, 4, gom.Integer(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(guests) != 1 {
+		t.Errorf("Q backward after P release = %v", guests)
+	}
+	// Releasing the second owner reclaims everything.
+	pagesBefore := pool.Disk().NumPages()
+	if err := pair.Q.ReleasePages(); err != nil {
+		t.Fatal(err)
+	}
+	if shared.Owners() != 0 {
+		t.Errorf("owners after second release = %d", shared.Owners())
+	}
+	if got := pool.Disk().NumPages(); got >= pagesBefore {
+		t.Errorf("no pages reclaimed: %d -> %d", pagesBefore, got)
+	}
+}
+
+func TestPlanSharingRejectsDisjointPaths(t *testing.T) {
+	ob, p, _ := middleFixture(t)
+	// p traverses PERSON.Name; PERSON.Age shares no step with it.
+	other := gom.MustResolvePath(ob.Schema().MustLookup("PERSON"), "Age")
+	if _, err := PlanSharing(p, other); err == nil {
+		t.Error("disjoint paths accepted")
+	}
+}

@@ -1,0 +1,439 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"asr/internal/costmodel"
+)
+
+// Analytical experiments: one per cost-model figure of the paper.
+
+func init() {
+	register(Experiment{
+		ID:          "fig4",
+		Title:       "Comparison of access relation sizes",
+		Ref:         "Figure 4, §4.4.1",
+		Description: "Storage cost per extension under no decomposition vs binary decomposition for the fixed engineering profile.",
+		Run:         runFig4,
+	})
+	register(Experiment{
+		ID:          "fig5",
+		Title:       "Varying the number of not-NULL attributes",
+		Ref:         "Figure 5, §4.4.2",
+		Description: "Access relation sizes (no decomposition) while d_i sweeps 2500…10000; extensions converge as d_i → c_i.",
+		Run:         runFig5,
+	})
+	register(Experiment{
+		ID:          "fig6",
+		Title:       "Query costs for a backward query",
+		Ref:         "Figure 6, §5.9.1",
+		Description: "Q_{0,4}(bw) for every extension, binary vs non-decomposed, against the no-support exhaustive search.",
+		Run:         runFig6,
+	})
+	register(Experiment{
+		ID:          "fig7",
+		Title:       "Query costs under varying object size",
+		Ref:         "Figure 7, §5.9.2",
+		Description: "Q_{0,4}(bw) while object sizes sweep 100…800: supported costs stay flat, the unsupported cost grows.",
+		Run:         runFig7,
+	})
+	register(Experiment{
+		ID:          "fig8",
+		Title:       "Which queries are supported?",
+		Ref:         "Figure 8, §5.9.3",
+		Description: "Q_{0,3}(bw): only left/full apply; non-decomposed access relations can lose to no support.",
+		Run:         runFig8,
+	})
+	register(Experiment{
+		ID:          "fig9",
+		Title:       "An application favoring canonical/left",
+		Ref:         "Figure 9, §5.9.4",
+		Description: "Q_{0,4}(bw) under fan-out 10…100 with few defined objects on the left of the path.",
+		Run:         runFig9,
+	})
+	register(Experiment{
+		ID:          "fig11",
+		Title:       "Update costs for a fixed application profile",
+		Ref:         "Figure 11, §6.3.1",
+		Description: "ins_3 cost per extension, binary vs non-decomposed; left-complete beats right-complete for right-end updates.",
+		Run:         func() (*Table, error) { return runUpdateFigure("fig11", "Figure 11, §6.3.1", profile441(), 3) },
+	})
+	register(Experiment{
+		ID:          "fig12",
+		Title:       "Update costs, low-fan variant",
+		Ref:         "Figure 12, §6.3.2",
+		Description: "ins_3 cost with fan-outs (2,1,1,4); left-complete and full stay comparable.",
+		Run:         func() (*Table, error) { return runUpdateFigure("fig12", "Figure 12, §6.3.2", profile632(), 3) },
+	})
+	register(Experiment{
+		ID:          "fig13",
+		Title:       "Update costs under varying object sizes",
+		Ref:         "Figure 13, §6.3.3",
+		Description: "ins_1 under binary decomposition while object sizes sweep 100…800: canonical/right grow with the data search, left stays flat.",
+		Run:         runFig13,
+	})
+	register(Experiment{
+		ID:          "fig14",
+		Title:       "Operation mix under binary decomposition",
+		Ref:         "Figure 14, §6.4.2",
+		Description: "Mix cost vs update probability 0.1…0.9; the left/full break-even near P_up ≈ 0.3.",
+		Run: func() (*Table, error) {
+			return runMixFigure("fig14", "Figure 14, §6.4.2", binaryDecs(), "paper: ≈ 0.3 for binary decomposition")
+		},
+	})
+	register(Experiment{
+		ID:          "fig15",
+		Title:       "Operation mix under decomposition (0,3,4)",
+		Ref:         "Figure 15, §6.4.3",
+		Description: "The same mix with the coarser decomposition (0,3,4).",
+		Run: func() (*Table, error) {
+			decs := map[costmodel.Extension]costmodel.Decomposition{}
+			for _, x := range costmodel.Extensions {
+				decs[x] = costmodel.Decomposition{0, 3, 4}
+			}
+			return runMixFigure("fig15", "Figure 15, §6.4.3", decs, "under (0,3,4) the left extension stays ahead much longer than under binary")
+		},
+	})
+	register(Experiment{
+		ID:          "fig16",
+		Title:       "Left-complete vs full extension",
+		Ref:         "Figure 16, §6.4.4",
+		Description: "The n=5 profile: left and full under binary and (0,3,4,5) decompositions across P_up.",
+		Run:         runFig16,
+	})
+	register(Experiment{
+		ID:          "fig17",
+		Title:       "Right-complete vs full extension",
+		Ref:         "Figure 17, §6.4.5",
+		Description: "The n=5 profile: right and full under binary and (0,3,5) decompositions; right wins only at tiny P_up.",
+		Run:         runFig17,
+	})
+	register(Experiment{
+		ID:          "advisor",
+		Title:       "Physical design advisor",
+		Ref:         "§6.4, Conclusion",
+		Description: "Full extension × decomposition sweep for the §6.4.2 profile and mix: the design ranking the paper proposes to automate.",
+		Run:         runAdvisor,
+	})
+}
+
+func binaryDecs() map[costmodel.Extension]costmodel.Decomposition {
+	decs := map[costmodel.Extension]costmodel.Decomposition{}
+	for _, x := range costmodel.Extensions {
+		decs[x] = costmodel.BinaryDecomposition(4)
+	}
+	return decs
+}
+
+func runFig4() (*Table, error) {
+	m, err := costmodel.New(sys(), profile441())
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig4",
+		Title:   "Access relation sizes (bytes, non-redundant)",
+		Ref:     "Figure 4, §4.4.1",
+		Columns: []string{"extension", "decomposition", "tuples(0,4)", "bytes no-dec", "bytes binary", "binary/no-dec"},
+	}
+	for _, x := range costmodel.Extensions {
+		no := m.StorageSize(x, costmodel.NoDecomposition(4))
+		bin := m.StorageSize(x, costmodel.BinaryDecomposition(4))
+		t.AddRow(x.String(), "no-dec vs binary",
+			f0(m.Cardinality(x, 0, 4)), f0(no), f0(bin), f3(bin/no))
+	}
+	can := m.StorageSize(costmodel.Canonical, costmodel.NoDecomposition(4))
+	full := m.StorageSize(costmodel.Full, costmodel.NoDecomposition(4))
+	t.Note = fmt.Sprintf(
+		"few objects on the left make can/left drastically smaller than right/full (full/can = %.1fx); binary decomposition roughly halves storage",
+		full/can)
+	return t, nil
+}
+
+func runFig5() (*Table, error) {
+	t := &Table{
+		ID:      "fig5",
+		Title:   "Access relation sizes vs d_i (no decomposition)",
+		Ref:     "Figure 5, §4.4.2",
+		Columns: []string{"d_i", "can", "full", "left", "right", "full/can"},
+	}
+	for _, d := range []float64{2500, 4000, 5500, 7000, 8500, 10000} {
+		m, err := costmodel.New(sys(), profile442(d))
+		if err != nil {
+			return nil, err
+		}
+		can := m.As(costmodel.Canonical, 0, 4)
+		full := m.As(costmodel.Full, 0, 4)
+		left := m.As(costmodel.LeftComplete, 0, 4)
+		right := m.As(costmodel.RightComplete, 0, 4)
+		t.AddRow(f0(d), f0(can), f0(full), f0(left), f0(right), f3(full/can))
+	}
+	t.Note = "sizes grow with d_i and converge as d_i approaches c_i (all paths complete)"
+	return t, nil
+}
+
+func runFig6() (*Table, error) {
+	m, err := costmodel.New(sys(), profile591(0))
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig6",
+		Title:   "Q_{0,4}(bw) page accesses",
+		Ref:     "Figure 6, §5.9.1",
+		Columns: []string{"design", "cost"},
+	}
+	t.AddRow("no support", f1(m.QnasBackward(0, 4)))
+	for _, x := range costmodel.Extensions {
+		t.AddRow(x.String()+" binary", f1(m.Q(x, costmodel.Backward, 0, 4, costmodel.BinaryDecomposition(4))))
+		t.AddRow(x.String()+" no-dec", f1(m.Q(x, costmodel.Backward, 0, 4, costmodel.NoDecomposition(4))))
+	}
+	t.Note = "every supported design beats the exhaustive search; non-decomposed access relations cost less than binary for whole-path queries" +
+		"; profile uses the paper's d_2=8000 (clamped to c_2=1000): " + strings.Join(m.Warnings, "; ")
+	return t, nil
+}
+
+func runFig7() (*Table, error) {
+	t := &Table{
+		ID:      "fig7",
+		Title:   "Q_{0,4}(bw) vs object size (binary decomposition)",
+		Ref:     "Figure 7, §5.9.2",
+		Columns: []string{"size", "no support", "can", "full", "left", "right"},
+	}
+	for size := 100.0; size <= 800; size += 100 {
+		m, err := costmodel.New(sys(), profile591(size))
+		if err != nil {
+			return nil, err
+		}
+		dec := costmodel.BinaryDecomposition(4)
+		t.AddRow(f0(size),
+			f1(m.QnasBackward(0, 4)),
+			f1(m.Q(costmodel.Canonical, costmodel.Backward, 0, 4, dec)),
+			f1(m.Q(costmodel.Full, costmodel.Backward, 0, 4, dec)),
+			f1(m.Q(costmodel.LeftComplete, costmodel.Backward, 0, 4, dec)),
+			f1(m.Q(costmodel.RightComplete, costmodel.Backward, 0, 4, dec)))
+	}
+	t.Note = "supported costs are flat in object size (full/left/right overlap, as the paper's filled squares); only the unsupported cost grows"
+	return t, nil
+}
+
+func runFig8() (*Table, error) {
+	t := &Table{
+		ID:      "fig8",
+		Title:   "Q_{0,3}(bw): partial-path support",
+		Ref:     "Figure 8, §5.9.3",
+		Columns: []string{"d_i", "no support", "left bi", "left no-dec", "full bi", "full no-dec"},
+	}
+	for _, d := range []float64{10, 100, 1000, 2500, 5000, 10000} {
+		m, err := costmodel.New(sys(), profile593(d))
+		if err != nil {
+			return nil, err
+		}
+		bi := costmodel.BinaryDecomposition(4)
+		no := costmodel.NoDecomposition(4)
+		t.AddRow(f0(d),
+			f1(m.QnasBackward(0, 3)),
+			f1(m.Q(costmodel.LeftComplete, costmodel.Backward, 0, 3, bi)),
+			f1(m.Q(costmodel.LeftComplete, costmodel.Backward, 0, 3, no)),
+			f1(m.Q(costmodel.Full, costmodel.Backward, 0, 3, bi)),
+			f1(m.Q(costmodel.Full, costmodel.Backward, 0, 3, no)))
+	}
+	t.Note = "canonical/right cannot evaluate Q_{0,3} (they fall back to the no-support cost); " +
+		"non-decomposed relations must be scanned exhaustively past the j=3 border and lose to no support at large d_i"
+	return t, nil
+}
+
+func runFig9() (*Table, error) {
+	t := &Table{
+		ID:      "fig9",
+		Title:   "Q_{0,4}(bw) vs fan-out",
+		Ref:     "Figure 9, §5.9.4",
+		Columns: []string{"fan", "no support", "can bi", "left bi", "full bi", "right bi"},
+	}
+	for _, fan := range []float64{10, 25, 50, 75, 100} {
+		m, err := costmodel.New(sys(), profile594(fan))
+		if err != nil {
+			return nil, err
+		}
+		dec := costmodel.BinaryDecomposition(4)
+		t.AddRow(f0(fan),
+			f1(m.QnasBackward(0, 4)),
+			f1(m.Q(costmodel.Canonical, costmodel.Backward, 0, 4, dec)),
+			f1(m.Q(costmodel.LeftComplete, costmodel.Backward, 0, 4, dec)),
+			f1(m.Q(costmodel.Full, costmodel.Backward, 0, 4, dec)),
+			f1(m.Q(costmodel.RightComplete, costmodel.Backward, 0, 4, dec)))
+	}
+	t.Note = "with d_i tiny on the left, canonical/left relations stay small and beat full/right across the fan sweep"
+	return t, nil
+}
+
+func runUpdateFigure(id, ref string, p costmodel.Profile, insAt int) (*Table, error) {
+	m, err := costmodel.New(sys(), p)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      id,
+		Title:   fmt.Sprintf("Update costs for ins_%d", insAt),
+		Ref:     ref,
+		Columns: []string{"design", "search", "aup", "total"},
+	}
+	for _, x := range costmodel.Extensions {
+		for _, d := range []struct {
+			name string
+			dec  costmodel.Decomposition
+		}{
+			{"binary", costmodel.BinaryDecomposition(p.N)},
+			{"no-dec", costmodel.NoDecomposition(p.N)},
+		} {
+			s := m.SearchCost(x, insAt, d.dec)
+			a := m.Aup(x, insAt, d.dec)
+			t.AddRow(x.String()+" "+d.name, f1(s), f1(a), f1(costmodel.ObjectUpdateCost+s+a))
+		}
+	}
+	lb := m.UpdateCost(costmodel.LeftComplete, insAt, costmodel.BinaryDecomposition(p.N))
+	rb := m.UpdateCost(costmodel.RightComplete, insAt, costmodel.BinaryDecomposition(p.N))
+	t.Note = fmt.Sprintf("right-end update: left-complete (binary) %.1f vs right-complete %.1f — the §6.3.1 superiority; canonical pays data searches in both directions", lb, rb)
+	return t, nil
+}
+
+func runFig13() (*Table, error) {
+	t := &Table{
+		ID:      "fig13",
+		Title:   "ins_1 cost vs object size (binary decomposition)",
+		Ref:     "Figure 13, §6.3.3",
+		Columns: []string{"size", "can", "full", "left", "right"},
+	}
+	dec := costmodel.BinaryDecomposition(4)
+	for size := 100.0; size <= 800; size += 100 {
+		m, err := costmodel.New(sys(), profile633(size))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(f0(size),
+			f1(m.UpdateCost(costmodel.Canonical, 1, dec)),
+			f1(m.UpdateCost(costmodel.Full, 1, dec)),
+			f1(m.UpdateCost(costmodel.LeftComplete, 1, dec)),
+			f1(m.UpdateCost(costmodel.RightComplete, 1, dec)))
+	}
+	t.Note = "canonical/right grow with object size (exhaustive data searches to re-establish paths); left needs only a forward search and stays nearly flat"
+	return t, nil
+}
+
+func runMixFigure(id, ref string, decs map[costmodel.Extension]costmodel.Decomposition, paperNote string) (*Table, error) {
+	m, err := costmodel.New(sys(), profile441())
+	if err != nil {
+		return nil, err
+	}
+	mx := mix642()
+	t := &Table{
+		ID:      id,
+		Title:   "Operation mix cost vs update probability",
+		Ref:     ref,
+		Columns: []string{"P_up", "no support", "can", "full", "left", "right"},
+	}
+	for pup := 0.1; pup <= 0.91; pup += 0.1 {
+		mp := mx.WithPUp(pup)
+		t.AddRow(f3(pup),
+			f1(m.MixCostNoSupport(mp)),
+			f1(m.MixCost(costmodel.Canonical, decs[costmodel.Canonical], mp)),
+			f1(m.MixCost(costmodel.Full, decs[costmodel.Full], mp)),
+			f1(m.MixCost(costmodel.LeftComplete, decs[costmodel.LeftComplete], mp)),
+			f1(m.MixCost(costmodel.RightComplete, decs[costmodel.RightComplete], mp)))
+	}
+	if p, ok := m.BreakEvenPUp(
+		costmodel.Design{Ext: costmodel.LeftComplete, Dec: decs[costmodel.LeftComplete]},
+		costmodel.Design{Ext: costmodel.Full, Dec: decs[costmodel.Full]},
+		mx, 1e-4); ok {
+		t.Note = fmt.Sprintf("left/full break-even at P_up = %.3f (%s)", p, paperNote)
+	} else {
+		t.Note = "no left/full break-even in (0,1) for this decomposition"
+	}
+	return t, nil
+}
+
+func runFig16() (*Table, error) {
+	m, err := costmodel.New(sys(), profile644())
+	if err != nil {
+		return nil, err
+	}
+	mx := mix644()
+	bi := costmodel.BinaryDecomposition(5)
+	coarse := costmodel.Decomposition{0, 3, 4, 5}
+	t := &Table{
+		ID:      "fig16",
+		Title:   "Left vs full, n = 5",
+		Ref:     "Figure 16, §6.4.4",
+		Columns: []string{"P_up", "left binary", "full binary", "left (0,3,4,5)", "full (0,3,4,5)"},
+	}
+	for pup := 0.1; pup <= 0.91; pup += 0.1 {
+		mp := mx.WithPUp(pup)
+		t.AddRow(f3(pup),
+			f1(m.MixCost(costmodel.LeftComplete, bi, mp)),
+			f1(m.MixCost(costmodel.Full, bi, mp)),
+			f1(m.MixCost(costmodel.LeftComplete, coarse, mp)),
+			f1(m.MixCost(costmodel.Full, coarse, mp)))
+	}
+	t.Note = "the coarser decomposition (0,3,4,5) dominates binary for this query-heavy mix"
+	return t, nil
+}
+
+func runFig17() (*Table, error) {
+	m, err := costmodel.New(sys(), profile645())
+	if err != nil {
+		return nil, err
+	}
+	mx := mix645()
+	bi := costmodel.BinaryDecomposition(5)
+	coarse := costmodel.Decomposition{0, 3, 5}
+	t := &Table{
+		ID:      "fig17",
+		Title:   "Right vs full, n = 5",
+		Ref:     "Figure 17, §6.4.5",
+		Columns: []string{"P_up", "right binary", "full binary", "right (0,3,5)", "full (0,3,5)"},
+	}
+	for _, pup := range []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.3, 0.5, 0.7, 0.9} {
+		mp := mx.WithPUp(pup)
+		t.AddRow(f3(pup),
+			f1(m.MixCost(costmodel.RightComplete, bi, mp)),
+			f1(m.MixCost(costmodel.Full, bi, mp)),
+			f1(m.MixCost(costmodel.RightComplete, coarse, mp)),
+			f1(m.MixCost(costmodel.Full, coarse, mp)))
+	}
+	note := "the (0,3,5) decomposition is superior throughout"
+	if p, ok := m.BreakEvenPUp(
+		costmodel.Design{Ext: costmodel.RightComplete, Dec: coarse},
+		costmodel.Design{Ext: costmodel.Full, Dec: coarse},
+		mx, 1e-5); ok {
+		note += fmt.Sprintf("; right/full break-even at P_up = %.4f (paper: ≈ 0.005)", p)
+	}
+	t.Note = note
+	return t, nil
+}
+
+func runAdvisor() (*Table, error) {
+	m, err := costmodel.New(sys(), profile441())
+	if err != nil {
+		return nil, err
+	}
+	ranked, noSup, err := m.Advise(mix642().WithPUp(0.2))
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "advisor",
+		Title:   "Design ranking for the §6.4.2 mix at P_up = 0.2",
+		Ref:     "§6.4, Conclusion",
+		Columns: []string{"rank", "design", "mix cost", "storage pages"},
+	}
+	for i, r := range ranked {
+		if i >= 10 {
+			break
+		}
+		t.AddRow(fmt.Sprint(i+1), r.Design.String(), f1(r.MixCost), f0(r.StoragePages))
+	}
+	t.Note = fmt.Sprintf("no-support baseline: %.1f page accesses per operation; best design saves %.1fx",
+		noSup, noSup/ranked[0].MixCost)
+	return t, nil
+}

@@ -1,0 +1,337 @@
+package bench
+
+import (
+	"fmt"
+
+	"asr/internal/asr"
+	"asr/internal/costmodel"
+	"asr/internal/engine"
+	"asr/internal/gendb"
+	"asr/internal/gom"
+	"asr/internal/paperdb"
+	"asr/internal/relation"
+	"asr/internal/storage"
+)
+
+// Executable experiments: the §2–§3 running examples and the page-level
+// simulation that cross-validates the analytical model.
+
+func init() {
+	register(Experiment{
+		ID:          "fig1",
+		Title:       "Robot database (linear path) and Query 1",
+		Ref:         "Figure 1, §2.2",
+		Description: "Builds the Figure 1 extension and evaluates Query 1 with and without an access support relation.",
+		Run:         runFig1,
+	})
+	register(Experiment{
+		ID:          "fig2",
+		Title:       "Company database (set-valued path) and Queries 2–3",
+		Ref:         "Figure 2, §2.3",
+		Description: "Builds the Figure 2 extension and evaluates the §2.3 queries through an access support relation.",
+		Run:         runFig2,
+	})
+	register(Experiment{
+		ID:          "tab3",
+		Title:       "The §3 example tables",
+		Ref:         "§3",
+		Description: "Materializes E_0..E_2, all four extensions, and the binary decomposition of the running example.",
+		Run:         runTab3,
+	})
+	register(Experiment{
+		ID:          "sim",
+		Title:       "Measured vs predicted page accesses",
+		Ref:         "§5 (validation)",
+		Description: "Generates a scaled synthetic database, runs forward/backward queries with and without access support, and compares measured distinct-page counts with the analytical predictions.",
+		Run:         runSim,
+	})
+	register(Experiment{
+		ID:          "abl-dualtree",
+		Title:       "Ablation: dual-clustered trees",
+		Ref:         "§5.2 design choice",
+		Description: "Backward lookups through the backward-clustered tree vs scanning the forward tree — why each partition keeps two redundant B⁺-trees.",
+		Run:         runAblDualTree,
+	})
+	register(Experiment{
+		ID:          "abl-sharing",
+		Title:       "Ablation: partition sharing",
+		Ref:         "§5.4 design choice",
+		Description: "Storage for two overlapping paths with and without a physically shared common partition.",
+		Run:         runAblSharing,
+	})
+}
+
+func newIndexPool() *storage.BufferPool {
+	return storage.NewBufferPool(storage.NewDisk(0), 0, storage.LRU)
+}
+
+func runFig1() (*Table, error) {
+	r := paperdb.BuildRobots()
+	ix, err := asr.Build(r.Base, r.Path, asr.Canonical, asr.NoDecomposition(r.Path.Arity()-1), newIndexPool())
+	if err != nil {
+		return nil, err
+	}
+	robots, err := ix.QueryBackward(0, 4, gom.String("Utopia"))
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig1",
+		Title:   "Query 1: robots using a tool manufactured in Utopia",
+		Ref:     "Figure 1, §2.2",
+		Columns: []string{"robot", "name"},
+	}
+	for _, id := range asr.OIDsOf(robots) {
+		o, _ := r.Base.Get(id)
+		name, _ := o.Attr("Name")
+		t.AddRow(id.String(), gom.ValueString(name))
+	}
+	t.Note = fmt.Sprintf("canonical ASR over %s holds %d complete paths", r.Path, ix.TotalRows()[0])
+	return t, nil
+}
+
+func runFig2() (*Table, error) {
+	c := paperdb.BuildCompany()
+	ix, err := asr.Build(c.Base, c.Path, asr.Full, asr.BinaryDecomposition(5), newIndexPool())
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig2",
+		Title:   "Queries 2–3 over the company database",
+		Ref:     "Figure 2, §2.3",
+		Columns: []string{"query", "result"},
+	}
+	divs, err := ix.QueryBackward(0, 3, gom.String("Door"))
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, id := range asr.OIDsOf(divs) {
+		o, _ := c.Base.Get(id)
+		nm, _ := o.Attr("Name")
+		names = append(names, gom.ValueString(nm))
+	}
+	t.AddRow("Q2: division using BasePart 'Door'", fmt.Sprint(names))
+
+	parts, err := ix.QueryForward(0, 3, gom.Ref(c.DivAuto))
+	if err != nil {
+		return nil, err
+	}
+	var vals []string
+	for _, v := range parts {
+		vals = append(vals, gom.ValueString(v))
+	}
+	t.AddRow("Q3: BasePart names of division 'Auto'", fmt.Sprint(vals))
+	t.Note = "evaluated through a binary-decomposed full extension"
+	return t, nil
+}
+
+func runTab3() (*Table, error) {
+	c := paperdb.BuildCompany()
+	aux, err := asr.BuildAuxiliaryRelations(c.Base, c.Path)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "tab3",
+		Title:   "Cardinalities of the §3 example relations",
+		Ref:     "§3",
+		Columns: []string{"relation", "arity", "tuples"},
+	}
+	for _, a := range aux {
+		t.AddRow(a.Name(), fmt.Sprint(a.Arity()), fmt.Sprint(a.Cardinality()))
+	}
+	for _, x := range asr.Extensions {
+		rel, err := asr.BuildExtension(x, "E_"+x.String(), aux)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(rel.Name(), fmt.Sprint(rel.Arity()), fmt.Sprint(rel.Cardinality()))
+	}
+	can, _ := asr.BuildExtension(asr.Canonical, "E_can", aux)
+	parts, err := asr.Decompose(can, asr.BinaryDecomposition(5))
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range parts {
+		t.AddRow(p.Name(), fmt.Sprint(p.Arity()), fmt.Sprint(p.Cardinality()))
+	}
+	t.Note = "matches the tables printed through §3 (golden-tested in internal/asr)"
+	return t, nil
+}
+
+// simSpec is a scaled-down §5.9.1-shaped database small enough to build
+// in-process yet large enough that page counts are meaningful.
+var simSpec = gendb.Spec{
+	N:    4,
+	C:    []int{100, 500, 1000, 5000, 10000},
+	D:    []int{90, 400, 800, 2000},
+	Fan:  []int{2, 2, 3, 4},
+	Seed: 42,
+}
+
+var simSizes = []int{500, 400, 300, 300, 100}
+
+func simProfile() costmodel.Profile {
+	return costmodel.Profile{
+		N:    4,
+		C:    []float64{100, 500, 1000, 5000, 10000},
+		D:    []float64{90, 400, 800, 2000},
+		Fan:  []float64{2, 2, 3, 4},
+		Size: []float64{500, 400, 300, 300, 100},
+	}
+}
+
+func runSim() (*Table, error) {
+	db, err := gendb.Generate(simSpec)
+	if err != nil {
+		return nil, err
+	}
+	pool := storage.NewBufferPool(storage.NewDisk(0), 0, storage.LRU)
+	place, err := gendb.Place(db, pool, simSizes)
+	if err != nil {
+		return nil, err
+	}
+	e := engine.New(place)
+	model, err := costmodel.New(sys(), simProfile())
+	if err != nil {
+		return nil, err
+	}
+	mcol := db.Path.Arity() - 1
+	ix, err := asr.Build(db.Base, db.Path, asr.Canonical, asr.NoDecomposition(mcol), newIndexPool())
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:      "sim",
+		Title:   "Measured vs predicted page accesses",
+		Ref:     "§5 validation",
+		Columns: []string{"operation", "measured pages", "predicted", "measured/predicted"},
+	}
+
+	// Forward Q_{0,4}(fw), averaged over anchors with defined paths.
+	var fwSum float64
+	var fwRuns int
+	for _, start := range db.Extents[0][:30] {
+		_, meas, err := e.ForwardNoASR(start, 0, 4)
+		if err != nil {
+			return nil, err
+		}
+		fwSum += float64(meas.DistinctPages)
+		fwRuns++
+	}
+	fwMeasured := fwSum / float64(fwRuns)
+	fwPred := model.QnasForward(0, 4)
+	t.AddRow("Q0,4(fw) no support", f1(fwMeasured), f1(fwPred), f3(fwMeasured/fwPred))
+
+	// Backward Q_{0,4}(bw), no support: exhaustive search.
+	_, bwMeas, err := e.BackwardNoASR(db.Extents[4][0], 0, 4)
+	if err != nil {
+		return nil, err
+	}
+	bwPred := model.QnasBackward(0, 4)
+	t.AddRow("Q0,4(bw) no support", f0(float64(bwMeas.DistinctPages)), f1(bwPred),
+		f3(float64(bwMeas.DistinctPages)/bwPred))
+
+	// Backward through the canonical ASR.
+	_, supMeas, err := e.BackwardASR(ix, db.Extents[4][0], 0, 4)
+	if err != nil {
+		return nil, err
+	}
+	supPred := model.Q(costmodel.Canonical, costmodel.Backward, 0, 4, costmodel.NoDecomposition(4))
+	t.AddRow("Q0,4(bw) canonical ASR", f0(float64(supMeas.DistinctPages)), f1(supPred),
+		f3(float64(supMeas.DistinctPages)/supPred))
+
+	t.Note = "the model predicts distinct pages (Yao); the simulator counts them exactly — agreement within a small constant factor validates the shape: " +
+		"ASR-supported backward queries beat the exhaustive search by orders of magnitude"
+	return t, nil
+}
+
+func runAblDualTree() (*Table, error) {
+	db, err := gendb.Generate(simSpec)
+	if err != nil {
+		return nil, err
+	}
+	mcol := db.Path.Arity() - 1
+	pool := newIndexPool()
+	ix, err := asr.Build(db.Base, db.Path, asr.Canonical, asr.NoDecomposition(mcol), pool)
+	if err != nil {
+		return nil, err
+	}
+	part := ix.Partitions()[0].Part
+	target := gom.Ref(db.Extents[4][0])
+
+	// With the backward-clustered tree.
+	if err := pool.DropClean(); err != nil {
+		return nil, err
+	}
+	pool.ResetStats()
+	if _, err := part.LookupBackward(target); err != nil {
+		return nil, err
+	}
+	withBwd := pool.Stats().Misses
+
+	// Without it: scan the forward tree and filter on the last column.
+	if err := pool.DropClean(); err != nil {
+		return nil, err
+	}
+	pool.ResetStats()
+	hits := 0
+	if err := part.ScanAll(func(row relation.Tuple) bool {
+		if gom.ValuesEqual(row[len(row)-1], target) {
+			hits++
+		}
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	withoutBwd := pool.Stats().Misses
+	_ = hits
+
+	t := &Table{
+		ID:      "abl-dualtree",
+		Title:   "Backward lookup: dual trees vs forward-only",
+		Ref:     "§5.2",
+		Columns: []string{"strategy", "distinct pages"},
+	}
+	t.AddRow("backward-clustered tree", fmt.Sprint(withBwd))
+	t.AddRow("forward-tree full scan", fmt.Sprint(withoutBwd))
+	t.Note = "the redundant reverse-clustered tree turns backward lookups from full scans into height+cluster accesses"
+	return t, nil
+}
+
+func runAblSharing() (*Table, error) {
+	c := paperdb.BuildCompany()
+	productT := c.Schema.MustLookup("Product")
+	q := gom.MustResolvePath(productT, "Composition", "Name")
+
+	sharedPool := newIndexPool()
+	pair, err := asr.BuildShared(c.Base, c.Path, q, sharedPool)
+	if err != nil {
+		return nil, err
+	}
+	sharedPages := sharedPool.Disk().NumPages()
+
+	sepPool := newIndexPool()
+	if _, err := asr.Build(c.Base, c.Path, pair.Plan.Extension, pair.Plan.PDec, sepPool); err != nil {
+		return nil, err
+	}
+	if _, err := asr.Build(c.Base, q, pair.Plan.Extension, pair.Plan.QDec, sepPool); err != nil {
+		return nil, err
+	}
+	separatePages := sepPool.Disk().NumPages()
+
+	t := &Table{
+		ID:      "abl-sharing",
+		Title:   "Partition sharing between overlapping paths",
+		Ref:     "§5.4",
+		Columns: []string{"layout", "allocated pages"},
+	}
+	t.AddRow("shared common partition", fmt.Sprint(sharedPages))
+	t.AddRow("two separate relations", fmt.Sprint(separatePages))
+	t.Note = fmt.Sprintf("shared extension: %s; shared segment of %d steps stored once",
+		pair.Plan.Extension, pair.Plan.Length)
+	return t, nil
+}

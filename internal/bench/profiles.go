@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"asr/internal/costmodel"
+)
+
+// The paper's application characterizations, verbatim from its tables.
+// Where a table is internally impossible (§5.9.1 lists d_2 = 8000 with
+// c_2 = 1000) the model clamps and the experiment notes it.
+
+// profile441 is §4.4.1 / §6.3.1 / §6.4.2 (Figures 4, 11, 14, 15).
+func profile441() costmodel.Profile {
+	return costmodel.Profile{
+		N:    4,
+		C:    []float64{1000, 5000, 10000, 50000, 100000},
+		D:    []float64{900, 4000, 8000, 20000},
+		Fan:  []float64{2, 2, 3, 4},
+		Size: []float64{500, 400, 300, 300, 100},
+	}
+}
+
+// profile442 is §4.4.2 (Figure 5) at a given d value.
+func profile442(d float64) costmodel.Profile {
+	return costmodel.Profile{
+		N:    4,
+		C:    []float64{10000, 10000, 10000, 10000, 10000},
+		D:    []float64{d, d, d, d},
+		Fan:  []float64{2, 2, 2, 2},
+		Size: []float64{120, 120, 120, 120, 120},
+	}
+}
+
+// profile591 is §5.9.1/§5.9.2 (Figures 6, 7) at given object sizes.
+func profile591(size float64) costmodel.Profile {
+	return costmodel.Profile{
+		N:   4,
+		C:   []float64{100, 500, 1000, 5000, 10000},
+		D:   []float64{90, 400, 8000, 2000}, // d_2 > c_2 is the paper's slip; clamped
+		Fan: []float64{2, 2, 3, 4},
+		Size: func() []float64 {
+			if size > 0 {
+				return []float64{size, size, size, size, size}
+			}
+			return []float64{500, 400, 300, 300, 100}
+		}(),
+	}
+}
+
+// profile593 is §5.9.3 (Figure 8) at a given d value.
+func profile593(d float64) costmodel.Profile {
+	return costmodel.Profile{
+		N:    4,
+		C:    []float64{10000, 10000, 10000, 10000, 10000},
+		D:    []float64{d, d, d, d},
+		Fan:  []float64{2, 2, 2, 2},
+		Size: []float64{120, 120, 120, 120, 120},
+	}
+}
+
+// profile594 is §5.9.4 (Figure 9) at a given fan-out.
+func profile594(fan float64) costmodel.Profile {
+	return costmodel.Profile{
+		N:    4,
+		C:    []float64{400000, 400000, 400000, 400000, 400000},
+		D:    []float64{10, 100, 1000, 100000},
+		Fan:  []float64{fan, fan, fan, fan},
+		Size: []float64{120, 120, 120, 120, 120},
+	}
+}
+
+// profile632 is §6.3.2 (Figure 12): the §6.3.1 profile with fan-outs
+// (2, 1, 1, 4).
+func profile632() costmodel.Profile {
+	p := profile441()
+	p.Fan = []float64{2, 1, 1, 4}
+	return p
+}
+
+// profile633 is §6.3.3 (Figure 13) at given object sizes.
+func profile633(size float64) costmodel.Profile {
+	p := profile441()
+	p.Size = []float64{size, size, size, size, size}
+	return p
+}
+
+// mix642 is the §6.4.2 operation mix (Figures 14, 15).
+func mix642() costmodel.Mix {
+	return costmodel.Mix{
+		Queries: []costmodel.WeightedQuery{
+			{W: 0.5, Kind: costmodel.Backward, I: 0, J: 4},
+			{W: 0.25, Kind: costmodel.Backward, I: 0, J: 3},
+			{W: 0.25, Kind: costmodel.Forward, I: 1, J: 2},
+		},
+		Updates: []costmodel.WeightedUpdate{
+			{W: 0.5, I: 2},
+			{W: 0.5, I: 3},
+		},
+	}
+}
+
+// profile644 is §6.4.4 (Figure 16): the n=5 left-vs-full comparison.
+func profile644() costmodel.Profile {
+	return costmodel.Profile{
+		N:    5,
+		C:    []float64{1000, 1000, 5000, 10000, 100000, 100000},
+		D:    []float64{100, 1000, 3000, 8000, 100000},
+		Fan:  []float64{2, 2, 3, 4, 10},
+		Size: []float64{600, 500, 400, 300, 300, 100},
+	}
+}
+
+// mix644 is the §6.4.4 operation mix.
+func mix644() costmodel.Mix {
+	return costmodel.Mix{
+		Queries: []costmodel.WeightedQuery{
+			{W: 1.0 / 3, Kind: costmodel.Backward, I: 0, J: 5},
+			{W: 1.0 / 3, Kind: costmodel.Backward, I: 0, J: 4},
+			{W: 1.0 / 3, Kind: costmodel.Forward, I: 0, J: 5},
+		},
+		Updates: []costmodel.WeightedUpdate{
+			{W: 1.0 / 3, I: 3},
+			{W: 1.0 / 3, I: 0},
+			{W: 1.0 / 3, I: 4},
+		},
+	}
+}
+
+// profile645 is §6.4.5 (Figure 17): the n=5 right-vs-full comparison.
+func profile645() costmodel.Profile {
+	return costmodel.Profile{
+		N:    5,
+		C:    []float64{100000, 100000, 50000, 10000, 1000, 1000},
+		D:    []float64{100000, 10000, 30000, 10000, 100},
+		Fan:  []float64{1, 10, 20, 4, 1},
+		Size: []float64{600, 500, 400, 300, 200, 700},
+	}
+}
+
+// mix645 is the §6.4.5 operation mix.
+func mix645() costmodel.Mix {
+	return costmodel.Mix{
+		Queries: []costmodel.WeightedQuery{
+			{W: 0.5, Kind: costmodel.Backward, I: 0, J: 5},
+			{W: 0.25, Kind: costmodel.Backward, I: 1, J: 5},
+			{W: 0.25, Kind: costmodel.Backward, I: 2, J: 5},
+		},
+		Updates: []costmodel.WeightedUpdate{
+			{W: 1, I: 3},
+		},
+	}
+}
+
+// sys returns the paper's system parameters.
+func sys() costmodel.SystemParams { return costmodel.DefaultSystem() }

@@ -1,0 +1,426 @@
+// Package btree implements a disk-oriented B⁺-tree over byte-string keys,
+// stored on simulated pages (package storage). Access support relation
+// partitions are stored in two such trees each — one clustered on the
+// first OID column and one on the last (§5.2, following Valduriez's join
+// indices) — so every tree operation's page accesses are observable
+// through the buffer pool and comparable with the analytical quantities
+// ht, pg and nlp of the paper's cost model.
+//
+// Deletion removes entries without merging underfull nodes; empty leaves
+// remain in the chain until the tree is rebuilt. This mirrors the
+// deferred-compaction behaviour of production B-trees (e.g. PostgreSQL
+// only reclaims entirely empty pages asynchronously) and keeps deletion
+// strictly local.
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"asr/internal/storage"
+)
+
+const (
+	leafNode              = 0
+	internalNode          = 1
+	headerSize            = 11 // type byte + count uint16 + first pointer uint64
+	entryOverheadLeaf     = 4  // keyLen + valLen uint16s
+	entryOverheadInternal = 10 // keyLen uint16 + child uint64
+)
+
+// Tree is a B⁺-tree rooted at a page. The zero value is not usable; use
+// New.
+type Tree struct {
+	pool    *storage.BufferPool
+	name    string
+	root    storage.PageID
+	height  int // number of levels including the leaf level
+	count   int // live entries
+	maxKey  int
+	maxItem int
+}
+
+// New creates an empty tree whose pages come from pool. Keys are limited
+// to a quarter page so internal nodes always hold several separators.
+func New(pool *storage.BufferPool, name string) (*Tree, error) {
+	t := &Tree{
+		pool:    pool,
+		name:    name,
+		height:  1,
+		maxKey:  pool.Disk().PageSize() / 4,
+		maxItem: pool.Disk().PageSize() - headerSize - entryOverheadLeaf,
+	}
+	fr, err := pool.GetNew()
+	if err != nil {
+		return nil, err
+	}
+	t.root = fr.ID()
+	writeNode(fr, &node{typ: leafNode})
+	fr.Unpin()
+	return t, nil
+}
+
+// Name returns the tree name.
+func (t *Tree) Name() string { return t.name }
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.count }
+
+// Height returns the number of levels including the leaf level. The
+// paper's ht quantity excludes leaves; use Height()-1 for that.
+func (t *Tree) Height() int { return t.height }
+
+// Root returns the root page id.
+func (t *Tree) Root() storage.PageID { return t.root }
+
+// node is the in-memory form of a tree page.
+type node struct {
+	typ      byte
+	keys     [][]byte
+	vals     [][]byte         // leaf only, parallel to keys
+	children []storage.PageID // internal only, len(keys)+1
+	next     storage.PageID   // leaf only: right sibling
+}
+
+func (n *node) isLeaf() bool { return n.typ == leafNode }
+
+// size returns the serialized byte size.
+func (n *node) size() int {
+	s := headerSize
+	if n.isLeaf() {
+		for i, k := range n.keys {
+			s += entryOverheadLeaf + len(k) + len(n.vals[i])
+		}
+	} else {
+		for _, k := range n.keys {
+			s += entryOverheadInternal + len(k)
+		}
+	}
+	return s
+}
+
+func readNode(fr *storage.Frame) (*node, error) {
+	data := fr.Data()
+	n := &node{typ: data[0]}
+	cnt := int(binary.BigEndian.Uint16(data[1:3]))
+	ptr0 := storage.PageID(binary.BigEndian.Uint64(data[3:11]))
+	off := headerSize
+	if n.isLeaf() {
+		n.next = ptr0
+		n.keys = make([][]byte, cnt)
+		n.vals = make([][]byte, cnt)
+		for i := 0; i < cnt; i++ {
+			kl := int(binary.BigEndian.Uint16(data[off : off+2]))
+			vl := int(binary.BigEndian.Uint16(data[off+2 : off+4]))
+			off += 4
+			n.keys[i] = append([]byte(nil), data[off:off+kl]...)
+			off += kl
+			n.vals[i] = append([]byte(nil), data[off:off+vl]...)
+			off += vl
+		}
+		return n, nil
+	}
+	n.children = make([]storage.PageID, cnt+1)
+	n.children[0] = ptr0
+	n.keys = make([][]byte, cnt)
+	for i := 0; i < cnt; i++ {
+		kl := int(binary.BigEndian.Uint16(data[off : off+2]))
+		off += 2
+		n.keys[i] = append([]byte(nil), data[off:off+kl]...)
+		off += kl
+		n.children[i+1] = storage.PageID(binary.BigEndian.Uint64(data[off : off+8]))
+		off += 8
+	}
+	return n, nil
+}
+
+func writeNode(fr *storage.Frame, n *node) {
+	data := fr.Data()
+	for i := range data {
+		data[i] = 0
+	}
+	data[0] = n.typ
+	binary.BigEndian.PutUint16(data[1:3], uint16(len(n.keys)))
+	off := headerSize
+	if n.isLeaf() {
+		binary.BigEndian.PutUint64(data[3:11], uint64(n.next))
+		for i, k := range n.keys {
+			binary.BigEndian.PutUint16(data[off:off+2], uint16(len(k)))
+			binary.BigEndian.PutUint16(data[off+2:off+4], uint16(len(n.vals[i])))
+			off += 4
+			copy(data[off:], k)
+			off += len(k)
+			copy(data[off:], n.vals[i])
+			off += len(n.vals[i])
+		}
+	} else {
+		binary.BigEndian.PutUint64(data[3:11], uint64(n.children[0]))
+		for i, k := range n.keys {
+			binary.BigEndian.PutUint16(data[off:off+2], uint16(len(k)))
+			off += 2
+			copy(data[off:], k)
+			off += len(k)
+			binary.BigEndian.PutUint64(data[off:off+8], uint64(n.children[i+1]))
+			off += 8
+		}
+	}
+	fr.MarkDirty()
+}
+
+// load fetches and decodes a node, returning the pinned frame.
+func (t *Tree) load(pid storage.PageID) (*storage.Frame, *node, error) {
+	fr, err := t.pool.Get(pid)
+	if err != nil {
+		return nil, nil, err
+	}
+	n, err := readNode(fr)
+	if err != nil {
+		fr.Unpin()
+		return nil, nil, err
+	}
+	return fr, n, nil
+}
+
+type splitResult struct {
+	sep   []byte
+	right storage.PageID
+}
+
+// Insert stores key→val, replacing any existing value for an equal key.
+// It reports whether the key was newly inserted.
+func (t *Tree) Insert(key, val []byte) (bool, error) {
+	if len(key) == 0 {
+		return false, fmt.Errorf("btree %s: empty key", t.name)
+	}
+	if len(key) > t.maxKey {
+		return false, fmt.Errorf("btree %s: key of %d bytes exceeds limit %d", t.name, len(key), t.maxKey)
+	}
+	if len(key)+len(val)+entryOverheadLeaf > t.maxItem {
+		return false, fmt.Errorf("btree %s: entry of %d bytes exceeds page capacity", t.name, len(key)+len(val))
+	}
+	added, split, err := t.insert(t.root, key, val)
+	if err != nil {
+		return false, err
+	}
+	if split != nil {
+		fr, err := t.pool.GetNew()
+		if err != nil {
+			return false, err
+		}
+		newRoot := &node{
+			typ:      internalNode,
+			keys:     [][]byte{split.sep},
+			children: []storage.PageID{t.root, split.right},
+		}
+		writeNode(fr, newRoot)
+		t.root = fr.ID()
+		fr.Unpin()
+		t.height++
+	}
+	if added {
+		t.count++
+	}
+	return added, nil
+}
+
+func (t *Tree) insert(pid storage.PageID, key, val []byte) (bool, *splitResult, error) {
+	fr, n, err := t.load(pid)
+	if err != nil {
+		return false, nil, err
+	}
+	defer fr.Unpin()
+
+	if n.isLeaf() {
+		pos, found := findKey(n.keys, key)
+		if found {
+			n.vals[pos] = append([]byte(nil), val...)
+			writeNode(fr, n)
+			return false, nil, nil
+		}
+		n.keys = insertBytes(n.keys, pos, append([]byte(nil), key...))
+		n.vals = insertBytes(n.vals, pos, append([]byte(nil), val...))
+		if n.size() <= t.pool.Disk().PageSize() {
+			writeNode(fr, n)
+			return true, nil, nil
+		}
+		split, err := t.splitLeaf(fr, n)
+		return true, split, err
+	}
+
+	pos, _ := findKey(n.keys, key)
+	// Internal separator semantics: child[i] covers keys < keys[i];
+	// equal keys go right.
+	if pos < len(n.keys) && bytes.Equal(n.keys[pos], key) {
+		pos++
+	}
+	added, childSplit, err := t.insert(n.children[pos], key, val)
+	if err != nil || childSplit == nil {
+		return added, nil, err
+	}
+	n.keys = insertBytes(n.keys, pos, childSplit.sep)
+	n.children = insertPages(n.children, pos+1, childSplit.right)
+	if n.size() <= t.pool.Disk().PageSize() {
+		writeNode(fr, n)
+		return added, nil, nil
+	}
+	split, err := t.splitInternal(fr, n)
+	return added, split, err
+}
+
+// splitLeaf moves the upper half of a leaf to a fresh page; the
+// separator is the first key of the right node.
+func (t *Tree) splitLeaf(fr *storage.Frame, n *node) (*splitResult, error) {
+	mid := splitPoint(n)
+	rightFr, err := t.pool.GetNew()
+	if err != nil {
+		return nil, err
+	}
+	defer rightFr.Unpin()
+	right := &node{
+		typ:  leafNode,
+		keys: append([][]byte(nil), n.keys[mid:]...),
+		vals: append([][]byte(nil), n.vals[mid:]...),
+		next: n.next,
+	}
+	n.keys = n.keys[:mid]
+	n.vals = n.vals[:mid]
+	n.next = rightFr.ID()
+	writeNode(rightFr, right)
+	writeNode(fr, n)
+	return &splitResult{sep: append([]byte(nil), right.keys[0]...), right: rightFr.ID()}, nil
+}
+
+// splitInternal promotes the middle key and moves the upper half of an
+// internal node to a fresh page.
+func (t *Tree) splitInternal(fr *storage.Frame, n *node) (*splitResult, error) {
+	mid := splitPoint(n)
+	if mid >= len(n.keys) {
+		mid = len(n.keys) - 1
+	}
+	if mid < 1 {
+		mid = 1
+	}
+	sep := n.keys[mid]
+	rightFr, err := t.pool.GetNew()
+	if err != nil {
+		return nil, err
+	}
+	defer rightFr.Unpin()
+	right := &node{
+		typ:      internalNode,
+		keys:     append([][]byte(nil), n.keys[mid+1:]...),
+		children: append([]storage.PageID(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	writeNode(rightFr, right)
+	writeNode(fr, n)
+	return &splitResult{sep: append([]byte(nil), sep...), right: rightFr.ID()}, nil
+}
+
+// splitPoint picks the index at which the serialized first half is
+// nearest to half the node size.
+func splitPoint(n *node) int {
+	total := n.size() - headerSize
+	half := total / 2
+	acc := 0
+	for i, k := range n.keys {
+		if n.isLeaf() {
+			acc += entryOverheadLeaf + len(k) + len(n.vals[i])
+		} else {
+			acc += entryOverheadInternal + len(k)
+		}
+		if acc >= half {
+			// Keep at least one entry on each side.
+			if i+1 >= len(n.keys) {
+				return len(n.keys) - 1
+			}
+			return i + 1
+		}
+	}
+	return len(n.keys) / 2
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key []byte) ([]byte, bool, error) {
+	pid := t.root
+	for {
+		fr, n, err := t.load(pid)
+		if err != nil {
+			return nil, false, err
+		}
+		if n.isLeaf() {
+			pos, found := findKey(n.keys, key)
+			var v []byte
+			if found {
+				v = append([]byte(nil), n.vals[pos]...)
+			}
+			fr.Unpin()
+			return v, found, nil
+		}
+		pos, _ := findKey(n.keys, key)
+		if pos < len(n.keys) && bytes.Equal(n.keys[pos], key) {
+			pos++
+		}
+		pid = n.children[pos]
+		fr.Unpin()
+	}
+}
+
+// Delete removes the entry under key, reporting whether one existed.
+func (t *Tree) Delete(key []byte) (bool, error) {
+	pid := t.root
+	for {
+		fr, n, err := t.load(pid)
+		if err != nil {
+			return false, err
+		}
+		if n.isLeaf() {
+			pos, found := findKey(n.keys, key)
+			if found {
+				n.keys = append(n.keys[:pos], n.keys[pos+1:]...)
+				n.vals = append(n.vals[:pos], n.vals[pos+1:]...)
+				writeNode(fr, n)
+				t.count--
+			}
+			fr.Unpin()
+			return found, nil
+		}
+		pos, _ := findKey(n.keys, key)
+		if pos < len(n.keys) && bytes.Equal(n.keys[pos], key) {
+			pos++
+		}
+		pid = n.children[pos]
+		fr.Unpin()
+	}
+}
+
+// findKey returns the smallest index with keys[i] >= key and whether it
+// is an exact match.
+func findKey(keys [][]byte, key []byte) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(keys) && bytes.Equal(keys[lo], key)
+}
+
+func insertBytes(s [][]byte, i int, v []byte) [][]byte {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func insertPages(s []storage.PageID, i int, v storage.PageID) []storage.PageID {
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}

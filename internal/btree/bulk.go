@@ -1,0 +1,150 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"asr/internal/storage"
+)
+
+// KV is one entry for bulk loading.
+type KV struct {
+	Key, Val []byte
+}
+
+// bulkFillFactor leaves headroom in bulk-built nodes so subsequent
+// incremental inserts do not split immediately.
+const bulkFillFactor = 0.9
+
+// BulkLoad builds a tree bottom-up from entries sorted by strictly
+// increasing key — the standard index-construction path: leaves are
+// packed left to right to the fill factor, then each internal level is
+// derived from the one below. Building an access support relation this
+// way replaces one random insert per tuple with a single sequential
+// pass.
+func BulkLoad(pool *storage.BufferPool, name string, entries []KV) (*Tree, error) {
+	t := &Tree{
+		pool:    pool,
+		name:    name,
+		height:  1,
+		maxKey:  pool.Disk().PageSize() / 4,
+		maxItem: pool.Disk().PageSize() - headerSize - entryOverheadLeaf,
+	}
+	limit := int(float64(pool.Disk().PageSize()) * bulkFillFactor)
+
+	for i, e := range entries {
+		if len(e.Key) == 0 {
+			return nil, fmt.Errorf("btree %s: bulk entry %d: empty key", name, i)
+		}
+		if len(e.Key) > t.maxKey {
+			return nil, fmt.Errorf("btree %s: bulk entry %d: key of %d bytes exceeds limit %d",
+				name, i, len(e.Key), t.maxKey)
+		}
+		if len(e.Key)+len(e.Val)+entryOverheadLeaf > t.maxItem {
+			return nil, fmt.Errorf("btree %s: bulk entry %d: entry exceeds page capacity", name, i)
+		}
+		if i > 0 && bytes.Compare(entries[i-1].Key, e.Key) >= 0 {
+			return nil, fmt.Errorf("btree %s: bulk entries not strictly increasing at %d", name, i)
+		}
+	}
+
+	// Build the leaf level.
+	type builtNode struct {
+		pid      storage.PageID
+		firstKey []byte
+	}
+	var leaves []builtNode
+	writeLeaf := func(n *node, prev *storage.Frame) (*storage.Frame, error) {
+		fr, err := pool.GetNew()
+		if err != nil {
+			return nil, err
+		}
+		if prev != nil {
+			// Link the previous leaf to this one and flush it.
+			pn, err := readNode(prev)
+			if err != nil {
+				fr.Unpin()
+				return nil, err
+			}
+			pn.next = fr.ID()
+			writeNode(prev, pn)
+			prev.Unpin()
+		}
+		writeNode(fr, n)
+		var first []byte
+		if len(n.keys) > 0 {
+			first = append([]byte(nil), n.keys[0]...)
+		}
+		leaves = append(leaves, builtNode{pid: fr.ID(), firstKey: first})
+		return fr, nil
+	}
+
+	var prev *storage.Frame
+	cur := &node{typ: leafNode}
+	for _, e := range entries {
+		add := entryOverheadLeaf + len(e.Key) + len(e.Val)
+		if len(cur.keys) > 0 && cur.size()+add > limit {
+			fr, err := writeLeaf(cur, prev)
+			if err != nil {
+				return nil, err
+			}
+			prev = fr
+			cur = &node{typ: leafNode}
+		}
+		cur.keys = append(cur.keys, append([]byte(nil), e.Key...))
+		cur.vals = append(cur.vals, append([]byte(nil), e.Val...))
+	}
+	if len(cur.keys) > 0 || len(leaves) == 0 {
+		fr, err := writeLeaf(cur, prev)
+		if err != nil {
+			return nil, err
+		}
+		fr.Unpin()
+	} else if prev != nil {
+		prev.Unpin()
+	}
+	t.count = len(entries)
+
+	// Build internal levels until one root remains.
+	level := leaves
+	for len(level) > 1 {
+		var next []builtNode
+		var inner *node
+		var innerFirst []byte
+		flush := func() error {
+			fr, err := pool.GetNew()
+			if err != nil {
+				return err
+			}
+			writeNode(fr, inner)
+			next = append(next, builtNode{pid: fr.ID(), firstKey: innerFirst})
+			fr.Unpin()
+			return nil
+		}
+		for _, child := range level {
+			if inner == nil {
+				inner = &node{typ: internalNode, children: []storage.PageID{child.pid}}
+				innerFirst = child.firstKey
+				continue
+			}
+			add := entryOverheadInternal + len(child.firstKey)
+			if inner.size()+add > limit {
+				if err := flush(); err != nil {
+					return nil, err
+				}
+				inner = &node{typ: internalNode, children: []storage.PageID{child.pid}}
+				innerFirst = child.firstKey
+				continue
+			}
+			inner.keys = append(inner.keys, append([]byte(nil), child.firstKey...))
+			inner.children = append(inner.children, child.pid)
+		}
+		if err := flush(); err != nil {
+			return nil, err
+		}
+		level = next
+		t.height++
+	}
+	t.root = level[0].pid
+	return t, nil
+}

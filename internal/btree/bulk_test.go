@@ -1,0 +1,125 @@
+package btree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"asr/internal/storage"
+)
+
+func bulkPool(pageSize int) *storage.BufferPool {
+	return storage.NewBufferPool(storage.NewDisk(pageSize), 0, storage.LRU)
+}
+
+func sortedEntries(n int) []KV {
+	out := make([]KV, n)
+	for i := range out {
+		out[i] = KV{Key: key(i), Val: key(i * 2)}
+	}
+	return out
+}
+
+func TestBulkLoadEqualsIncrementalBuild(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 100, 5000} {
+		entries := sortedEntries(n)
+		bulk, err := BulkLoad(bulkPool(256), "bulk", entries)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if bulk.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, bulk.Len())
+		}
+		if err := bulk.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		incr, err := New(bulkPool(256), "incr")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			incr.Insert(e.Key, e.Val)
+		}
+		// Same contents in the same order.
+		var got, want [][2][]byte
+		bulk.Scan(func(k, v []byte) bool { got = append(got, [2][]byte{k, v}); return true })
+		incr.Scan(func(k, v []byte) bool { want = append(want, [2][]byte{k, v}); return true })
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: %d vs %d entries", n, len(got), len(want))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i][0], want[i][0]) || !bytes.Equal(got[i][1], want[i][1]) {
+				t.Fatalf("n=%d: entry %d diverges", n, i)
+			}
+		}
+	}
+}
+
+func TestBulkLoadThenMutate(t *testing.T) {
+	entries := sortedEntries(3000)
+	tr, err := BulkLoad(bulkPool(256), "t", entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point lookups.
+	for i := 0; i < 3000; i += 97 {
+		v, ok, err := tr.Get(key(i))
+		if err != nil || !ok || !bytes.Equal(v, key(i*2)) {
+			t.Fatalf("Get(%d) = %v %v %v", i, v, ok, err)
+		}
+	}
+	// Subsequent inserts and deletes keep invariants (fill factor leaves
+	// headroom).
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		k := key(rng.Intn(6000))
+		if rng.Intn(2) == 0 {
+			tr.Insert(k, []byte("new"))
+		} else {
+			tr.Delete(k)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadValidation(t *testing.T) {
+	pool := bulkPool(256)
+	if _, err := BulkLoad(pool, "t", []KV{{Key: nil}}); err == nil {
+		t.Error("empty key accepted")
+	}
+	if _, err := BulkLoad(pool, "t", []KV{{Key: key(2)}, {Key: key(1)}}); err == nil {
+		t.Error("unsorted entries accepted")
+	}
+	if _, err := BulkLoad(pool, "t", []KV{{Key: key(1)}, {Key: key(1)}}); err == nil {
+		t.Error("duplicate keys accepted")
+	}
+	if _, err := BulkLoad(pool, "t", []KV{{Key: bytes.Repeat([]byte{1}, 100)}}); err == nil {
+		t.Error("oversized key accepted")
+	}
+}
+
+func TestBulkLoadPageEfficiency(t *testing.T) {
+	entries := sortedEntries(20000)
+	bulkP := bulkPool(storage.DefaultPageSize)
+	bulk, err := BulkLoad(bulkP, "bulk", entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incrP := bulkPool(storage.DefaultPageSize)
+	incr, _ := New(incrP, "incr")
+	for _, e := range entries {
+		incr.Insert(e.Key, e.Val)
+	}
+	bs, _ := bulk.ComputeStats()
+	is, _ := incr.ComputeStats()
+	if bs.LeafPages > is.LeafPages {
+		t.Errorf("bulk used %d leaf pages, incremental %d — bulk should pack tighter", bs.LeafPages, is.LeafPages)
+	}
+	// Bulk loading must also write far fewer pages overall.
+	if bulkP.Stats().LogicalAccesses >= incrP.Stats().LogicalAccesses {
+		t.Errorf("bulk logical accesses %d not below incremental %d",
+			bulkP.Stats().LogicalAccesses, incrP.Stats().LogicalAccesses)
+	}
+}

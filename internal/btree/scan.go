@@ -1,0 +1,270 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"asr/internal/storage"
+)
+
+// Visit is called with each entry during a scan; returning false stops
+// the scan. Key and value slices are copies owned by the callee.
+type Visit func(key, val []byte) bool
+
+// Scan iterates all entries in key order.
+func (t *Tree) Scan(fn Visit) error {
+	return t.scanFrom(nil, func(k, v []byte) bool { return fn(k, v) })
+}
+
+// ScanRange iterates entries with lo ≤ key < hi (nil lo means from the
+// start; nil hi means to the end).
+func (t *Tree) ScanRange(lo, hi []byte, fn Visit) error {
+	return t.scanFrom(lo, func(k, v []byte) bool {
+		if hi != nil && bytes.Compare(k, hi) >= 0 {
+			return false
+		}
+		return fn(k, v)
+	})
+}
+
+// ScanPrefix iterates entries whose key starts with prefix — the
+// partition lookup used to fetch all (partial) paths originating in a
+// given OID (§5.2).
+func (t *Tree) ScanPrefix(prefix []byte, fn Visit) error {
+	return t.scanFrom(prefix, func(k, v []byte) bool {
+		if !bytes.HasPrefix(k, prefix) {
+			return false
+		}
+		return fn(k, v)
+	})
+}
+
+// scanFrom walks leaves left to right starting at the first key ≥ start.
+func (t *Tree) scanFrom(start []byte, fn Visit) error {
+	pid := t.root
+	// Descend to the leaf that would contain start.
+	for {
+		fr, n, err := t.load(pid)
+		if err != nil {
+			return err
+		}
+		if n.isLeaf() {
+			fr.Unpin()
+			break
+		}
+		pos := 0
+		if start != nil {
+			pos, _ = findKey(n.keys, start)
+			if pos < len(n.keys) && bytes.Equal(n.keys[pos], start) {
+				pos++
+			}
+		}
+		next := n.children[pos]
+		fr.Unpin()
+		pid = next
+	}
+	for !pid.IsNil() {
+		fr, n, err := t.load(pid)
+		if err != nil {
+			return err
+		}
+		for i, k := range n.keys {
+			if start != nil && bytes.Compare(k, start) < 0 {
+				continue
+			}
+			if !fn(append([]byte(nil), k...), append([]byte(nil), n.vals[i]...)) {
+				fr.Unpin()
+				return nil
+			}
+		}
+		pid = n.next
+		fr.Unpin()
+	}
+	return nil
+}
+
+// CountPrefix returns the number of entries whose key starts with prefix.
+func (t *Tree) CountPrefix(prefix []byte) (int, error) {
+	n := 0
+	err := t.ScanPrefix(prefix, func(k, v []byte) bool { n++; return true })
+	return n, err
+}
+
+// Stats summarizes the tree's physical shape, matching the cost-model
+// quantities: Height-1 is the paper's ht (levels above the leaves),
+// InnerPages the paper's pg, LeafPages the data page count ap.
+type Stats struct {
+	Height     int
+	InnerPages int
+	LeafPages  int
+	Entries    int
+	UsedBytes  int
+}
+
+// ComputeStats walks the tree and returns its physical shape. The walk
+// itself performs page accesses; call it outside measured sections.
+func (t *Tree) ComputeStats() (Stats, error) {
+	st := Stats{Height: t.height, Entries: t.count}
+	var walk func(pid storage.PageID) error
+	walk = func(pid storage.PageID) error {
+		fr, n, err := t.load(pid)
+		if err != nil {
+			return err
+		}
+		defer fr.Unpin()
+		st.UsedBytes += n.size()
+		if n.isLeaf() {
+			st.LeafPages++
+			return nil
+		}
+		st.InnerPages++
+		for _, c := range n.children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root); err != nil {
+		return Stats{}, err
+	}
+	return st, nil
+}
+
+// Drop releases every page of the tree back to the disk and leaves the
+// tree unusable — the reclamation step of DROP INDEX. Pages resident in
+// the buffer pool are discarded without write-back.
+func (t *Tree) Drop() error {
+	if t.root.IsNil() {
+		return nil
+	}
+	var pages []storage.PageID
+	var walk func(pid storage.PageID) error
+	walk = func(pid storage.PageID) error {
+		fr, n, err := t.load(pid)
+		if err != nil {
+			return err
+		}
+		pages = append(pages, pid)
+		children := append([]storage.PageID(nil), n.children...)
+		fr.Unpin()
+		if n.isLeaf() {
+			return nil
+		}
+		for _, c := range children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root); err != nil {
+		return err
+	}
+	for _, pid := range pages {
+		if err := t.pool.Discard(pid); err != nil {
+			return err
+		}
+		if err := t.pool.Disk().Free(pid); err != nil {
+			return err
+		}
+	}
+	t.root = storage.NilPage
+	t.count = 0
+	t.height = 0
+	return nil
+}
+
+// CheckInvariants validates the structural invariants: key ordering
+// within and across nodes, separator consistency, uniform leaf depth,
+// and the leaf chain covering exactly the keys in order. Intended for
+// tests.
+func (t *Tree) CheckInvariants() error {
+	type bound struct{ lo, hi []byte } // lo ≤ keys < hi (nil = unbounded)
+	leafDepth := -1
+	var leaves []storage.PageID
+	var walk func(pid storage.PageID, depth int, b bound) error
+	walk = func(pid storage.PageID, depth int, b bound) error {
+		fr, n, err := t.load(pid)
+		if err != nil {
+			return err
+		}
+		defer fr.Unpin()
+		for i := 1; i < len(n.keys); i++ {
+			if bytes.Compare(n.keys[i-1], n.keys[i]) >= 0 {
+				return fmt.Errorf("btree %s: page %v: keys out of order", t.name, pid)
+			}
+		}
+		for _, k := range n.keys {
+			if b.lo != nil && bytes.Compare(k, b.lo) < 0 {
+				return fmt.Errorf("btree %s: page %v: key below lower bound", t.name, pid)
+			}
+			if b.hi != nil && bytes.Compare(k, b.hi) >= 0 {
+				return fmt.Errorf("btree %s: page %v: key above upper bound", t.name, pid)
+			}
+		}
+		if n.size() > t.pool.Disk().PageSize() {
+			return fmt.Errorf("btree %s: page %v: node overflows page", t.name, pid)
+		}
+		if n.isLeaf() {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return fmt.Errorf("btree %s: leaves at depths %d and %d", t.name, leafDepth, depth)
+			}
+			leaves = append(leaves, pid)
+			return nil
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return fmt.Errorf("btree %s: page %v: %d children for %d keys", t.name, pid, len(n.children), len(n.keys))
+		}
+		for i, c := range n.children {
+			cb := b
+			if i > 0 {
+				cb.lo = n.keys[i-1]
+			}
+			if i < len(n.keys) {
+				cb.hi = n.keys[i]
+			}
+			if err := walk(c, depth+1, cb); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 1, bound{}); err != nil {
+		return err
+	}
+	if leafDepth != t.height {
+		return fmt.Errorf("btree %s: recorded height %d, actual leaf depth %d", t.name, t.height, leafDepth)
+	}
+	// The leaf chain must enumerate the same leaves in the same order.
+	var chain []storage.PageID
+	pid := leaves[0]
+	for !pid.IsNil() {
+		chain = append(chain, pid)
+		fr, n, err := t.load(pid)
+		if err != nil {
+			return err
+		}
+		pid = n.next
+		fr.Unpin()
+	}
+	if len(chain) != len(leaves) {
+		return fmt.Errorf("btree %s: leaf chain has %d leaves, tree has %d", t.name, len(chain), len(leaves))
+	}
+	for i := range chain {
+		if chain[i] != leaves[i] {
+			return fmt.Errorf("btree %s: leaf chain order diverges at %d", t.name, i)
+		}
+	}
+	// Entry count must match.
+	n := 0
+	if err := t.Scan(func(k, v []byte) bool { n++; return true }); err != nil {
+		return err
+	}
+	if n != t.count {
+		return fmt.Errorf("btree %s: scan found %d entries, count says %d", t.name, n, t.count)
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// Boundary robustness: the shortest possible paths (n = 1), empty
+// levels (d_i = 0), and extreme parameters must never panic or produce
+// NaN/Inf anywhere in the model.
+
+func allFinite(t *testing.T, label string, vals ...float64) {
+	t.Helper()
+	for i, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s[%d] = %g", label, i, v)
+		}
+		if v < 0 {
+			t.Errorf("%s[%d] = %g negative", label, i, v)
+		}
+	}
+}
+
+func sweepModel(t *testing.T, m *Model) {
+	t.Helper()
+	n := m.N
+	for _, x := range Extensions {
+		for _, dec := range EnumerateDecompositions(n) {
+			for i := 0; i < n; i++ {
+				for j := i + 1; j <= n; j++ {
+					allFinite(t, "query",
+						m.Q(x, Forward, i, j, dec),
+						m.Q(x, Backward, i, j, dec),
+						m.QsupForward(x, i, j, dec),
+						m.QsupBackward(x, i, j, dec))
+				}
+			}
+			for i := 0; i < n; i++ {
+				allFinite(t, "update",
+					m.SearchCost(x, i, dec),
+					m.Aup(x, i, dec),
+					m.UpdateCost(x, i, dec))
+			}
+			allFinite(t, "storage",
+				m.StorageSize(x, dec),
+				m.StoragePages(x, dec))
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j <= n; j++ {
+				allFinite(t, "card", m.Cardinality(x, i, j), m.Nlp(x, i, j), m.Rnlp(x, i, j),
+					m.Ht(x, i, j), m.Pg(x, i, j))
+			}
+		}
+	}
+	for i := 0; i <= n; i++ {
+		for j := i; j <= n; j++ {
+			allFinite(t, "refby", m.RefBy(i, j), m.Ref(i, j), m.PRefBy(i, j), m.PRef(i, j),
+				m.RefByK(i, j, 1), m.RefK(i, j, 1))
+		}
+	}
+}
+
+func TestSingleStepPath(t *testing.T) {
+	m, err := New(DefaultSystem(), Profile{
+		N:    1,
+		C:    []float64{100, 200},
+		D:    []float64{80},
+		Fan:  []float64{3},
+		Size: []float64{120, 120},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweepModel(t, m)
+	// n=1: the binary decomposition IS the no-decomposition.
+	if got := len(EnumerateDecompositions(1)); got != 1 {
+		t.Errorf("n=1 decompositions = %d", got)
+	}
+	// A whole-path query is supported by every extension.
+	for _, x := range Extensions {
+		if !Supported(x, 1, 0, 1) {
+			t.Errorf("%v should support Q_{0,1}", x)
+		}
+	}
+	// Canonical cardinality = ref_0.
+	if got := m.Cardinality(Canonical, 0, 1); got != 240 {
+		t.Errorf("#E_can = %g, want d_0·fan_0 = 240", got)
+	}
+	// Mix with n=1 update.
+	mx := Mix{
+		Queries: []WeightedQuery{{1, Backward, 0, 1}},
+		Updates: []WeightedUpdate{{1, 0}},
+		PUp:     0.5,
+	}
+	allFinite(t, "mix", m.MixCost(Full, NoDecomposition(1), mx), m.MixCostNoSupport(mx))
+}
+
+func TestEmptyMiddleLevel(t *testing.T) {
+	// d_1 = 0: no paths cross level 1; everything downstream is 0-ish
+	// but finite.
+	m, err := New(DefaultSystem(), Profile{
+		N:    3,
+		C:    []float64{100, 100, 100, 100},
+		D:    []float64{50, 0, 50},
+		Fan:  []float64{2, 2, 2},
+		Size: []float64{100, 100, 100, 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweepModel(t, m)
+	if can := m.Cardinality(Canonical, 0, 3); can != 0 {
+		t.Errorf("#E_can = %g with a dead middle level", can)
+	}
+	if full := m.Cardinality(Full, 0, 3); full <= 0 {
+		t.Errorf("#E_full = %g, partial paths should survive", full)
+	}
+}
+
+func TestExtremeFanAndTinyPopulations(t *testing.T) {
+	m, err := New(DefaultSystem(), Profile{
+		N:    2,
+		C:    []float64{1, 1, 1},
+		D:    []float64{1, 1},
+		Fan:  []float64{1000, 1000}, // fan exceeds populations: probabilities must clamp
+		Size: []float64{5000, 5000, 5000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweepModel(t, m)
+	for i := 0; i <= 2; i++ {
+		for j := i; j <= 2; j++ {
+			if p := m.PRefBy(i, j); p < 0 || p > 1 {
+				t.Errorf("PRefBy(%d,%d) = %g out of [0,1]", i, j, p)
+			}
+			if p := m.PRef(i, j); p < 0 || p > 1 {
+				t.Errorf("PRef(%d,%d) = %g out of [0,1]", i, j, p)
+			}
+		}
+	}
+	// Objects bigger than a page: opp = 0 pages, op = 0 — tolerated (no
+	// object pages modeled), queries still finite.
+	if m.Opp(0) != 0 || m.Op(0) != 0 {
+		t.Errorf("oversized objects: opp=%g op=%g", m.Opp(0), m.Op(0))
+	}
+}
+
+func TestMissingSizesOnlyBlockNoSupportCosts(t *testing.T) {
+	// Without Size the supported-query machinery must still work (the
+	// paper's §4.4 storage experiments do not need sizes).
+	m, err := New(DefaultSystem(), Profile{
+		N:   2,
+		C:   []float64{10, 10, 10},
+		D:   []float64{5, 5},
+		Fan: []float64{2, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allFinite(t, "cards",
+		m.Cardinality(Full, 0, 2),
+		m.QsupBackward(Full, 0, 2, NoDecomposition(2)))
+	// Qnas degenerates to op sums of 0 — finite, documented behaviour.
+	allFinite(t, "qnas", m.QnasBackward(0, 2), m.QnasForward(0, 2))
+}
+
+func TestLongPath(t *testing.T) {
+	// n = 8 exercises deep recursions and the 2^(n-1) = 128 decomposition
+	// enumeration.
+	c := make([]float64, 9)
+	d := make([]float64, 8)
+	fan := make([]float64, 8)
+	size := make([]float64, 9)
+	for i := range c {
+		c[i] = 1000
+		size[i] = 200
+	}
+	for i := range d {
+		d[i] = 800
+		fan[i] = 2
+	}
+	m, err := New(DefaultSystem(), Profile{N: 8, C: c, D: d, Fan: fan, Size: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(EnumerateDecompositions(8)); got != 128 {
+		t.Fatalf("decompositions = %d", got)
+	}
+	mx := Mix{
+		Queries: []WeightedQuery{{0.5, Backward, 0, 8}, {0.5, Forward, 2, 6}},
+		Updates: []WeightedUpdate{{1, 4}},
+		PUp:     0.3,
+	}
+	ranked, noSup, err := m.Advise(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 4*128 {
+		t.Fatalf("ranked = %d", len(ranked))
+	}
+	allFinite(t, "advise", ranked[0].MixCost, noSup)
+}

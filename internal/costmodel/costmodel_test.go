@@ -1,0 +1,530 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// tinyProfile is a hand-checkable n=2 profile:
+//
+//	c = (10, 20, 40), d = (8, 10), fan = (2, 3), sizes 100.
+//
+// Derived by hand (default sharing floors at 1):
+//
+//	shar_0 = max(1, 8·2/20)  = 1    shar_1 = max(1, 10·3/40) = 1
+//	e_1    = 16/1 = 16              e_2    = 30/1 = 30
+//	P_A    = (0.8, 0.5)             P_H = (·, 0.8, 0.75)
+//	ref    = (16, 30)
+func tinyModel(t testing.TB) *Model {
+	t.Helper()
+	m, err := New(DefaultSystem(), Profile{
+		N:    2,
+		C:    []float64{10, 20, 40},
+		D:    []float64{8, 10},
+		Fan:  []float64{2, 3},
+		Size: []float64{100, 100, 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g (±%g)", name, got, want, tol)
+	}
+}
+
+func TestDerivedQuantities(t *testing.T) {
+	m := tinyModel(t)
+	approx(t, "shar_0", m.Shar[0], 1, 1e-12)
+	approx(t, "shar_1", m.Shar[1], 1, 1e-12)
+	approx(t, "e_1", m.E[1], 16, 1e-12)
+	approx(t, "e_2", m.E[2], 30, 1e-12)
+	approx(t, "P_A_0", m.PA[0], 0.8, 1e-12)
+	approx(t, "P_A_1", m.PA[1], 0.5, 1e-12)
+	approx(t, "P_H_1", m.PH[1], 0.8, 1e-12)
+	approx(t, "ref_0", m.RefCnt[0], 16, 1e-12)
+	approx(t, "ref_1", m.RefCnt[1], 30, 1e-12)
+	approx(t, "spread_0", m.Spread[0], 8.0/16, 1e-12)
+	if len(m.Warnings) != 0 {
+		t.Errorf("unexpected warnings: %v", m.Warnings)
+	}
+}
+
+func TestProfileValidationAndClamping(t *testing.T) {
+	if _, err := New(DefaultSystem(), Profile{N: 0}); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := New(DefaultSystem(), Profile{N: 2, C: []float64{1, 1}, D: []float64{1, 1}, Fan: []float64{1, 1}}); err == nil {
+		t.Error("short C accepted")
+	}
+	// The paper's own §5.9.1 slip: d_2 > c_2 must clamp with a warning.
+	m, err := New(DefaultSystem(), Profile{
+		N:   4,
+		C:   []float64{100, 500, 1000, 5000, 10000},
+		D:   []float64{90, 400, 8000, 2000},
+		Fan: []float64{2, 2, 3, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.D[2] != 1000 {
+		t.Errorf("d_2 = %g, want clamped to 1000", m.D[2])
+	}
+	if len(m.Warnings) == 0 {
+		t.Error("expected a clamp warning")
+	}
+}
+
+func TestRefByAndRefBasics(t *testing.T) {
+	m := tinyModel(t)
+	// Single step: RefBy(0,1) = e_1, Ref(0,1) = d_0, boundaries = c.
+	approx(t, "RefBy(0,1)", m.RefBy(0, 1), 16, 1e-9)
+	approx(t, "Ref(0,1)", m.Ref(0, 1), 8, 1e-9)
+	approx(t, "RefBy(0,0)", m.RefBy(0, 0), 10, 1e-9)
+	approx(t, "PRefBy(1,1)", m.PRefBy(1, 1), 1, 1e-12)
+	approx(t, "PRef(2,2)", m.PRef(2, 2), 1, 1e-12)
+	// RefBy(0,2): e_2·(1−(1−fan_1/e_2)^{RefBy(0,1)·P_A_1})
+	//           = 30·(1−(1−3/30)^{16·0.5}) = 30·(1−0.9^8).
+	want := 30 * (1 - math.Pow(0.9, 8))
+	approx(t, "RefBy(0,2)", m.RefBy(0, 2), want, 1e-9)
+	// Bounds: counts never exceed populations.
+	for i := 0; i < 2; i++ {
+		for j := i + 1; j <= 2; j++ {
+			if rb := m.RefBy(i, j); rb < 0 || rb > m.C[j] {
+				t.Errorf("RefBy(%d,%d) = %g out of [0,c_%d]", i, j, rb, j)
+			}
+			if r := m.Ref(i, j); r < 0 || r > m.C[i] {
+				t.Errorf("Ref(%d,%d) = %g out of [0,c_%d]", i, j, r, i)
+			}
+		}
+	}
+}
+
+func TestThreeArgBoundaries(t *testing.T) {
+	m := tinyModel(t)
+	approx(t, "RefByK(1,1,1)", m.RefByK(1, 1, 1), 1, 1e-12)
+	approx(t, "RefK(2,2,1)", m.RefK(2, 2, 1), 1, 1e-12)
+	// Monotone in k, saturating at the two-argument value scale.
+	prev := 0.0
+	for k := 1.0; k <= 8; k++ {
+		v := m.RefByK(0, 2, k)
+		if v < prev-1e-9 {
+			t.Errorf("RefByK(0,2,%g) = %g decreased", k, v)
+		}
+		prev = v
+	}
+	if full := m.RefByK(0, 2, m.D[0]*100); full > m.C[2] {
+		t.Errorf("RefByK saturation %g exceeds c_2", full)
+	}
+}
+
+func TestPathCount(t *testing.T) {
+	m := tinyModel(t)
+	// path(0,2) = ref_0 · P_A_1 · fan_1 = 16 · 0.5 · 3 = 24.
+	approx(t, "path(0,2)", m.Path(0, 2), 24, 1e-12)
+	approx(t, "path(0,1)", m.Path(0, 1), 16, 1e-12)
+	approx(t, "path(1,2)", m.Path(1, 2), 30, 1e-12)
+	if m.Path(1, 1) != 0 {
+		t.Error("path(i,i) should be 0")
+	}
+}
+
+func TestCardinalityStructure(t *testing.T) {
+	m := tinyModel(t)
+	// Undecomposed canonical = path(0,n).
+	approx(t, "#E_can(0,2)", m.Cardinality(Canonical, 0, 2), m.Path(0, 2), 1e-9)
+	// Containment: can ≤ left,right ≤ full over the whole span.
+	can := m.Cardinality(Canonical, 0, 2)
+	left := m.Cardinality(LeftComplete, 0, 2)
+	right := m.Cardinality(RightComplete, 0, 2)
+	full := m.Cardinality(Full, 0, 2)
+	if !(can <= left+1e-9 && can <= right+1e-9 && left <= full+1e-9 && right <= full+1e-9) {
+		t.Errorf("containment violated: can=%g left=%g right=%g full=%g", can, left, right, full)
+	}
+	// Degenerate spans.
+	if m.Cardinality(Full, 1, 1) != 0 || m.Cardinality(Full, 2, 1) != 0 {
+		t.Error("degenerate spans must have zero cardinality")
+	}
+}
+
+func TestAllDefinedExtensionsConverge(t *testing.T) {
+	// Figure 5's observation: as d_i → c_i, all extensions approach the
+	// same size, because every path is then complete.
+	m, err := New(DefaultSystem(), Profile{
+		N:   4,
+		C:   []float64{10000, 10000, 10000, 10000, 10000},
+		D:   []float64{10000, 10000, 10000, 10000},
+		Fan: []float64{2, 2, 2, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	can := m.Cardinality(Canonical, 0, 4)
+	for _, x := range []Extension{Full, LeftComplete, RightComplete} {
+		if rel := m.Cardinality(x, 0, 4) / can; math.Abs(rel-1) > 0.01 {
+			t.Errorf("%v/can = %g, want ≈ 1 when everything is defined", x, rel)
+		}
+	}
+}
+
+func TestStorageFormulas(t *testing.T) {
+	m := tinyModel(t)
+	approx(t, "ats(0,2)", m.Ats(0, 2), 24, 1e-12)
+	approx(t, "atpp(0,2)", m.Atpp(0, 2), math.Floor(4056.0/24), 1e-12)
+	card := m.Cardinality(Full, 0, 2)
+	approx(t, "as", m.As(Full, 0, 2), card*24, 1e-9)
+	if ap := m.Ap(Full, 0, 2); ap != math.Ceil(card/169) {
+		t.Errorf("ap = %g", ap)
+	}
+	// Binary decomposition stores boundary columns twice but narrower
+	// tuples; for this profile it must be smaller than no decomposition
+	// (the Figure 4 observation).
+	no := m.StorageSize(Full, NoDecomposition(2))
+	bin := m.StorageSize(Full, BinaryDecomposition(2))
+	if bin >= no {
+		t.Errorf("binary %g not smaller than no-dec %g", bin, no)
+	}
+}
+
+func TestYaoProperties(t *testing.T) {
+	if Yao(0, 10, 100) != 0 {
+		t.Error("y(0,·,·) != 0")
+	}
+	if Yao(100, 10, 100) != 10 {
+		t.Error("y(n,m,n) != m")
+	}
+	if Yao(1, 10, 100) != 1 {
+		t.Error("y(1,m,n) != 1 for uniform pages")
+	}
+	if Yao(5, 0, 0) != 0 {
+		t.Error("y with m=0 != 0")
+	}
+	f := func(k, m, n uint8) bool {
+		kk, mm, nn := float64(k%100), float64(m%20)+1, float64(n%200)+1
+		y := Yao(kk, mm, nn)
+		return y >= 0 && y <= mm && y <= math.Ceil(kk)+1e-9*0+mm // y ≤ m always
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Monotone in k.
+	prev := 0.0
+	for k := 0.0; k <= 50; k++ {
+		y := Yao(k, 7, 50)
+		if y < prev {
+			t.Errorf("Yao not monotone at k=%g", k)
+		}
+		prev = y
+	}
+}
+
+func TestBTreeQuantities(t *testing.T) {
+	m := tinyModel(t)
+	if fan := m.Sys.BTreeFan(); fan != 338 {
+		t.Errorf("B+fan = %g, want 338", fan)
+	}
+	for _, x := range Extensions {
+		ht := m.Ht(x, 0, 2)
+		if ht < 1 {
+			t.Errorf("%v: ht = %g < 1", x, ht)
+		}
+		if pg := m.Pg(x, 0, 2); pg < 1 {
+			t.Errorf("%v: pg = %g < 1", x, pg)
+		}
+		if nlp := m.Nlp(x, 0, 2); nlp < 0 {
+			t.Errorf("%v: nlp = %g < 0", x, nlp)
+		}
+		if r := m.Rnlp(x, 0, 2); r < 0 {
+			t.Errorf("%v: Rnlp = %g < 0", x, r)
+		}
+	}
+	// A big relation needs a taller tree.
+	big, _ := New(DefaultSystem(), Profile{
+		N:    2,
+		C:    []float64{1e6, 1e6, 1e6},
+		D:    []float64{1e6, 1e6},
+		Fan:  []float64{3, 3},
+		Size: []float64{100, 100, 100},
+	})
+	if big.Ht(Full, 0, 2) < 2 {
+		t.Errorf("ht = %g for a %g-tuple relation", big.Ht(Full, 0, 2), big.Cardinality(Full, 0, 2))
+	}
+}
+
+func TestQnasShape(t *testing.T) {
+	m := tinyModel(t)
+	fw := m.QnasForward(0, 2)
+	bw := m.QnasBackward(0, 2)
+	if fw < 1 {
+		t.Errorf("Qnas fw = %g < 1", fw)
+	}
+	// Backward exhaustive search costs at least all t_0 pages.
+	if bw < m.Op(0) {
+		t.Errorf("Qnas bw = %g < op_0 = %g", bw, m.Op(0))
+	}
+	if m.QnasForward(1, 1) != 0 || m.QnasBackward(2, 2) != 0 {
+		t.Error("degenerate spans must cost 0")
+	}
+	// Longer spans cost at least as much.
+	if m.QnasForward(0, 1) > fw {
+		t.Error("Qnas fw not monotone in span")
+	}
+}
+
+func TestSupportedRules(t *testing.T) {
+	cases := []struct {
+		x       Extension
+		i, j    int
+		support bool
+	}{
+		{Canonical, 0, 4, true}, {Canonical, 0, 3, false}, {Canonical, 1, 4, false},
+		{Full, 1, 3, true},
+		{LeftComplete, 0, 2, true}, {LeftComplete, 1, 4, false},
+		{RightComplete, 2, 4, true}, {RightComplete, 0, 3, false},
+	}
+	for _, c := range cases {
+		if got := Supported(c.x, 4, c.i, c.j); got != c.support {
+			t.Errorf("Supported(%v,4,%d,%d) = %v", c.x, c.i, c.j, got)
+		}
+	}
+}
+
+func TestQGeneralFallsBack(t *testing.T) {
+	m := tinyModel(t)
+	dec := BinaryDecomposition(2)
+	// Canonical on a partial span = non-supported cost.
+	if got, want := m.Q(Canonical, Backward, 0, 1, dec), m.QnasBackward(0, 1); got != want {
+		t.Errorf("Q can partial = %g, want Qnas %g", got, want)
+	}
+	// Full on the same span uses the supported evaluation.
+	if got, want := m.Q(Full, Backward, 0, 1, dec), m.QsupBackward(Full, 0, 1, dec); got != want {
+		t.Errorf("Q full = %g, want Qsup %g", got, want)
+	}
+}
+
+func TestSupportedQueryBeatsExhaustiveSearch(t *testing.T) {
+	// On the paper's §5.9.1-style profile, a supported backward query
+	// over the full path must be far cheaper than the exhaustive search.
+	m, err := New(DefaultSystem(), Profile{
+		N:    4,
+		C:    []float64{100, 500, 1000, 5000, 10000},
+		D:    []float64{90, 400, 800, 2000},
+		Fan:  []float64{2, 2, 3, 4},
+		Size: []float64{500, 400, 300, 300, 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noSup := m.QnasBackward(0, 4)
+	for _, x := range Extensions {
+		sup := m.Q(x, Backward, 0, 4, BinaryDecomposition(4))
+		if sup >= noSup {
+			t.Errorf("%v: supported bw cost %g not below no-support %g", x, sup, noSup)
+		}
+	}
+	// Non-decomposed is at most as expensive as binary decomposed for
+	// whole-path queries (§5.9.1's observation).
+	for _, x := range Extensions {
+		noDec := m.Q(x, Backward, 0, 4, NoDecomposition(4))
+		bin := m.Q(x, Backward, 0, 4, BinaryDecomposition(4))
+		if noDec > bin+1e-9 {
+			t.Errorf("%v: no-dec %g > binary %g for whole-path query", x, noDec, bin)
+		}
+	}
+}
+
+func TestObjectSizeAffectsOnlyUnsupportedQueries(t *testing.T) {
+	// Figure 7: supported query costs are flat in object size.
+	base := Profile{
+		N:   4,
+		C:   []float64{100, 500, 1000, 5000, 10000},
+		D:   []float64{90, 400, 800, 2000},
+		Fan: []float64{2, 2, 3, 4},
+	}
+	var supFirst, nosupFirst float64
+	for idx, size := range []float64{100, 400, 800} {
+		p := base
+		p.Size = []float64{size, size, size, size, size}
+		m, err := New(DefaultSystem(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sup := m.Q(Full, Backward, 0, 4, BinaryDecomposition(4))
+		nosup := m.QnasBackward(0, 4)
+		if idx == 0 {
+			supFirst, nosupFirst = sup, nosup
+			continue
+		}
+		if sup != supFirst {
+			t.Errorf("supported cost moved with object size: %g vs %g", sup, supFirst)
+		}
+		if nosup <= nosupFirst {
+			t.Errorf("unsupported cost did not grow with object size: %g vs %g", nosup, nosupFirst)
+		}
+	}
+}
+
+func TestUpdateCostsPositiveAndStructured(t *testing.T) {
+	m, err := New(DefaultSystem(), Profile{
+		N:    4,
+		C:    []float64{1000, 5000, 10000, 50000, 100000},
+		D:    []float64{900, 4000, 8000, 20000},
+		Fan:  []float64{2, 2, 3, 4},
+		Size: []float64{500, 400, 300, 300, 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range Extensions {
+		for i := 0; i < 4; i++ {
+			for _, dec := range []Decomposition{NoDecomposition(4), BinaryDecomposition(4)} {
+				u := m.UpdateCost(x, i, dec)
+				if u < ObjectUpdateCost || math.IsNaN(u) || math.IsInf(u, 0) {
+					t.Errorf("%v ins_%d %v: update cost %g", x, i, dec, u)
+				}
+			}
+		}
+	}
+	// §6.3.1: for ins_3 (right end) under binary decomposition, the
+	// left-complete extension is much cheaper than the right-complete.
+	left := m.UpdateCost(LeftComplete, 3, BinaryDecomposition(4))
+	right := m.UpdateCost(RightComplete, 3, BinaryDecomposition(4))
+	if left >= right {
+		t.Errorf("ins_3: left %g not below right %g", left, right)
+	}
+	// And the mirror claim: for ins_0 the right-complete is drastically
+	// better than for ins_3.
+	right0 := m.UpdateCost(RightComplete, 0, BinaryDecomposition(4))
+	if right0 >= right {
+		t.Errorf("right-complete: ins_0 %g not below ins_3 %g", right0, right)
+	}
+}
+
+func TestMixValidationAndCost(t *testing.T) {
+	m := tinyModel(t)
+	mx := Mix{
+		Queries: []WeightedQuery{{0.5, Backward, 0, 2}, {0.5, Forward, 0, 1}},
+		Updates: []WeightedUpdate{{1, 1}},
+		PUp:     0.25,
+	}
+	if err := mx.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := mx
+	bad.Queries = []WeightedQuery{{0.4, Backward, 0, 2}}
+	if err := bad.Validate(); err == nil {
+		t.Error("unnormalized weights accepted")
+	}
+	bad2 := mx.WithPUp(1.5)
+	if err := bad2.Validate(); err == nil {
+		t.Error("P_up > 1 accepted")
+	}
+	// Cost interpolates between pure-query and pure-update.
+	q := m.MixCost(Full, BinaryDecomposition(2), mx.WithPUp(0))
+	u := m.MixCost(Full, BinaryDecomposition(2), mx.WithPUp(1))
+	mid := m.MixCost(Full, BinaryDecomposition(2), mx.WithPUp(0.5))
+	approx(t, "mix midpoint", mid, (q+u)/2, 1e-9)
+}
+
+func TestAdvise(t *testing.T) {
+	m, err := New(DefaultSystem(), Profile{
+		N:    4,
+		C:    []float64{1000, 5000, 10000, 50000, 100000},
+		D:    []float64{900, 4000, 8000, 20000},
+		Fan:  []float64{2, 2, 3, 4},
+		Size: []float64{500, 400, 300, 300, 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx := Mix{
+		Queries: []WeightedQuery{{0.5, Backward, 0, 4}, {0.25, Backward, 0, 3}, {0.25, Forward, 1, 2}},
+		Updates: []WeightedUpdate{{0.5, 2}, {0.5, 3}},
+		PUp:     0.1,
+	}
+	ranked, noSup, err := m.Advise(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 4*8 { // 4 extensions × 2^(n-1) decompositions
+		t.Fatalf("ranked %d designs, want 32", len(ranked))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].MixCost < ranked[i-1].MixCost {
+			t.Fatal("ranking not sorted")
+		}
+	}
+	// At a low update probability, the best design beats no support.
+	if ranked[0].MixCost >= noSup {
+		t.Errorf("best design %v cost %g not below no-support %g",
+			ranked[0].Design, ranked[0].MixCost, noSup)
+	}
+	if s := FormatRanking(ranked, 5); len(s) == 0 {
+		t.Error("empty ranking table")
+	}
+}
+
+func TestBreakEvenPUp(t *testing.T) {
+	m, err := New(DefaultSystem(), Profile{
+		N:    4,
+		C:    []float64{1000, 5000, 10000, 50000, 100000},
+		D:    []float64{900, 4000, 8000, 20000},
+		Fan:  []float64{2, 2, 3, 4},
+		Size: []float64{500, 400, 300, 300, 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 14's setup: left vs full under binary decomposition, mixed
+	// workload. The paper reports a break-even near P_up ≈ 0.3.
+	mx := Mix{
+		Queries: []WeightedQuery{{0.5, Backward, 0, 4}, {0.25, Backward, 0, 3}, {0.25, Forward, 1, 2}},
+		Updates: []WeightedUpdate{{0.5, 2}, {0.5, 3}},
+	}
+	a := Design{LeftComplete, BinaryDecomposition(4)}
+	b := Design{Full, BinaryDecomposition(4)}
+	p, ok := m.BreakEvenPUp(a, b, mx, 1e-4)
+	if !ok {
+		t.Fatal("no break-even found between left and full")
+	}
+	if p <= 0.02 || p >= 0.95 {
+		t.Errorf("break-even P_up = %g, expected an interior crossover", p)
+	}
+	t.Logf("left/full break-even at P_up = %.3f (paper: ≈ 0.3)", p)
+}
+
+func TestCardinalityQuickProperties(t *testing.T) {
+	// Random profiles: cardinalities are finite, non-negative, and the
+	// whole-span containment holds.
+	f := func(c0, c1, c2 uint16, d0, d1 uint16, f0, f1 uint8) bool {
+		p := Profile{
+			N:   2,
+			C:   []float64{float64(c0%5000) + 1, float64(c1%5000) + 1, float64(c2%5000) + 1},
+			D:   []float64{float64(d0), float64(d1)},
+			Fan: []float64{float64(f0%16) + 1, float64(f1%16) + 1},
+		}
+		m, err := New(DefaultSystem(), p)
+		if err != nil {
+			return false
+		}
+		can := m.Cardinality(Canonical, 0, 2)
+		left := m.Cardinality(LeftComplete, 0, 2)
+		right := m.Cardinality(RightComplete, 0, 2)
+		full := m.Cardinality(Full, 0, 2)
+		for _, v := range []float64{can, left, right, full} {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		const eps = 1e-6
+		return can <= left+eps && can <= right+eps && left <= full+eps && right <= full+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,48 @@
+package costmodel_test
+
+import (
+	"fmt"
+	"log"
+
+	"asr/internal/costmodel"
+)
+
+// Example evaluates the paper's §6.4.2 engineering profile: it compares
+// the exhaustive backward search against a supported query and asks the
+// advisor for the best design at a 20% update probability.
+func Example() {
+	model, err := costmodel.New(costmodel.DefaultSystem(), costmodel.Profile{
+		N:    4,
+		C:    []float64{1000, 5000, 10000, 50000, 100000},
+		D:    []float64{900, 4000, 8000, 20000},
+		Fan:  []float64{2, 2, 3, 4},
+		Size: []float64{500, 400, 300, 300, 100},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	noSupport := model.QnasBackward(0, 4)
+	supported := model.Q(costmodel.Full, costmodel.Backward, 0, 4,
+		costmodel.BinaryDecomposition(4))
+	fmt.Printf("Q0,4(bw): %.0f pages without support, %.0f with a full ASR\n",
+		noSupport, supported)
+
+	mix := costmodel.Mix{
+		Queries: []costmodel.WeightedQuery{
+			{W: 0.5, Kind: costmodel.Backward, I: 0, J: 4},
+			{W: 0.25, Kind: costmodel.Backward, I: 0, J: 3},
+			{W: 0.25, Kind: costmodel.Forward, I: 1, J: 2},
+		},
+		Updates: []costmodel.WeightedUpdate{{W: 0.5, I: 2}, {W: 0.5, I: 3}},
+		PUp:     0.2,
+	}
+	ranked, _, err := model.Advise(mix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("best design:", ranked[0].Design)
+	// Output:
+	// Q0,4(bw): 3676 pages without support, 8 with a full ASR
+	// best design: left (0, 3, 4)
+}

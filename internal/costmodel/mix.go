@@ -1,0 +1,175 @@
+package costmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Operation mixes (§6.4.1): M = (Q_mix, U_mix, P_up).
+
+// WeightedQuery is one (w, Q_{i,j}(kind)) entry of Q_mix.
+type WeightedQuery struct {
+	W    float64
+	Kind QueryKind
+	I, J int
+}
+
+// WeightedUpdate is one (w, ins_i) entry of U_mix.
+type WeightedUpdate struct {
+	W float64
+	I int
+}
+
+// Mix is an operation mix: weighted queries, weighted updates, and the
+// update probability P_up.
+type Mix struct {
+	Queries []WeightedQuery
+	Updates []WeightedUpdate
+	PUp     float64
+}
+
+// Validate checks that both weight vectors sum to 1 (within tolerance)
+// and P_up ∈ [0,1].
+func (mx Mix) Validate() error {
+	sum := 0.0
+	for _, q := range mx.Queries {
+		sum += q.W
+	}
+	if len(mx.Queries) > 0 && math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("costmodel: query weights sum to %g, want 1", sum)
+	}
+	sum = 0
+	for _, u := range mx.Updates {
+		sum += u.W
+	}
+	if len(mx.Updates) > 0 && math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("costmodel: update weights sum to %g, want 1", sum)
+	}
+	if mx.PUp < 0 || mx.PUp > 1 {
+		return fmt.Errorf("costmodel: P_up = %g out of [0,1]", mx.PUp)
+	}
+	return nil
+}
+
+// WithPUp returns a copy of the mix with a different update probability
+// — convenient for the P_up sweeps of Figures 14–17.
+func (mx Mix) WithPUp(p float64) Mix {
+	out := mx
+	out.PUp = p
+	return out
+}
+
+// MixCost is the expected page-access cost of one database operation
+// drawn from the mix, against extension x under decomposition dec.
+func (m *Model) MixCost(x Extension, dec Decomposition, mx Mix) float64 {
+	qc := 0.0
+	for _, q := range mx.Queries {
+		qc += q.W * m.Q(x, q.Kind, q.I, q.J, dec)
+	}
+	uc := 0.0
+	for _, u := range mx.Updates {
+		uc += u.W * m.UpdateCost(x, u.I, dec)
+	}
+	return (1-mx.PUp)*qc + mx.PUp*uc
+}
+
+// MixCostNoSupport is the same expectation with no access support
+// relation at all.
+func (m *Model) MixCostNoSupport(mx Mix) float64 {
+	qc := 0.0
+	for _, q := range mx.Queries {
+		qc += q.W * m.Qnas(q.Kind, q.I, q.J)
+	}
+	uc := 0.0
+	for _, u := range mx.Updates {
+		uc += u.W * m.UpdateCostNoSupport(u.I)
+	}
+	return (1-mx.PUp)*qc + mx.PUp*uc
+}
+
+// Design is one physical-design choice: an extension plus a
+// decomposition.
+type Design struct {
+	Ext Extension
+	Dec Decomposition
+}
+
+// String renders e.g. "full (0, 3, 5)".
+func (d Design) String() string { return d.Ext.String() + " " + d.Dec.String() }
+
+// RankedDesign is a design with its evaluated mix cost and storage
+// pages.
+type RankedDesign struct {
+	Design       Design
+	MixCost      float64
+	StoragePages float64
+}
+
+// Advise evaluates every extension × decomposition against the mix and
+// returns the designs cheapest-first — the physical database design
+// procedure the paper's conclusion proposes. The no-support baseline is
+// returned separately.
+func (m *Model) Advise(mx Mix) (ranked []RankedDesign, noSupport float64, err error) {
+	if err := mx.Validate(); err != nil {
+		return nil, 0, err
+	}
+	for _, x := range Extensions {
+		for _, dec := range EnumerateDecompositions(m.N) {
+			ranked = append(ranked, RankedDesign{
+				Design:       Design{Ext: x, Dec: dec},
+				MixCost:      m.MixCost(x, dec, mx),
+				StoragePages: m.StoragePages(x, dec),
+			})
+		}
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if ranked[i].MixCost != ranked[j].MixCost {
+			return ranked[i].MixCost < ranked[j].MixCost
+		}
+		return ranked[i].StoragePages < ranked[j].StoragePages
+	})
+	return ranked, m.MixCostNoSupport(mx), nil
+}
+
+// BreakEvenPUp locates the update probability at which design a stops
+// being cheaper than design b, by bisection over [0,1]. ok is false when
+// no crossover exists in the interval.
+func (m *Model) BreakEvenPUp(a, b Design, mx Mix, tol float64) (float64, bool) {
+	diff := func(p float64) float64 {
+		mp := mx.WithPUp(p)
+		return m.MixCost(a.Ext, a.Dec, mp) - m.MixCost(b.Ext, b.Dec, mp)
+	}
+	lo, hi := 0.0, 1.0
+	dlo, dhi := diff(lo), diff(hi)
+	if dlo == 0 {
+		return 0, true
+	}
+	if dlo*dhi > 0 {
+		return 0, false
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		if diff(mid)*dlo > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, true
+}
+
+// FormatRanking renders the top designs as an aligned table.
+func FormatRanking(ranked []RankedDesign, top int) string {
+	if top <= 0 || top > len(ranked) {
+		top = len(ranked)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-24s %14s %14s\n", "rank", "design", "mix cost", "pages")
+	for i := 0; i < top; i++ {
+		r := ranked[i]
+		fmt.Fprintf(&b, "%-4d %-24s %14.2f %14.0f\n", i+1, r.Design.String(), r.MixCost, r.StoragePages)
+	}
+	return b.String()
+}

@@ -1,0 +1,146 @@
+package costmodel
+
+import "math"
+
+// Derived connectivity quantities of §4.1.1 and §5.6: RefBy, Ref, their
+// probabilities, the three-argument subset variants, and the path count.
+
+// RefBy returns the number of t_j objects referenced by some object in
+// t_i via at least one (partial) path, 0 ≤ i < j ≤ n (eq. 6). RefBy(i,i)
+// is defined as c_i, matching P_RefBy(i,i) = 1 (eq. 7).
+func (m *Model) RefBy(i, j int) float64 {
+	switch {
+	case j == i:
+		return m.C[i]
+	case j == i+1:
+		return m.E[i+1]
+	default:
+		ej := m.E[j]
+		if ej <= 0 {
+			return 0
+		}
+		k := m.RefBy(i, j-1) * m.PA[j-1]
+		return ej * (1 - pow(1-m.Fan[j-1]/ej, k))
+	}
+}
+
+// PRefBy is P_RefBy(i,j), the probability that a path from some t_i
+// object to a particular t_j object exists (eq. 7).
+func (m *Model) PRefBy(i, j int) float64 {
+	if i == j {
+		return 1
+	}
+	return clamp01(m.RefBy(i, j) / m.C[j])
+}
+
+// Ref returns the number of t_i objects with at least one path to some
+// t_j object, 0 ≤ i < j ≤ n (eq. 8). Ref(i,i) is defined as c_i,
+// matching P_Ref(i,i) = 1 (eq. 9).
+func (m *Model) Ref(i, j int) float64 {
+	switch {
+	case j == i:
+		return m.C[i]
+	case j == i+1:
+		return m.D[i]
+	default:
+		di := m.D[i]
+		if di <= 0 {
+			return 0
+		}
+		k := m.Ref(i+1, j) * m.PH[i+1]
+		return di * (1 - pow(1-m.Shar[i]/di, k))
+	}
+}
+
+// PRef is P_Ref(i,j), the probability that a given t_i object has a path
+// to some t_j object (eq. 9).
+func (m *Model) PRef(i, j int) float64 {
+	if i == j {
+		return 1
+	}
+	return clamp01(m.Ref(i, j) / m.C[i])
+}
+
+// Path estimates the number of paths between t_i and t_j objects
+// (eq. 10): path(i,j) = ref_i · Π_{l=i+1}^{j-1} P_A_l · fan_l.
+func (m *Model) Path(i, j int) float64 {
+	if j <= i {
+		return 0
+	}
+	p := m.RefCnt[i]
+	for l := i + 1; l < j; l++ {
+		p *= m.PA[l] * m.Fan[l]
+	}
+	return p
+}
+
+// PLb is P_lb(i,j): the probability that a particular t_j object is not
+// hit by any path emanating from t_i (eq. 11); 1 when i ≥ j.
+func (m *Model) PLb(i, j int) float64 {
+	if i < j {
+		return 1 - m.PRefBy(i, j)
+	}
+	return 1
+}
+
+// PRb is P_rb(i,j): the probability that a particular t_i object has no
+// emanating path to t_j (eq. 12); 1 when i ≥ j.
+func (m *Model) PRb(i, j int) float64 {
+	if i < j {
+		return 1 - m.PRef(i, j)
+	}
+	return 1
+}
+
+// RefByK is the three-argument RefBy(i,j,k) (eq. 29): the number of t_j
+// objects on at least one partial path emanating from a k-element subset
+// of t_i. RefByK(i,i,k) is min(k, c_i).
+func (m *Model) RefByK(i, j int, k float64) float64 {
+	switch {
+	case j == i:
+		return math.Min(k, m.C[i])
+	case j == i+1:
+		e := m.E[i+1]
+		if e <= 0 {
+			return 0
+		}
+		return e * (1 - pow(1-m.Fan[i]/e, k))
+	default:
+		ej := m.E[j]
+		if ej <= 0 {
+			return 0
+		}
+		kk := m.RefByK(i, j-1, k) * m.PA[j-1]
+		return ej * (1 - pow(1-m.Fan[j-1]/ej, kk))
+	}
+}
+
+// RefK is the three-argument Ref(i,j,k) (eq. 30): the number of t_i
+// objects with a path to some object of a k-element subset of t_j.
+// RefK(i,i,k) is min(k, c_i).
+func (m *Model) RefK(i, j int, k float64) float64 {
+	switch {
+	case j == i:
+		return math.Min(k, m.C[i])
+	case j == i+1:
+		d := m.D[i]
+		if d <= 0 {
+			return 0
+		}
+		return d * (1 - pow(1-m.Shar[i]/d, k))
+	default:
+		d := m.D[i]
+		if d <= 0 {
+			return 0
+		}
+		kk := m.RefK(i+1, j, k) * m.PH[i+1]
+		return d * (1 - pow(1-m.Shar[i]/d, kk))
+	}
+}
+
+// PNoPath is P_NoPath(l) = 1 − P_RefBy(0,l)·P_Ref(l,n): the probability
+// that no complete path leads through a particular t_l object (eqs.
+// 37–38).
+func (m *Model) PNoPath(l int) float64 {
+	return 1 - m.PRefBy(0, l)*m.PRef(l, m.N)
+}

@@ -1,0 +1,175 @@
+package costmodel
+
+import "math"
+
+// Maintenance costs for the characteristic update operation ins_i (§6):
+// inserting a reference from an object of type t_i into its A_{i+1}
+// attribute (the paper writes the operation as `insert o into o_i.A_i`,
+// but all its cost formulas place the new edge between t_i and t_{i+1};
+// we follow the formulas). The total update cost is the constant object
+// update (3 page accesses, §6), plus the search cost for materializing
+// the new partial paths I_l/I_r (eq. 36), plus the access-relation
+// update cost aup (§6.2).
+
+// SearchCost is search_i^X (eq. 36): the expected page accesses spent
+// searching the object representation (and probing the access relation)
+// to establish the paths affected by ins_i.
+func (m *Model) SearchCost(x Extension, i int, dec Decomposition) float64 {
+	probe := math.Min(m.QsupForward(x, i, i+1, dec), m.QsupBackward(x, i, i+1, dec))
+	switch x {
+	case Canonical:
+		return m.QnasForward(i+1, m.N)*m.PNoPath(i+1) +
+			m.QsupBackward(x, i, i+1, dec) +
+			m.QnasBackward(0, i)*m.PRef(i+1, m.N)*m.PNoPath(i) +
+			m.QsupForward(x, i, i+1, dec)
+	case Full:
+		return probe
+	case LeftComplete:
+		return m.QnasForward(i+1, m.N)*(1-m.PRefBy(0, i+1))*m.PRefBy(0, i) + probe
+	case RightComplete:
+		sum := 0.0
+		for l := 0; l <= i; l++ {
+			sum += m.Op(l)
+		}
+		return sum*(1-m.PRef(i, m.N))*m.PRef(i+1, m.N) + probe
+	default:
+		return 0
+	}
+}
+
+// qfw returns qfw_i^X(iv, iv1): the number of forward-tree clusters that
+// ins_i touches in partition (iv, iv1) (§6.2.1–6.2.4).
+func (m *Model) qfw(x Extension, i, iv, iv1 int) float64 {
+	switch x {
+	case Canonical:
+		if iv <= i {
+			return m.RefK(iv, i, 1) * m.PRefBy(0, iv) * m.PRef(i+1, m.N)
+		}
+		return m.RefByK(i+1, iv, 1) * m.PRefBy(0, i) * m.PRef(iv, m.N)
+	case Full:
+		if iv <= i && i < iv1 {
+			total := m.RefK(iv, i, 1)
+			for l := iv + 1; l <= i; l++ {
+				total += m.PLb(l-1, l) * m.RefK(l, i, 1)
+			}
+			return total
+		}
+		return 0
+	case LeftComplete:
+		switch {
+		case iv1 <= i:
+			return 0
+		case iv <= i && i < iv1:
+			return m.RefK(iv, i, 1) * m.PRefBy(0, iv)
+		default: // i < iv
+			return m.PLb(0, iv) * m.RefByK(i+1, iv, 1) * m.PRefBy(0, i)
+		}
+	case RightComplete:
+		switch {
+		case iv1 <= i:
+			total := m.RefK(iv, i, 1)
+			for l := iv + 1; l <= iv1-1; l++ {
+				total += m.PLb(l-1, l) * m.RefK(l, i, 1)
+			}
+			return m.PRb(iv1, m.N) * m.PRef(i+1, m.N) * total
+		case iv <= i && i < iv1:
+			total := m.RefK(iv, i, 1)
+			for l := iv + 1; l <= i; l++ {
+				total += m.PLb(l-1, l) * m.RefK(l, i, 1)
+			}
+			return m.PRef(i+1, m.N) * total
+		default: // i < iv
+			return 0
+		}
+	default:
+		return 0
+	}
+}
+
+// qbw returns qbw_i^X(iv, iv1): the backward-tree clusters touched.
+func (m *Model) qbw(x Extension, i, iv, iv1 int) float64 {
+	switch x {
+	case Canonical:
+		if iv1 <= i {
+			return m.RefK(iv1, i, 1) * m.PRefBy(0, iv1) * m.PRef(i+1, m.N)
+		}
+		return m.RefByK(i+1, iv1, 1) * m.PRefBy(0, i) * m.PRef(iv1, m.N)
+	case Full:
+		if iv <= i && i < iv1 {
+			total := m.RefByK(i+1, iv1, 1)
+			for l := i + 2; l <= iv1-1; l++ {
+				total += m.PRb(l, l+1) * m.RefByK(i+1, l, 1)
+			}
+			return total
+		}
+		return 0
+	case LeftComplete:
+		switch {
+		case iv1 <= i:
+			return 0
+		case iv <= i && i < iv1:
+			total := m.RefByK(i+1, iv1, 1)
+			for l := i + 2; l <= iv1-1; l++ {
+				total += m.PRb(l, l+1) * m.RefByK(i+1, l, 1)
+			}
+			return m.PRefBy(0, i) * total
+		default: // i < iv
+			total := m.RefByK(i+1, iv1, 1)
+			for l := iv + 1; l <= iv1-1; l++ {
+				total += m.PRb(l, l+1) * m.RefByK(i+1, l, 1)
+			}
+			return m.PRefBy(0, i) * m.PLb(0, iv) * total
+		}
+	case RightComplete:
+		switch {
+		case iv1 <= i:
+			return m.PRb(iv1, m.N) * m.RefK(iv1, i, 1) * m.PRef(i+1, m.N)
+		case iv <= i && i < iv1:
+			return m.RefByK(i+1, iv1, 1) * m.PRef(iv1, m.N)
+		default: // i < iv
+			return 0
+		}
+	default:
+		return 0
+	}
+}
+
+// Aup is aup_i^X(dec) (§6.2): the page accesses for updating every
+// partition's two clustered B⁺-trees — per touched cluster, the root,
+// the interior pages, and the leaf pages read and written back (factor
+// 2). Partitions with no touched clusters cost nothing.
+func (m *Model) Aup(x Extension, i int, dec Decomposition) float64 {
+	total := 0.0
+	fan := m.Sys.BTreeFan()
+	for p := 0; p < dec.NumPartitions(); p++ {
+		iv, iv1 := dec.Partition(p)
+		card := m.Cardinality(x, iv, iv1)
+		ap := m.Ap(x, iv, iv1)
+		pg := m.Pg(x, iv, iv1)
+		if f := m.qfw(x, i, iv, iv1); f > 0 {
+			total += 1 +
+				Yao(f, pg-1, (pg-1)*fan) +
+				2*Yao(f, ap, card)
+		}
+		if b := m.qbw(x, i, iv, iv1); b > 0 {
+			total += 1 +
+				Yao(b, pg-1, (pg-1)*fan) +
+				2*Yao(b, ap, card)
+		}
+	}
+	return total
+}
+
+// ObjectUpdateCost is the constant cost of updating the object
+// representation itself (§6: "amounts to 3").
+const ObjectUpdateCost = 3.0
+
+// UpdateCost is the total expected page-access cost of ins_i against an
+// access support relation in extension x under decomposition dec.
+func (m *Model) UpdateCost(x Extension, i int, dec Decomposition) float64 {
+	return ObjectUpdateCost + m.SearchCost(x, i, dec) + m.Aup(x, i, dec)
+}
+
+// UpdateCostNoSupport is the cost of ins_i with no access relation: just
+// the object update.
+func (m *Model) UpdateCostNoSupport(i int) float64 { return ObjectUpdateCost }

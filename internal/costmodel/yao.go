@@ -1,0 +1,40 @@
+package costmodel
+
+import "math"
+
+// Yao computes y(k, m, n): the expected number of page accesses to
+// retrieve k out of n objects evenly distributed over m pages (Yao,
+// CACM 1977; the paper's §5.6). k may be fractional (the model feeds it
+// expected values); it is ceiled, as the paper writes ⌈·⌉ around every
+// use.
+func Yao(k, m, n float64) float64 {
+	if m <= 0 || n <= 0 {
+		return 0
+	}
+	kk := math.Ceil(k)
+	if kk <= 0 {
+		return 0
+	}
+	if kk >= n {
+		return m
+	}
+	// y = ⌈m · (1 − Π_{i=1}^{k} (n(1−1/m) − i + 1)/(n − i + 1))⌉
+	prod := 1.0
+	top := n * (1 - 1/m)
+	for i := 1.0; i <= kk; i++ {
+		num := top - i + 1
+		den := n - i + 1
+		if num <= 0 || den <= 0 {
+			prod = 0
+			break
+		}
+		prod *= num / den
+		if prod < 1e-12 {
+			prod = 0
+			break
+		}
+	}
+	// The epsilon guards against floating-point residue pushing an exact
+	// integer (e.g. m·(1/m) for k=1) over the next ceiling.
+	return math.Ceil(m*(1-prod) - 1e-9)
+}

@@ -1,0 +1,302 @@
+// Package gendb generates synthetic GOM object bases matching the
+// paper's application characterizations (§4.1, Figure 3): c_i objects
+// per type, d_i of them with a defined next-step attribute, fan_i
+// references per defined attribute, and configurable reference sharing.
+// It substitutes for the engineering databases the paper motivates but
+// never ships, and feeds the executable page-level experiments that
+// validate the analytical cost model's shape.
+package gendb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"asr/internal/gom"
+)
+
+// Spec describes the database to generate: one chain of types
+// T0 → T1 → … → Tn.
+type Spec struct {
+	// N is the path length n (number of reference steps).
+	N int
+	// C[i] is the object count of type T_i (len n+1).
+	C []int
+	// D[i] is the number of T_i objects with a defined next attribute
+	// (len n).
+	D []int
+	// Fan[i] is the number of distinct targets each defined attribute
+	// references (len n). Fan 1 generates a single-valued attribute
+	// (linear path step); larger fans generate set-valued steps.
+	Fan []int
+	// Sharing selects how targets are drawn.
+	Sharing SharingMode
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// SharingMode controls target selection for references.
+type SharingMode int
+
+// Sharing modes: Uniform draws targets uniformly (the paper's "normal
+// distribution of references" default); Clustered draws from a
+// contiguous window, producing low sharing and many unreferenced
+// objects; Skewed draws Zipf-like, producing heavy sharing of a few
+// targets.
+const (
+	Uniform SharingMode = iota
+	Clustered
+	Skewed
+)
+
+// String names the mode.
+func (s SharingMode) String() string {
+	switch s {
+	case Uniform:
+		return "uniform"
+	case Clustered:
+		return "clustered"
+	case Skewed:
+		return "skewed"
+	default:
+		return fmt.Sprintf("SharingMode(%d)", int(s))
+	}
+}
+
+// Database is a generated object base with its path expression and
+// per-level extents.
+type Database struct {
+	Spec    Spec
+	Schema  *gom.Schema
+	Base    *gom.ObjectBase
+	Path    *gom.PathExpression
+	Types   []*gom.Type // T_0 … T_n
+	Extents [][]gom.OID // Extents[i] lists the T_i objects in creation order
+}
+
+// Generate builds the database for the spec.
+func Generate(spec Spec) (*Database, error) {
+	if spec.N < 1 {
+		return nil, fmt.Errorf("gendb: N = %d, want ≥ 1", spec.N)
+	}
+	if len(spec.C) != spec.N+1 {
+		return nil, fmt.Errorf("gendb: len(C) = %d, want %d", len(spec.C), spec.N+1)
+	}
+	if len(spec.D) != spec.N || len(spec.Fan) != spec.N {
+		return nil, fmt.Errorf("gendb: len(D)/len(Fan) must be %d", spec.N)
+	}
+	for i := 0; i < spec.N; i++ {
+		if spec.D[i] > spec.C[i] {
+			return nil, fmt.Errorf("gendb: D[%d] = %d exceeds C[%d] = %d", i, spec.D[i], i, spec.C[i])
+		}
+		if spec.Fan[i] < 1 {
+			return nil, fmt.Errorf("gendb: Fan[%d] = %d, want ≥ 1", i, spec.Fan[i])
+		}
+		if spec.Fan[i] > spec.C[i+1] {
+			return nil, fmt.Errorf("gendb: Fan[%d] = %d exceeds C[%d] = %d (targets must be distinct)",
+				i, spec.Fan[i], i+1, spec.C[i+1])
+		}
+	}
+
+	schema := gom.NewSchema()
+	n := spec.N
+	types := make([]*gom.Type, n+1)
+	setTypes := make([]*gom.Type, n)
+	str := schema.MustLookup("STRING")
+
+	// Types are defined back to front so attribute targets exist.
+	var err error
+	types[n], err = schema.DefineTuple(fmt.Sprintf("T%d", n), nil,
+		[]gom.Attribute{{Name: "Payload", Type: str}})
+	if err != nil {
+		return nil, err
+	}
+	for i := n - 1; i >= 0; i-- {
+		attrs := []gom.Attribute{{Name: "Payload", Type: str}}
+		if spec.Fan[i] == 1 {
+			attrs = append(attrs, gom.Attribute{Name: "Next", Type: types[i+1]})
+		} else {
+			setTypes[i], err = schema.DefineSet(fmt.Sprintf("T%dSET", i+1), types[i+1])
+			if err != nil {
+				return nil, err
+			}
+			attrs = append(attrs, gom.Attribute{Name: "Next", Type: setTypes[i]})
+		}
+		types[i], err = schema.DefineTuple(fmt.Sprintf("T%d", i), nil, attrs)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	ob := gom.NewObjectBase(schema)
+	rng := rand.New(rand.NewSource(spec.Seed))
+	extents := make([][]gom.OID, n+1)
+	for i := 0; i <= n; i++ {
+		extents[i] = make([]gom.OID, spec.C[i])
+		for k := range extents[i] {
+			o, err := ob.New(types[i])
+			if err != nil {
+				return nil, err
+			}
+			extents[i][k] = o.ID()
+		}
+	}
+
+	// Wire references level by level: the first D[i] of a random
+	// permutation get defined attributes.
+	for i := 0; i < n; i++ {
+		perm := rng.Perm(spec.C[i])
+		for k := 0; k < spec.D[i]; k++ {
+			src := extents[i][perm[k]]
+			targets := pickTargets(rng, spec.Sharing, extents[i+1], spec.Fan[i], k)
+			if spec.Fan[i] == 1 {
+				if err := ob.SetAttr(src, "Next", gom.Ref(targets[0])); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			setObj, err := ob.New(setTypes[i])
+			if err != nil {
+				return nil, err
+			}
+			for _, tgt := range targets {
+				if err := ob.InsertIntoSet(setObj.ID(), gom.Ref(tgt)); err != nil {
+					return nil, err
+				}
+			}
+			if err := ob.SetAttr(src, "Next", gom.Ref(setObj.ID())); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	attrs := make([]string, n)
+	for i := range attrs {
+		attrs[i] = "Next"
+	}
+	path, err := gom.ResolvePath(types[0], attrs...)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{
+		Spec:    spec,
+		Schema:  schema,
+		Base:    ob,
+		Path:    path,
+		Types:   types,
+		Extents: extents,
+	}, nil
+}
+
+// pickTargets draws fan distinct targets from pool under the sharing
+// mode. srcIdx seeds the clustered window.
+func pickTargets(rng *rand.Rand, mode SharingMode, pool []gom.OID, fan, srcIdx int) []gom.OID {
+	chosen := make(map[int]bool, fan)
+	out := make([]gom.OID, 0, fan)
+	draw := func() int {
+		switch mode {
+		case Clustered:
+			// A window of 4·fan contiguous targets per source.
+			window := 4 * fan
+			if window > len(pool) {
+				window = len(pool)
+			}
+			base := (srcIdx * fan) % len(pool)
+			return (base + rng.Intn(window)) % len(pool)
+		case Skewed:
+			// Quadratic skew towards low indexes.
+			f := rng.Float64()
+			return int(f * f * float64(len(pool)))
+		default:
+			return rng.Intn(len(pool))
+		}
+	}
+	for len(out) < fan {
+		idx := draw()
+		if idx >= len(pool) {
+			idx = len(pool) - 1
+		}
+		if chosen[idx] {
+			idx = (idx + 1) % len(pool) // linear probe keeps targets distinct
+			for chosen[idx] {
+				idx = (idx + 1) % len(pool)
+			}
+		}
+		chosen[idx] = true
+		out = append(out, pool[idx])
+	}
+	return out
+}
+
+// Stats summarizes the realized connectivity of a generated database —
+// the empirical counterparts of the model's d_i, e_i, RefBy(0,i).
+type Stats struct {
+	Defined    []int // objects per level with a defined Next
+	Referenced []int // distinct objects per level referenced from the previous
+	Reachable  []int // objects per level reachable from level 0
+}
+
+// Measure computes the realized connectivity.
+func (db *Database) Measure() Stats {
+	n := db.Spec.N
+	st := Stats{
+		Defined:    make([]int, n),
+		Referenced: make([]int, n+1),
+		Reachable:  make([]int, n+1),
+	}
+	reach := make(map[gom.OID]bool, len(db.Extents[0]))
+	for _, id := range db.Extents[0] {
+		reach[id] = true
+	}
+	st.Reachable[0] = len(db.Extents[0])
+	for i := 0; i < n; i++ {
+		next := map[gom.OID]bool{}
+		refd := map[gom.OID]bool{}
+		for _, id := range db.Extents[i] {
+			o, _ := db.Base.Get(id)
+			targets := db.targetsOf(o)
+			if len(targets) > 0 {
+				st.Defined[i]++
+			}
+			for _, tgt := range targets {
+				refd[tgt] = true
+				if reach[id] {
+					next[tgt] = true
+				}
+			}
+		}
+		st.Referenced[i+1] = len(refd)
+		st.Reachable[i+1] = len(next)
+		reach = next
+	}
+	return st
+}
+
+// targetsOf returns the level-(i+1) objects referenced by o.
+func (db *Database) targetsOf(o *gom.Object) []gom.OID {
+	v, _ := o.Attr("Next")
+	if v == nil {
+		return nil
+	}
+	ref, ok := v.(gom.Ref)
+	if !ok {
+		return nil
+	}
+	tgt, ok := db.Base.Get(ref.OID())
+	if !ok {
+		return nil
+	}
+	if tgt.Type().Kind() == gom.SetType {
+		return tgt.ElementOIDs()
+	}
+	return []gom.OID{ref.OID()}
+}
+
+// Level returns which level a type belongs to, or -1.
+func (db *Database) Level(t *gom.Type) int {
+	for i, typ := range db.Types {
+		if typ == t {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,352 @@
+package gom
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Observer receives change notifications from an ObjectBase. Access
+// support relation managers register as observers to maintain their
+// extensions incrementally under object updates (§6).
+type Observer interface {
+	// AttrAssigned is called after attribute attr of object o changed
+	// from old to new (either may be NULL).
+	AttrAssigned(o *Object, attr string, old, new Value)
+	// SetInserted is called after elem was inserted into set object set.
+	SetInserted(set *Object, elem Value)
+	// SetRemoved is called after elem was removed from set object set.
+	SetRemoved(set *Object, elem Value)
+	// ObjectDeleted is called after object o was removed from the base.
+	ObjectDeleted(o *Object)
+}
+
+// ObjectBase is a GOM object store: it instantiates types (§2,
+// "instantiation"), enforces strong typing on every mutation, maintains
+// per-type extents, and publishes updates to observers. References are
+// uni-directional, exactly as in the paper — there are no reverse
+// pointers in the object representation; backward traversal without an
+// access support relation therefore requires exhaustive search.
+type ObjectBase struct {
+	schema    *Schema
+	objects   map[OID]*Object
+	extents   map[*Type][]OID // exact-type extents, in creation order
+	vars      map[string]OID  // named roots, e.g. "OurRobots"
+	nextOID   OID
+	observers []Observer
+}
+
+// NewObjectBase creates an empty object base over the given schema.
+func NewObjectBase(schema *Schema) *ObjectBase {
+	return &ObjectBase{
+		schema:  schema,
+		objects: make(map[OID]*Object),
+		extents: make(map[*Type][]OID),
+		vars:    make(map[string]OID),
+		nextOID: 1,
+	}
+}
+
+// Schema returns the schema the base was created over.
+func (ob *ObjectBase) Schema() *Schema { return ob.schema }
+
+// AddObserver registers an update observer.
+func (ob *ObjectBase) AddObserver(obs Observer) { ob.observers = append(ob.observers, obs) }
+
+// RemoveObserver unregisters a previously added observer.
+func (ob *ObjectBase) RemoveObserver(obs Observer) {
+	for i, o := range ob.observers {
+		if o == obs {
+			ob.observers = append(ob.observers[:i], ob.observers[i+1:]...)
+			return
+		}
+	}
+}
+
+// New instantiates the given type: tuple attributes start NULL, sets and
+// lists start empty (§2, "instantiation"). Atomic types have no object
+// instances and are rejected.
+func (ob *ObjectBase) New(t *Type) (*Object, error) {
+	if t == nil {
+		return nil, fmt.Errorf("gom: New: nil type")
+	}
+	if t.schema != ob.schema {
+		return nil, fmt.Errorf("gom: New: type %q belongs to a different schema", t.Name())
+	}
+	if t.Kind() == AtomicType {
+		return nil, fmt.Errorf("gom: New: atomic type %q cannot be instantiated", t.Name())
+	}
+	o := &Object{id: ob.nextOID, typ: t, base: ob}
+	ob.nextOID++
+	switch t.Kind() {
+	case TupleType:
+		o.attrs = make(map[string]Value)
+	case SetType:
+		o.set = make(map[string]Value)
+	}
+	ob.objects[o.id] = o
+	ob.extents[t] = append(ob.extents[t], o.id)
+	return o, nil
+}
+
+// MustNew is New panicking on error; for tests and examples.
+func (ob *ObjectBase) MustNew(t *Type) *Object {
+	o, err := ob.New(t)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// Get returns the object with the given OID.
+func (ob *ObjectBase) Get(id OID) (*Object, bool) {
+	o, ok := ob.objects[id]
+	return o, ok
+}
+
+// Count returns the number of live objects.
+func (ob *ObjectBase) Count() int { return len(ob.objects) }
+
+// Extent returns the OIDs of all instances whose exact type is t, or —
+// with includeSubtypes — of t and all its subtypes, in creation order.
+func (ob *ObjectBase) Extent(t *Type, includeSubtypes bool) []OID {
+	if !includeSubtypes {
+		return append([]OID(nil), ob.extents[t]...)
+	}
+	var out []OID
+	for et, ids := range ob.extents {
+		if et.IsSubtypeOf(t) {
+			out = append(out, ids...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// BindVar binds a database variable name (e.g. "OurRobots" or
+// "Mercedes") to an object.
+func (ob *ObjectBase) BindVar(name string, id OID) error {
+	if _, ok := ob.objects[id]; !ok && !id.IsNil() {
+		return fmt.Errorf("gom: BindVar(%q): unknown object %s", name, id)
+	}
+	ob.vars[name] = id
+	return nil
+}
+
+// Var resolves a bound database variable.
+func (ob *ObjectBase) Var(name string) (OID, bool) {
+	id, ok := ob.vars[name]
+	return id, ok
+}
+
+// VarNames returns the bound database variable names, sorted.
+func (ob *ObjectBase) VarNames() []string {
+	out := make([]string, 0, len(ob.vars))
+	for name := range ob.vars {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checkAssignable validates that v may be stored in a slot constrained to
+// type want: NULL always may; atomic kinds must match; references must
+// denote a live instance of want or a subtype (the constrained type is
+// only an upper bound, §2 "strong typing").
+func (ob *ObjectBase) checkAssignable(want *Type, v Value) error {
+	if v == nil {
+		return nil
+	}
+	if r, ok := v.(Ref); ok {
+		if want.Kind() == AtomicType {
+			return fmt.Errorf("gom: cannot store reference in %s slot", want.Name())
+		}
+		target, live := ob.objects[r.OID()]
+		if !live {
+			return fmt.Errorf("gom: dangling reference %s", r.OID())
+		}
+		if !target.typ.IsSubtypeOf(want) {
+			return fmt.Errorf("gom: %s has type %s, not a subtype of %s",
+				r.OID(), target.typ.Name(), want.Name())
+		}
+		return nil
+	}
+	if want.Kind() != AtomicType {
+		return fmt.Errorf("gom: cannot store %s value in %s slot", v.Kind(), want.Name())
+	}
+	if v.Kind() != want.AtomicKind() {
+		return fmt.Errorf("gom: cannot store %s value in %s slot", v.Kind(), want.Name())
+	}
+	return nil
+}
+
+// SetAttr assigns attribute attr of tuple object id to v (NULL when v is
+// nil) and notifies observers.
+func (ob *ObjectBase) SetAttr(id OID, attr string, v Value) error {
+	o, ok := ob.objects[id]
+	if !ok {
+		return fmt.Errorf("gom: SetAttr: unknown object %s", id)
+	}
+	if o.typ.Kind() != TupleType {
+		return fmt.Errorf("gom: SetAttr: %s is %s-structured, not a tuple", id, o.typ.Kind())
+	}
+	a, ok := o.typ.Attribute(attr)
+	if !ok {
+		return fmt.Errorf("gom: SetAttr: type %s has no attribute %q", o.typ.Name(), attr)
+	}
+	if err := ob.checkAssignable(a.Type, v); err != nil {
+		return fmt.Errorf("gom: SetAttr %s.%s: %w", o.typ.Name(), attr, err)
+	}
+	old := o.attrs[attr]
+	if v == nil {
+		delete(o.attrs, attr)
+	} else {
+		o.attrs[attr] = v
+	}
+	if !ValuesEqual(old, v) {
+		for _, obs := range ob.observers {
+			obs.AttrAssigned(o, attr, old, v)
+		}
+	}
+	return nil
+}
+
+// MustSetAttr is SetAttr panicking on error.
+func (ob *ObjectBase) MustSetAttr(id OID, attr string, v Value) {
+	if err := ob.SetAttr(id, attr, v); err != nil {
+		panic(err)
+	}
+}
+
+// InsertIntoSet inserts v into set object id (a no-op if already
+// present) and notifies observers. This is the paper's characteristic
+// update operation ins_i of §6.
+func (ob *ObjectBase) InsertIntoSet(id OID, v Value) error {
+	o, ok := ob.objects[id]
+	if !ok {
+		return fmt.Errorf("gom: InsertIntoSet: unknown object %s", id)
+	}
+	if o.typ.Kind() != SetType {
+		return fmt.Errorf("gom: InsertIntoSet: %s is %s-structured, not a set", id, o.typ.Kind())
+	}
+	if v == nil {
+		return fmt.Errorf("gom: InsertIntoSet: cannot insert NULL into a set")
+	}
+	if err := ob.checkAssignable(o.typ.Elem(), v); err != nil {
+		return fmt.Errorf("gom: InsertIntoSet into %s: %w", o.typ.Name(), err)
+	}
+	k := valueKey(v)
+	if _, dup := o.set[k]; dup {
+		return nil
+	}
+	o.set[k] = v
+	for _, obs := range ob.observers {
+		obs.SetInserted(o, v)
+	}
+	return nil
+}
+
+// MustInsertIntoSet is InsertIntoSet panicking on error.
+func (ob *ObjectBase) MustInsertIntoSet(id OID, v Value) {
+	if err := ob.InsertIntoSet(id, v); err != nil {
+		panic(err)
+	}
+}
+
+// RemoveFromSet removes v from set object id (a no-op if absent) and
+// notifies observers.
+func (ob *ObjectBase) RemoveFromSet(id OID, v Value) error {
+	o, ok := ob.objects[id]
+	if !ok {
+		return fmt.Errorf("gom: RemoveFromSet: unknown object %s", id)
+	}
+	if o.typ.Kind() != SetType {
+		return fmt.Errorf("gom: RemoveFromSet: %s is %s-structured, not a set", id, o.typ.Kind())
+	}
+	k := valueKey(v)
+	if _, present := o.set[k]; !present {
+		return nil
+	}
+	delete(o.set, k)
+	for _, obs := range ob.observers {
+		obs.SetRemoved(o, v)
+	}
+	return nil
+}
+
+// AppendToList appends v to list object id.
+func (ob *ObjectBase) AppendToList(id OID, v Value) error {
+	o, ok := ob.objects[id]
+	if !ok {
+		return fmt.Errorf("gom: AppendToList: unknown object %s", id)
+	}
+	if o.typ.Kind() != ListType {
+		return fmt.Errorf("gom: AppendToList: %s is %s-structured, not a list", id, o.typ.Kind())
+	}
+	if err := ob.checkAssignable(o.typ.Elem(), v); err != nil {
+		return fmt.Errorf("gom: AppendToList into %s: %w", o.typ.Name(), err)
+	}
+	o.list = append(o.list, v)
+	// List insertion is reported through the set-insertion hook: access
+	// support over ordered collections is analogous to sets (§2.1).
+	for _, obs := range ob.observers {
+		obs.SetInserted(o, v)
+	}
+	return nil
+}
+
+// Delete removes an object from the base. Incoming references become
+// dangling; since GOM references are uni-directional the base cannot
+// find them cheaply — callers that need referential integrity should
+// clear referrers first (CheckIntegrity finds violations).
+func (ob *ObjectBase) Delete(id OID) error {
+	o, ok := ob.objects[id]
+	if !ok {
+		return fmt.Errorf("gom: Delete: unknown object %s", id)
+	}
+	delete(ob.objects, id)
+	ext := ob.extents[o.typ]
+	for i, e := range ext {
+		if e == id {
+			ob.extents[o.typ] = append(ext[:i], ext[i+1:]...)
+			break
+		}
+	}
+	for _, obs := range ob.observers {
+		obs.ObjectDeleted(o)
+	}
+	return nil
+}
+
+// CheckIntegrity scans the whole base and returns every dangling
+// reference as an error slice (empty means consistent).
+func (ob *ObjectBase) CheckIntegrity() []error {
+	var errs []error
+	check := func(where string, v Value) {
+		r, ok := v.(Ref)
+		if !ok {
+			return
+		}
+		if _, live := ob.objects[r.OID()]; !live {
+			errs = append(errs, fmt.Errorf("gom: dangling reference %s at %s", r.OID(), where))
+		}
+	}
+	ids := make([]OID, 0, len(ob.objects))
+	for id := range ob.objects {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		o := ob.objects[id]
+		switch o.typ.Kind() {
+		case TupleType:
+			for name, v := range o.attrs {
+				check(fmt.Sprintf("%s.%s", id, name), v)
+			}
+		case SetType, ListType:
+			for _, v := range o.Elements() {
+				check(fmt.Sprintf("%s element", id), v)
+			}
+		}
+	}
+	return errs
+}

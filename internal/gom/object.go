@@ -1,0 +1,170 @@
+package gom
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Object is an object instance: the triple (identifier, value, type) of
+// §2.2. Depending on the type's outer constructor the value part is a
+// tuple of attribute values, a set, or a list. Objects are created and
+// mutated only through their owning ObjectBase, which enforces strong
+// typing and notifies registered observers (used for incremental access
+// support relation maintenance).
+type Object struct {
+	id   OID
+	typ  *Type
+	base *ObjectBase
+
+	attrs map[string]Value // tuple objects; absent key == NULL
+	set   map[string]Value // set objects, keyed by canonical value key
+	list  []Value          // list objects
+}
+
+// ID returns the object identifier.
+func (o *Object) ID() OID { return o.id }
+
+// Type returns the object's type.
+func (o *Object) Type() *Type { return o.typ }
+
+// Attr returns the value of the named attribute, which is NULL (nil) if
+// never assigned. The second result reports whether the attribute exists
+// on the object's type at all.
+func (o *Object) Attr(name string) (Value, bool) {
+	if o.typ.Kind() != TupleType {
+		return nil, false
+	}
+	if _, ok := o.typ.Attribute(name); !ok {
+		return nil, false
+	}
+	return o.attrs[name], true
+}
+
+// AttrOID returns the OID stored in a reference-valued attribute, or
+// NilOID if the attribute is NULL or not a reference.
+func (o *Object) AttrOID(name string) OID {
+	v, _ := o.Attr(name)
+	if r, ok := v.(Ref); ok {
+		return r.OID()
+	}
+	return NilOID
+}
+
+// Len returns the element count of a set or list object, and 0 otherwise.
+func (o *Object) Len() int {
+	switch o.typ.Kind() {
+	case SetType:
+		return len(o.set)
+	case ListType:
+		return len(o.list)
+	default:
+		return 0
+	}
+}
+
+// Elements returns the elements of a set object in a deterministic order
+// (sorted by canonical key), or of a list object in list order.
+func (o *Object) Elements() []Value {
+	switch o.typ.Kind() {
+	case SetType:
+		keys := make([]string, 0, len(o.set))
+		for k := range o.set {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		out := make([]Value, len(keys))
+		for i, k := range keys {
+			out[i] = o.set[k]
+		}
+		return out
+	case ListType:
+		return append([]Value(nil), o.list...)
+	default:
+		return nil
+	}
+}
+
+// ElementOIDs returns the OIDs of all reference elements of a set or
+// list object, in deterministic order.
+func (o *Object) ElementOIDs() []OID {
+	var out []OID
+	for _, v := range o.Elements() {
+		if r, ok := v.(Ref); ok {
+			out = append(out, r.OID())
+		}
+	}
+	return out
+}
+
+// Contains reports whether a set object contains the given value.
+func (o *Object) Contains(v Value) bool {
+	if o.typ.Kind() != SetType {
+		return false
+	}
+	_, ok := o.set[valueKey(v)]
+	return ok
+}
+
+// String renders the object in the style of the paper's Figure 1/2
+// extension tables.
+func (o *Object) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:%s", o.id, o.typ.Name())
+	switch o.typ.Kind() {
+	case TupleType:
+		b.WriteString("[")
+		for i, a := range o.typ.Attributes() {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s: %s", a.Name, ValueString(o.attrs[a.Name]))
+		}
+		b.WriteString("]")
+	case SetType:
+		b.WriteString("{")
+		for i, v := range o.Elements() {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(ValueString(v))
+		}
+		b.WriteString("}")
+	case ListType:
+		b.WriteString("<")
+		for i, v := range o.list {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(ValueString(v))
+		}
+		b.WriteString(">")
+	}
+	return b.String()
+}
+
+// valueKey canonicalizes a value for set membership. Distinct kinds get
+// distinct prefixes so e.g. Integer(1) and Decimal(1) do not collide.
+func valueKey(v Value) string {
+	if v == nil {
+		return "N"
+	}
+	switch w := v.(type) {
+	case Ref:
+		return "r" + OID(w).String()
+	case String:
+		return "s" + string(w)
+	case Integer:
+		return "i" + fmt.Sprint(int64(w))
+	case Decimal:
+		return "d" + fmt.Sprint(float64(w))
+	case Bool:
+		return "b" + fmt.Sprint(bool(w))
+	case Char:
+		// Numeric form: string(rune) folds invalid runes to U+FFFD, which
+		// would collide distinct values.
+		return "c" + fmt.Sprint(int32(w))
+	default:
+		return "?" + v.String()
+	}
+}

@@ -1,0 +1,417 @@
+package gom
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// VarDecl is a parsed `var Name: TYPE;` declaration from a schema source.
+// The parser does not instantiate objects; callers bind variables on an
+// ObjectBase themselves.
+type VarDecl struct {
+	Name string
+	Type *Type
+}
+
+// ParseSchema parses schema source text in the paper's declaration syntax
+// (§2.1, §2.2) into a fresh Schema, supporting forward references:
+//
+//	type ROBOT SET is {ROBOT};
+//	type ROBOT is [Name: STRING, Arm: ARM];
+//	type WELDING ROBOT is supertypes (ROBOT) [Voltage: INTEGER];
+//	type PRODLIST is <Product>;
+//	var OurRobots: ROBOT SET;
+//
+// Multi-word type names (the paper writes "ROBOT SET") are admitted and
+// normalized by replacing internal spaces with underscores. Comments run
+// from "--" or "//" to end of line.
+func ParseSchema(src string) (*Schema, []VarDecl, error) {
+	p := &schemaParser{lex: newLexer(src)}
+	if err := p.parse(); err != nil {
+		return nil, nil, err
+	}
+	return p.resolve()
+}
+
+// MustParseSchema is ParseSchema panicking on error.
+func MustParseSchema(src string) (*Schema, []VarDecl) {
+	s, vars, err := ParseSchema(src)
+	if err != nil {
+		panic(err)
+	}
+	return s, vars
+}
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokPunct // one of [ ] { } < > ( ) : ; ,
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) next() token {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-',
+			c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case strings.ContainsRune("[]{}<>():;,", rune(c)):
+			l.pos++
+			return token{tokPunct, string(c), l.line}
+		case isIdentRune(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentRune(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			return token{tokIdent, l.src[start:l.pos], l.line}
+		default:
+			// Skip unknown bytes (e.g. stray punctuation in prose).
+			l.pos++
+		}
+	}
+	return token{tokEOF, "", l.line}
+}
+
+func isIdentRune(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// Unresolved declaration forms collected in pass one.
+type typeDecl struct {
+	name       string
+	kind       TypeKind
+	supertypes []string
+	attrs      []struct{ name, typ string }
+	elem       string
+	line       int
+}
+
+type varDecl struct {
+	name, typ string
+	line      int
+}
+
+type schemaParser struct {
+	lex   *lexer
+	tok   token
+	types []typeDecl
+	vars  []varDecl
+}
+
+func (p *schemaParser) advance() { p.tok = p.lex.next() }
+
+func (p *schemaParser) errf(format string, args ...any) error {
+	return fmt.Errorf("gom: schema line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+}
+
+func (p *schemaParser) expectPunct(s string) error {
+	if p.tok.kind != tokPunct || p.tok.text != s {
+		return p.errf("expected %q, found %q", s, p.tok.text)
+	}
+	p.advance()
+	return nil
+}
+
+// ident consumes one identifier.
+func (p *schemaParser) ident() (string, error) {
+	if p.tok.kind != tokIdent {
+		return "", p.errf("expected identifier, found %q", p.tok.text)
+	}
+	s := p.tok.text
+	p.advance()
+	return s, nil
+}
+
+// typeName consumes a possibly multi-word type name, stopping before the
+// given keyword or any punctuation; words are joined with underscores
+// ("ROBOT SET" → "ROBOT_SET").
+func (p *schemaParser) typeName(stopKeyword string) (string, error) {
+	if p.tok.kind != tokIdent {
+		return "", p.errf("expected type name, found %q", p.tok.text)
+	}
+	var words []string
+	for p.tok.kind == tokIdent && p.tok.text != stopKeyword {
+		words = append(words, p.tok.text)
+		p.advance()
+	}
+	if len(words) == 0 {
+		return "", p.errf("expected type name before %q", p.tok.text)
+	}
+	return strings.Join(words, "_"), nil
+}
+
+func (p *schemaParser) parse() error {
+	p.advance()
+	for p.tok.kind != tokEOF {
+		switch {
+		case p.tok.kind == tokIdent && p.tok.text == "type":
+			p.advance()
+			if err := p.parseTypeDecl(); err != nil {
+				return err
+			}
+		case p.tok.kind == tokIdent && p.tok.text == "var":
+			p.advance()
+			if err := p.parseVarDecl(); err != nil {
+				return err
+			}
+		default:
+			return p.errf("expected 'type' or 'var', found %q", p.tok.text)
+		}
+	}
+	return nil
+}
+
+func (p *schemaParser) parseTypeDecl() error {
+	line := p.tok.line
+	name, err := p.typeName("is")
+	if err != nil {
+		return err
+	}
+	if p.tok.kind != tokIdent || p.tok.text != "is" {
+		return p.errf("type %s: expected 'is', found %q", name, p.tok.text)
+	}
+	p.advance()
+	d := typeDecl{name: name, line: line}
+
+	if p.tok.kind == tokIdent && p.tok.text == "supertypes" {
+		p.advance()
+		if err := p.expectPunct("("); err != nil {
+			return err
+		}
+		for {
+			sup, err := p.ident()
+			if err != nil {
+				return err
+			}
+			d.supertypes = append(d.supertypes, sup)
+			if p.tok.kind == tokPunct && p.tok.text == "," {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return err
+		}
+	}
+
+	switch {
+	case p.tok.kind == tokPunct && p.tok.text == "[":
+		d.kind = TupleType
+		p.advance()
+		for !(p.tok.kind == tokPunct && p.tok.text == "]") {
+			an, err := p.ident()
+			if err != nil {
+				return err
+			}
+			if err := p.expectPunct(":"); err != nil {
+				return err
+			}
+			at, err := p.ident()
+			if err != nil {
+				return err
+			}
+			d.attrs = append(d.attrs, struct{ name, typ string }{an, at})
+			if p.tok.kind == tokPunct && p.tok.text == "," {
+				p.advance()
+			}
+		}
+		p.advance() // ]
+	case p.tok.kind == tokPunct && p.tok.text == "{":
+		if len(d.supertypes) > 0 {
+			return p.errf("type %s: set types cannot declare supertypes", name)
+		}
+		d.kind = SetType
+		p.advance()
+		elem, err := p.ident()
+		if err != nil {
+			return err
+		}
+		d.elem = elem
+		if err := p.expectPunct("}"); err != nil {
+			return err
+		}
+	case p.tok.kind == tokPunct && p.tok.text == "<":
+		if len(d.supertypes) > 0 {
+			return p.errf("type %s: list types cannot declare supertypes", name)
+		}
+		d.kind = ListType
+		p.advance()
+		elem, err := p.ident()
+		if err != nil {
+			return err
+		}
+		d.elem = elem
+		if err := p.expectPunct(">"); err != nil {
+			return err
+		}
+	default:
+		return p.errf("type %s: expected '[', '{' or '<', found %q", name, p.tok.text)
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return err
+	}
+	p.types = append(p.types, d)
+	return nil
+}
+
+func (p *schemaParser) parseVarDecl() error {
+	line := p.tok.line
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return err
+	}
+	typ, err := p.typeName(";")
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return err
+	}
+	p.vars = append(p.vars, varDecl{name: name, typ: typ, line: line})
+	return nil
+}
+
+// resolve performs the second pass. Recursive schemas are legal in GOM —
+// Definition 3.1 says path types are "not necessarily distinct", so e.g.
+// `type Part is [Sub: PartSET]; type PartSET is {Part};` must parse.
+// Resolution therefore creates type shells first, fills attribute and
+// element references afterwards, and only forbids cycles through the
+// supertype graph and through pure set/list element chains.
+func (p *schemaParser) resolve() (*Schema, []VarDecl, error) {
+	s := NewSchema()
+	byName := make(map[string]*typeDecl, len(p.types))
+
+	// Phase 1: register a shell per declaration.
+	for i := range p.types {
+		d := &p.types[i]
+		if _, dup := byName[d.name]; dup {
+			return nil, nil, fmt.Errorf("gom: schema line %d: type %q declared twice", d.line, d.name)
+		}
+		byName[d.name] = d
+		t := &Type{name: d.name, kind: d.kind}
+		if err := s.register(t); err != nil {
+			return nil, nil, fmt.Errorf("gom: schema line %d: %w", d.line, err)
+		}
+	}
+
+	lookup := func(d *typeDecl, name string) (*Type, error) {
+		t, ok := s.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("gom: schema line %d: type %s references undefined type %q", d.line, d.name, name)
+		}
+		return t, nil
+	}
+
+	// Phase 2: fill references.
+	for i := range p.types {
+		d := &p.types[i]
+		t := s.types[d.name]
+		switch d.kind {
+		case TupleType:
+			for _, sn := range d.supertypes {
+				st, err := lookup(d, sn)
+				if err != nil {
+					return nil, nil, err
+				}
+				if st.kind != TupleType {
+					return nil, nil, fmt.Errorf("gom: schema line %d: supertype %q of %s is not tuple-structured", d.line, sn, d.name)
+				}
+				t.supertypes = append(t.supertypes, st)
+			}
+			for _, a := range d.attrs {
+				at, err := lookup(d, a.typ)
+				if err != nil {
+					return nil, nil, err
+				}
+				t.ownAttrs = append(t.ownAttrs, Attribute{Name: a.name, Type: at})
+			}
+		case SetType, ListType:
+			et, err := lookup(d, d.elem)
+			if err != nil {
+				return nil, nil, err
+			}
+			if d.kind == SetType && et.kind == SetType {
+				return nil, nil, fmt.Errorf("gom: schema line %d: set type %s: powersets are not permitted", d.line, d.name)
+			}
+			t.elem = et
+		}
+	}
+
+	// Phase 3: check the supertype graph is acyclic, then resolve the
+	// inherited attribute sets in supertype-topological order.
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[*Type]int)
+	var order []*Type
+	var visit func(t *Type) error
+	visit = func(t *Type) error {
+		switch state[t] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("gom: schema: supertype cycle through %q", t.name)
+		}
+		state[t] = visiting
+		for _, sup := range t.supertypes {
+			if err := visit(sup); err != nil {
+				return err
+			}
+		}
+		state[t] = done
+		order = append(order, t)
+		return nil
+	}
+	for _, d := range p.types {
+		if d.kind == TupleType {
+			if err := visit(s.types[d.name]); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	for _, t := range order {
+		if err := t.resolveAttributes(); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	var vars []VarDecl
+	for _, v := range p.vars {
+		t, ok := s.Lookup(v.typ)
+		if !ok {
+			return nil, nil, fmt.Errorf("gom: schema line %d: var %s: undefined type %q", v.line, v.name, v.typ)
+		}
+		vars = append(vars, VarDecl{Name: v.name, Type: t})
+	}
+	return s, vars, nil
+}

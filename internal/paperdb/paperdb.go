@@ -1,0 +1,243 @@
+// Package paperdb builds the two running-example databases of Kemper &
+// Moerkotte's "Access Support in Object Bases": the robot database of
+// Figure 1 (a linear path) and the company database of Figure 2 (a path
+// with set occurrences). Tests, examples, and benchmarks share these
+// fixtures so the paper's printed extension tables can be checked
+// verbatim.
+package paperdb
+
+import (
+	"fmt"
+
+	"asr/internal/gom"
+)
+
+// RobotSchemaSrc is the schema of §2.2 in the paper's declaration syntax.
+const RobotSchemaSrc = `
+type ROBOT_SET is {ROBOT};
+type ROBOT is [Name: STRING, Arm: ARM];
+type ARM is [Kinematics: STRING, MountedTool: TOOL];
+type TOOL is [Function: STRING, ManufacturedBy: MANUFACTURER];
+type MANUFACTURER is [Name: STRING, Location: STRING];
+var OurRobots: ROBOT_SET;
+`
+
+// CompanySchemaSrc is the schema of §2.3.
+const CompanySchemaSrc = `
+type Company is {Division};
+type Division is [Name: STRING, Manufactures: ProdSET];
+type ProdSET is {Product};
+type Product is [Name: STRING, Composition: BasePartSET];
+type BasePartSET is {BasePart};
+type BasePart is [Name: STRING, Price: DECIMAL];
+var Mercedes: Company;
+`
+
+// Robots holds the Figure 1 extension. OID fields use the paper's i_k
+// numbering where the paper assigns one (i0, i1, i2, i3, i5..i9); the
+// object base allocates its own OIDs, so the fields below carry the
+// actual identifiers.
+type Robots struct {
+	Schema *gom.Schema
+	Base   *gom.ObjectBase
+
+	OurRobots gom.OID // the ROBOT_SET bound to var OurRobots
+
+	R2D2, X4D5, Robi          gom.OID // ROBOT i0, i5, i8
+	ArmR2D2, ArmX4D5, ArmRobi gom.OID // ARM i1, i6, i9
+	Welder, Gripper           gom.OID // TOOL i2, i7
+	RobClone                  gom.OID // MANUFACTURER i3
+
+	// Path is ROBOT.Arm.MountedTool.ManufacturedBy.Location (Query 1).
+	Path *gom.PathExpression
+}
+
+// BuildRobots constructs the Figure 1 extension:
+//
+//	i0 R2D2   -> i1 -> i2 welding  -> i3 RobClone/Utopia
+//	i5 X4D5   -> i6 -> i7 gripping -> i3
+//	i8 Robi   -> i9 -> i7
+func BuildRobots() *Robots {
+	schema, vars := gom.MustParseSchema(RobotSchemaSrc)
+	ob := gom.NewObjectBase(schema)
+	r := &Robots{Schema: schema, Base: ob}
+
+	robotT := schema.MustLookup("ROBOT")
+	armT := schema.MustLookup("ARM")
+	toolT := schema.MustLookup("TOOL")
+	manuT := schema.MustLookup("MANUFACTURER")
+
+	set := ob.MustNew(schema.MustLookup("ROBOT_SET"))
+	r.OurRobots = set.ID()
+	if len(vars) != 1 || vars[0].Name != "OurRobots" {
+		panic("paperdb: robot schema vars changed")
+	}
+	if err := ob.BindVar("OurRobots", set.ID()); err != nil {
+		panic(err)
+	}
+
+	robClone := ob.MustNew(manuT)
+	r.RobClone = robClone.ID()
+	ob.MustSetAttr(robClone.ID(), "Name", gom.String("RobClone"))
+	ob.MustSetAttr(robClone.ID(), "Location", gom.String("Utopia"))
+
+	welder := ob.MustNew(toolT)
+	r.Welder = welder.ID()
+	ob.MustSetAttr(welder.ID(), "Function", gom.String("welding"))
+	ob.MustSetAttr(welder.ID(), "ManufacturedBy", gom.Ref(robClone.ID()))
+
+	gripper := ob.MustNew(toolT)
+	r.Gripper = gripper.ID()
+	ob.MustSetAttr(gripper.ID(), "Function", gom.String("gripping"))
+	ob.MustSetAttr(gripper.ID(), "ManufacturedBy", gom.Ref(robClone.ID()))
+
+	mkRobot := func(name string, tool gom.OID) (robot, arm gom.OID) {
+		a := ob.MustNew(armT)
+		ob.MustSetAttr(a.ID(), "Kinematics", gom.String("kinematics of "+name))
+		if !tool.IsNil() {
+			ob.MustSetAttr(a.ID(), "MountedTool", gom.Ref(tool))
+		}
+		ro := ob.MustNew(robotT)
+		ob.MustSetAttr(ro.ID(), "Name", gom.String(name))
+		ob.MustSetAttr(ro.ID(), "Arm", gom.Ref(a.ID()))
+		ob.MustInsertIntoSet(set.ID(), gom.Ref(ro.ID()))
+		return ro.ID(), a.ID()
+	}
+	r.R2D2, r.ArmR2D2 = mkRobot("R2D2", welder.ID())
+	r.X4D5, r.ArmX4D5 = mkRobot("X4D5", gripper.ID())
+	r.Robi, r.ArmRobi = mkRobot("Robi", gripper.ID())
+
+	r.Path = gom.MustResolvePath(robotT, "Arm", "MountedTool", "ManufacturedBy", "Location")
+	return r
+}
+
+// Company holds the Figure 2 extension. The OID numbering follows the
+// figure: i1..i3 divisions, i4/i5 product sets, i6/i9/i11 products,
+// i7/i10/i13 base-part sets, i8/i14 base parts.
+type Company struct {
+	Schema *gom.Schema
+	Base   *gom.ObjectBase
+
+	Mercedes gom.OID // the Company set object, i0
+
+	DivAuto, DivTruck, DivSpace  gom.OID // i1, i2, i3
+	ProdSetAuto, ProdSetTruck    gom.OID // i4, i5
+	Prod560SEC, ProdMBTrak       gom.OID // i6, i9
+	ProdSausage                  gom.OID // i11 (not in any division)
+	Parts560SEC, PartsExtra      gom.OID // i7, i10 (i10 referenced by nothing)
+	PartsSausage                 gom.OID // i13
+	PartDoor, PartPepper         gom.OID // i8, i14
+	Path                         *gom.PathExpression
+	PathWithValue, PathToProduct *gom.PathExpression
+}
+
+// BuildCompany constructs the Figure 2 extension:
+//
+//	Mercedes = {i1 Auto, i2 Truck, i3 Space}
+//	i1.Manufactures = i4 = {i6}
+//	i2.Manufactures = i5 = {i6, i9}
+//	i3.Manufactures = NULL
+//	i6 "560 SEC".Composition = i7 = {i8 Door}
+//	i9 "MB Trak".Composition = NULL
+//	i11 "Sausage".Composition = i13 = {i14 Pepper}   (i11 not in any ProdSET)
+//	i10 = {i8}                                       (a ProdSET-less BasePartSET)
+func BuildCompany() *Company {
+	schema, vars := gom.MustParseSchema(CompanySchemaSrc)
+	ob := gom.NewObjectBase(schema)
+	c := &Company{Schema: schema, Base: ob}
+
+	divisionT := schema.MustLookup("Division")
+	prodSetT := schema.MustLookup("ProdSET")
+	productT := schema.MustLookup("Product")
+	basePartSetT := schema.MustLookup("BasePartSET")
+	basePartT := schema.MustLookup("BasePart")
+
+	company := ob.MustNew(schema.MustLookup("Company"))
+	c.Mercedes = company.ID()
+	if len(vars) != 1 || vars[0].Name != "Mercedes" {
+		panic("paperdb: company schema vars changed")
+	}
+	if err := ob.BindVar("Mercedes", company.ID()); err != nil {
+		panic(err)
+	}
+
+	door := ob.MustNew(basePartT)
+	c.PartDoor = door.ID()
+	ob.MustSetAttr(door.ID(), "Name", gom.String("Door"))
+	ob.MustSetAttr(door.ID(), "Price", gom.Decimal(1205.50))
+
+	pepper := ob.MustNew(basePartT)
+	c.PartPepper = pepper.ID()
+	ob.MustSetAttr(pepper.ID(), "Name", gom.String("Pepper"))
+	ob.MustSetAttr(pepper.ID(), "Price", gom.Decimal(0.12))
+
+	parts560 := ob.MustNew(basePartSetT)
+	c.Parts560SEC = parts560.ID()
+	ob.MustInsertIntoSet(parts560.ID(), gom.Ref(door.ID()))
+
+	partsExtra := ob.MustNew(basePartSetT)
+	c.PartsExtra = partsExtra.ID()
+	ob.MustInsertIntoSet(partsExtra.ID(), gom.Ref(door.ID()))
+
+	partsSausage := ob.MustNew(basePartSetT)
+	c.PartsSausage = partsSausage.ID()
+	ob.MustInsertIntoSet(partsSausage.ID(), gom.Ref(pepper.ID()))
+
+	p560 := ob.MustNew(productT)
+	c.Prod560SEC = p560.ID()
+	ob.MustSetAttr(p560.ID(), "Name", gom.String("560 SEC"))
+	ob.MustSetAttr(p560.ID(), "Composition", gom.Ref(parts560.ID()))
+
+	mbTrak := ob.MustNew(productT)
+	c.ProdMBTrak = mbTrak.ID()
+	ob.MustSetAttr(mbTrak.ID(), "Name", gom.String("MB Trak"))
+	// Composition stays NULL.
+
+	sausage := ob.MustNew(productT)
+	c.ProdSausage = sausage.ID()
+	ob.MustSetAttr(sausage.ID(), "Name", gom.String("Sausage"))
+	ob.MustSetAttr(sausage.ID(), "Composition", gom.Ref(partsSausage.ID()))
+
+	prodAuto := ob.MustNew(prodSetT)
+	c.ProdSetAuto = prodAuto.ID()
+	ob.MustInsertIntoSet(prodAuto.ID(), gom.Ref(p560.ID()))
+
+	prodTruck := ob.MustNew(prodSetT)
+	c.ProdSetTruck = prodTruck.ID()
+	ob.MustInsertIntoSet(prodTruck.ID(), gom.Ref(p560.ID()))
+	ob.MustInsertIntoSet(prodTruck.ID(), gom.Ref(mbTrak.ID()))
+
+	mkDiv := func(name string, prodSet gom.OID) gom.OID {
+		d := ob.MustNew(divisionT)
+		ob.MustSetAttr(d.ID(), "Name", gom.String(name))
+		if !prodSet.IsNil() {
+			ob.MustSetAttr(d.ID(), "Manufactures", gom.Ref(prodSet))
+		}
+		ob.MustInsertIntoSet(company.ID(), gom.Ref(d.ID()))
+		return d.ID()
+	}
+	c.DivAuto = mkDiv("Auto", prodAuto.ID())
+	c.DivTruck = mkDiv("Truck", prodTruck.ID())
+	c.DivSpace = mkDiv("Space", gom.NilOID)
+
+	c.Path = gom.MustResolvePath(divisionT, "Manufactures", "Composition", "Name")
+	c.PathWithValue = c.Path
+	c.PathToProduct = gom.MustResolvePath(divisionT, "Manufactures")
+	return c
+}
+
+// Describe dumps the extension in Figure 2 style for debugging.
+func (c *Company) Describe() string {
+	s := ""
+	for _, id := range []gom.OID{c.Mercedes, c.DivAuto, c.DivTruck, c.DivSpace,
+		c.ProdSetAuto, c.ProdSetTruck, c.Prod560SEC, c.ProdMBTrak, c.ProdSausage,
+		c.Parts560SEC, c.PartsExtra, c.PartsSausage, c.PartDoor, c.PartPepper} {
+		o, ok := c.Base.Get(id)
+		if !ok {
+			s += fmt.Sprintf("%s: <deleted>\n", id)
+			continue
+		}
+		s += o.String() + "\n"
+	}
+	return s
+}

@@ -1,0 +1,97 @@
+package paperdb
+
+import (
+	"strings"
+	"testing"
+
+	"asr/internal/gom"
+)
+
+func TestRobotsFixtureMatchesFigure1(t *testing.T) {
+	r := BuildRobots()
+	// Three robots, three arms, two tools, one manufacturer, one set.
+	if got := len(r.Base.Extent(r.Schema.MustLookup("ROBOT"), true)); got != 3 {
+		t.Errorf("robots = %d", got)
+	}
+	if got := len(r.Base.Extent(r.Schema.MustLookup("TOOL"), true)); got != 2 {
+		t.Errorf("tools = %d", got)
+	}
+	// Figure 1 wiring: R2D2 -> arm -> welder -> RobClone.
+	arm, _ := r.Base.Get(r.R2D2)
+	if arm.AttrOID("Arm") != r.ArmR2D2 {
+		t.Error("R2D2 arm wiring wrong")
+	}
+	a, _ := r.Base.Get(r.ArmR2D2)
+	if a.AttrOID("MountedTool") != r.Welder {
+		t.Error("R2D2 tool wiring wrong")
+	}
+	w, _ := r.Base.Get(r.Welder)
+	if w.AttrOID("ManufacturedBy") != r.RobClone {
+		t.Error("welder manufacturer wiring wrong")
+	}
+	// X4D5 and Robi share the gripper (shared subobject, §2).
+	ax, _ := r.Base.Get(r.ArmX4D5)
+	ar, _ := r.Base.Get(r.ArmRobi)
+	if ax.AttrOID("MountedTool") != r.Gripper || ar.AttrOID("MountedTool") != r.Gripper {
+		t.Error("gripper sharing wrong")
+	}
+	// var OurRobots bound and holding all three robots.
+	id, ok := r.Base.Var("OurRobots")
+	if !ok || id != r.OurRobots {
+		t.Error("OurRobots var missing")
+	}
+	set, _ := r.Base.Get(id)
+	if set.Len() != 3 {
+		t.Errorf("OurRobots has %d members", set.Len())
+	}
+	if errs := r.Base.CheckIntegrity(); len(errs) != 0 {
+		t.Fatalf("integrity: %v", errs)
+	}
+	if r.Path.String() != "ROBOT.Arm.MountedTool.ManufacturedBy.Location" {
+		t.Errorf("path = %s", r.Path)
+	}
+}
+
+func TestCompanyFixtureMatchesFigure2(t *testing.T) {
+	c := BuildCompany()
+	// Mercedes = {Auto, Truck, Space}.
+	mer, _ := c.Base.Get(c.Mercedes)
+	if mer.Len() != 3 {
+		t.Errorf("Mercedes has %d divisions", mer.Len())
+	}
+	// Space has NULL Manufactures (Figure 2).
+	space, _ := c.Base.Get(c.DivSpace)
+	if v, _ := space.Attr("Manufactures"); v != nil {
+		t.Error("Space should have NULL Manufactures")
+	}
+	// MBTrak has NULL Composition.
+	mb, _ := c.Base.Get(c.ProdMBTrak)
+	if v, _ := mb.Attr("Composition"); v != nil {
+		t.Error("MBTrak should have NULL Composition")
+	}
+	// ProdSET sharing: 560SEC is in both Auto's and Truck's sets (i6 in
+	// i4 and i5).
+	pa, _ := c.Base.Get(c.ProdSetAuto)
+	pt, _ := c.Base.Get(c.ProdSetTruck)
+	if !pa.Contains(gom.Ref(c.Prod560SEC)) || !pt.Contains(gom.Ref(c.Prod560SEC)) {
+		t.Error("560SEC sharing wrong")
+	}
+	// The dangling i10-style BasePartSET exists and references Door.
+	extra, _ := c.Base.Get(c.PartsExtra)
+	if !extra.Contains(gom.Ref(c.PartDoor)) {
+		t.Error("PartsExtra should contain Door")
+	}
+	// Sausage is in no division's set.
+	if pa.Contains(gom.Ref(c.ProdSausage)) || pt.Contains(gom.Ref(c.ProdSausage)) {
+		t.Error("Sausage must be unreachable from divisions")
+	}
+	if errs := c.Base.CheckIntegrity(); len(errs) != 0 {
+		t.Fatalf("integrity: %v", errs)
+	}
+	desc := c.Describe()
+	for _, want := range []string{"Auto", "Truck", "Space", "560 SEC", "Pepper"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("Describe missing %q", want)
+		}
+	}
+}

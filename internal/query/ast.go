@@ -1,0 +1,90 @@
+// Package query implements the paper's SQL-like query notation (§2.2,
+// §2.3) over GOM object bases:
+//
+//	select r.Name
+//	from r in OurRobots
+//	where r.Arm.MountedTool.ManufacturedBy.Location = "Utopia"
+//
+//	select d.Name
+//	from d in Mercedes, b in d.Manufactures.Composition
+//	where b.Name = "Door"
+//
+// Queries are parsed, resolved against the schema, and evaluated either
+// by object traversal or — when an asr.Manager with a matching access
+// support relation is supplied — by rewriting predicates into backward
+// index queries over the composed path expression, the optimization the
+// paper's ASRs exist for.
+package query
+
+import (
+	"strings"
+
+	"asr/internal/gom"
+)
+
+// Path is a dotted attribute chain anchored at a range variable.
+type Path struct {
+	Var   string
+	Attrs []string
+}
+
+// String renders v.A.B.C.
+func (p Path) String() string {
+	if len(p.Attrs) == 0 {
+		return p.Var
+	}
+	return p.Var + "." + strings.Join(p.Attrs, ".")
+}
+
+// Range is one `v in source` clause. Exactly one of Collection (a bound
+// database variable naming a set object) or Dependent (a path from an
+// earlier range variable) is set.
+type Range struct {
+	Var        string
+	Collection string
+	Dependent  *Path
+}
+
+// Predicate is one `path = literal` conjunct.
+type Predicate struct {
+	Path    Path
+	Literal gom.Value
+}
+
+// Query is a parsed select-from-where block.
+type Query struct {
+	Projection Path
+	Ranges     []Range
+	Where      []Predicate
+}
+
+// String re-renders the query in the paper's notation.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("select ")
+	b.WriteString(q.Projection.String())
+	b.WriteString(" from ")
+	for i, r := range q.Ranges {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(r.Var)
+		b.WriteString(" in ")
+		if r.Dependent != nil {
+			b.WriteString(r.Dependent.String())
+		} else {
+			b.WriteString(r.Collection)
+		}
+	}
+	for i, p := range q.Where {
+		if i == 0 {
+			b.WriteString(" where ")
+		} else {
+			b.WriteString(" and ")
+		}
+		b.WriteString(p.Path.String())
+		b.WriteString(" = ")
+		b.WriteString(gom.ValueString(p.Literal))
+	}
+	return b.String()
+}

@@ -1,0 +1,362 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"asr/internal/asr"
+	"asr/internal/gom"
+)
+
+// Engine evaluates parsed queries against an object base. With a
+// non-nil asr.Manager, where-predicates whose composed path expression
+// has a usable access support relation are rewritten into backward index
+// queries that pre-filter the outer collection — the paper's intended
+// use of ASRs in query evaluation (§5).
+type Engine struct {
+	ob  *gom.ObjectBase
+	mgr *asr.Manager
+}
+
+// New creates a query engine; mgr may be nil for pure traversal.
+func New(ob *gom.ObjectBase, mgr *asr.Manager) *Engine {
+	return &Engine{ob: ob, mgr: mgr}
+}
+
+// Result carries the projected values (set semantics, deterministic
+// order) and a human-readable plan describing index use.
+type Result struct {
+	Values []gom.Value
+	Plan   string
+}
+
+// binding resolution -------------------------------------------------
+
+type boundRange struct {
+	r        Range
+	elemType *gom.Type
+	// For collection ranges: the set object to iterate.
+	setOID gom.OID
+	// For dependent ranges: the resolved path and parent slot.
+	path      *gom.PathExpression
+	parentIdx int
+}
+
+type resolved struct {
+	q      *Query
+	ranges []boundRange
+	byVar  map[string]int
+	// Per where-predicate resolved paths (anchored at the range var).
+	predPaths []*gom.PathExpression
+	projPath  *gom.PathExpression // nil for bare-var projection
+}
+
+func (e *Engine) resolve(q *Query) (*resolved, error) {
+	r := &resolved{q: q, byVar: map[string]int{}}
+	for idx, rng := range q.Ranges {
+		if _, dup := r.byVar[rng.Var]; dup {
+			return nil, fmt.Errorf("query: duplicate range variable %q", rng.Var)
+		}
+		br := boundRange{r: rng}
+		if rng.Dependent == nil {
+			id, ok := e.ob.Var(rng.Collection)
+			if !ok {
+				return nil, fmt.Errorf("query: unknown collection %q", rng.Collection)
+			}
+			setObj, ok := e.ob.Get(id)
+			if !ok {
+				return nil, fmt.Errorf("query: collection %q refers to a deleted object", rng.Collection)
+			}
+			k := setObj.Type().Kind()
+			if k != gom.SetType && k != gom.ListType {
+				return nil, fmt.Errorf("query: %q is not a collection", rng.Collection)
+			}
+			br.setOID = id
+			br.elemType = setObj.Type().Elem()
+		} else {
+			parent, ok := r.byVar[rng.Dependent.Var]
+			if !ok {
+				return nil, fmt.Errorf("query: range %q depends on undefined variable %q", rng.Var, rng.Dependent.Var)
+			}
+			pt := r.ranges[parent].elemType
+			path, err := gom.ResolvePath(pt, rng.Dependent.Attrs...)
+			if err != nil {
+				return nil, err
+			}
+			last := path.Step(path.Len())
+			if last.Range.Kind() == gom.AtomicType {
+				return nil, fmt.Errorf("query: range %q iterates atomic values (%s)", rng.Var, path)
+			}
+			br.path = path
+			br.parentIdx = parent
+			br.elemType = last.Range
+		}
+		r.byVar[rng.Var] = idx
+		r.ranges = append(r.ranges, br)
+	}
+	for _, pred := range q.Where {
+		idx, ok := r.byVar[pred.Path.Var]
+		if !ok {
+			return nil, fmt.Errorf("query: predicate references undefined variable %q", pred.Path.Var)
+		}
+		if len(pred.Path.Attrs) == 0 {
+			return nil, fmt.Errorf("query: predicate %s compares an object variable to a literal", pred.Path)
+		}
+		p, err := gom.ResolvePath(r.ranges[idx].elemType, pred.Path.Attrs...)
+		if err != nil {
+			return nil, err
+		}
+		r.predPaths = append(r.predPaths, p)
+	}
+	idx, ok := r.byVar[q.Projection.Var]
+	if !ok {
+		return nil, fmt.Errorf("query: projection references undefined variable %q", q.Projection.Var)
+	}
+	if len(q.Projection.Attrs) > 0 {
+		p, err := gom.ResolvePath(r.ranges[idx].elemType, q.Projection.Attrs...)
+		if err != nil {
+			return nil, err
+		}
+		r.projPath = p
+	}
+	return r, nil
+}
+
+// composedPath builds the path from the outermost collection's element
+// type through the dependent-range chain of var #idx, extended by extra
+// attributes; ok is false when the chain does not bottom out at range 0
+// or the composition does not resolve.
+func (r *resolved) composedPath(idx int, extra []string) (*gom.PathExpression, bool) {
+	var chain []string
+	for cur := idx; ; {
+		br := r.ranges[cur]
+		if br.r.Dependent == nil {
+			if cur != 0 {
+				return nil, false
+			}
+			break
+		}
+		chain = append(br.r.Dependent.Attrs[:len(br.r.Dependent.Attrs):len(br.r.Dependent.Attrs)], chain...)
+		cur = br.parentIdx
+	}
+	chain = append(chain, extra...)
+	if len(chain) == 0 {
+		return nil, false
+	}
+	p, err := gom.ResolvePath(r.ranges[0].elemType, chain...)
+	if err != nil {
+		return nil, false
+	}
+	return p, true
+}
+
+// Run evaluates the query.
+func (e *Engine) Run(q *Query) (*Result, error) {
+	r, err := e.resolve(q)
+	if err != nil {
+		return nil, err
+	}
+	if r.ranges[0].r.Dependent != nil {
+		return nil, fmt.Errorf("query: first range must iterate a collection")
+	}
+	setObj, ok := e.ob.Get(r.ranges[0].setOID)
+	if !ok {
+		return nil, fmt.Errorf("query: collection object deleted")
+	}
+	anchors := setObj.ElementOIDs()
+	var planNotes []string
+
+	// Index pre-filter: a predicate whose anchor chains back to range 0
+	// composes into a path from the collection's element type; if the
+	// manager holds a usable index over it, a backward query narrows the
+	// anchors before the nested-loop evaluation.
+	if e.mgr != nil {
+		for pi, pred := range q.Where {
+			idx := r.byVar[pred.Path.Var]
+			composed, ok := r.composedPath(idx, pred.Path.Attrs)
+			if !ok {
+				continue
+			}
+			if ix := e.mgr.FindIndex(composed, 0, composed.Len()); ix != nil {
+				sat, err := e.mgr.QueryBackward(composed, 0, composed.Len(), q.Where[pi].Literal)
+				if err != nil {
+					return nil, err
+				}
+				keep := map[gom.OID]bool{}
+				for _, id := range asr.OIDsOf(sat) {
+					keep[id] = true
+				}
+				var filtered []gom.OID
+				for _, a := range anchors {
+					if keep[a] {
+						filtered = append(filtered, a)
+					}
+				}
+				anchors = filtered
+				planNotes = append(planNotes,
+					fmt.Sprintf("predicate %s = %s via ASR on %s (%d/%d anchors remain)",
+						pred.Path, gom.ValueString(pred.Literal), composed, len(anchors), setObj.Len()))
+			}
+		}
+	}
+	// Index-backed projection: when the projection path composes from the
+	// outer collection and an ASR covers it, project each surviving
+	// anchor through a forward index query instead of traversal.
+	var projIx *asr.Index
+	var projComposed *gom.PathExpression
+	if e.mgr != nil && r.projPath != nil && r.byVar[q.Projection.Var] == 0 {
+		if composed, ok := r.composedPath(0, q.Projection.Attrs); ok {
+			if ix := e.mgr.FindIndex(composed, 0, composed.Len()); ix != nil {
+				projIx = ix
+				projComposed = composed
+				planNotes = append(planNotes,
+					fmt.Sprintf("projection %s via ASR on %s", q.Projection, composed))
+			}
+		}
+	}
+	if len(planNotes) == 0 {
+		planNotes = append(planNotes, "nested-loop traversal (no usable access support relation)")
+	}
+
+	out := map[string]gom.Value{}
+	bindings := make([]gom.OID, len(r.ranges))
+	var loop func(depth int) error
+	loop = func(depth int) error {
+		if depth == len(r.ranges) {
+			for pi := range q.Where {
+				v := bindings[r.byVar[q.Where[pi].Path.Var]]
+				if !e.pathHasValue(v, r.predPaths[pi], q.Where[pi].Literal) {
+					return nil
+				}
+			}
+			projVar := bindings[r.byVar[q.Projection.Var]]
+			if r.projPath == nil {
+				out[gom.Ref(projVar).String()] = gom.Ref(projVar)
+				return nil
+			}
+			if projIx != nil {
+				vals, err := projIx.QueryForward(0, projComposed.Len(), gom.Ref(projVar))
+				if err == nil {
+					for _, v := range vals {
+						out[gom.ValueString(v)] = v
+					}
+					return nil
+				}
+				// Fall back below on any index error.
+			}
+			for _, v := range e.evalPath(projVar, r.projPath) {
+				out[gom.ValueString(v)] = v
+			}
+			return nil
+		}
+		br := r.ranges[depth]
+		var members []gom.OID
+		if depth == 0 {
+			members = anchors
+		} else if br.r.Dependent == nil {
+			so, ok := e.ob.Get(br.setOID)
+			if !ok {
+				return fmt.Errorf("query: collection object deleted")
+			}
+			members = so.ElementOIDs()
+		} else {
+			for _, v := range e.evalPath(bindings[br.parentIdx], br.path) {
+				if ref, ok := v.(gom.Ref); ok {
+					members = append(members, ref.OID())
+				}
+			}
+		}
+		for _, id := range members {
+			bindings[depth] = id
+			if err := loop(depth + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := loop(0); err != nil {
+		return nil, err
+	}
+
+	keys := make([]string, 0, len(out))
+	for k := range out {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	res := &Result{Plan: strings.Join(planNotes, "; ")}
+	for _, k := range keys {
+		res.Values = append(res.Values, out[k])
+	}
+	return res, nil
+}
+
+// evalPath traverses a resolved path from one object, returning all
+// reachable final values (objects or atomic values).
+func (e *Engine) evalPath(start gom.OID, path *gom.PathExpression) []gom.Value {
+	cur := []gom.Value{gom.Ref(start)}
+	for s := 1; s <= path.Len(); s++ {
+		step := path.Step(s)
+		var next []gom.Value
+		seen := map[string]bool{}
+		add := func(v gom.Value) {
+			k := gom.ValueString(v)
+			if !seen[k] {
+				seen[k] = true
+				next = append(next, v)
+			}
+		}
+		for _, v := range cur {
+			ref, ok := v.(gom.Ref)
+			if !ok {
+				continue
+			}
+			o, ok := e.ob.Get(ref.OID())
+			if !ok {
+				continue
+			}
+			av, _ := o.Attr(step.Attr)
+			if av == nil {
+				continue
+			}
+			if step.IsSetOccurrence() {
+				sref, ok := av.(gom.Ref)
+				if !ok {
+					continue
+				}
+				so, ok := e.ob.Get(sref.OID())
+				if !ok {
+					continue
+				}
+				for _, elem := range so.Elements() {
+					if er, ok := elem.(gom.Ref); ok {
+						if _, live := e.ob.Get(er.OID()); !live {
+							continue
+						}
+					}
+					add(elem)
+				}
+			} else {
+				if ar, ok := av.(gom.Ref); ok {
+					if _, live := e.ob.Get(ar.OID()); !live {
+						continue
+					}
+				}
+				add(av)
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// pathHasValue reports whether any value reachable over path from the
+// object equals want (exists semantics over set-valued steps).
+func (e *Engine) pathHasValue(start gom.OID, path *gom.PathExpression, want gom.Value) bool {
+	for _, v := range e.evalPath(start, path) {
+		if gom.ValuesEqual(v, want) {
+			return true
+		}
+	}
+	return false
+}

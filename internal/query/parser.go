@@ -1,0 +1,272 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"asr/internal/gom"
+)
+
+// Parse parses a select-from-where query in the paper's notation.
+// Keywords are case-insensitive; identifiers are case-sensitive. String
+// literals use double quotes; numeric literals with a '.' parse as
+// DECIMAL, others as INTEGER; true/false as BOOL.
+func Parse(src string) (*Query, error) {
+	p := &qparser{lex: newQLexer(src)}
+	p.advance()
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != qEOF {
+		return nil, p.errf("trailing input %q", p.tok.text)
+	}
+	return q, nil
+}
+
+// MustParse is Parse panicking on error.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type qtokKind int
+
+const (
+	qEOF qtokKind = iota
+	qIdent
+	qString
+	qNumber
+	qPunct // . , = ( )
+)
+
+type qtoken struct {
+	kind qtokKind
+	text string
+	pos  int
+}
+
+type qlexer struct {
+	src string
+	pos int
+}
+
+func newQLexer(src string) *qlexer { return &qlexer{src: src} }
+
+func (l *qlexer) next() (qtoken, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return qtoken{kind: qEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '"':
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			if l.src[l.pos] == '\\' && l.pos+1 < len(l.src) {
+				l.pos++
+			}
+			sb.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return qtoken{}, fmt.Errorf("query: unterminated string at %d", start)
+		}
+		l.pos++ // closing quote
+		return qtoken{kind: qString, text: sb.String(), pos: start}, nil
+	case strings.ContainsRune(".,=()", rune(c)):
+		l.pos++
+		return qtoken{kind: qPunct, text: string(c), pos: start}, nil
+	case c == '-' || unicode.IsDigit(rune(c)):
+		l.pos++
+		for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '.') {
+			// A digit followed by '.' then non-digit is path syntax, but
+			// numbers never anchor paths; consume digits and at most one
+			// dot followed by a digit.
+			if l.src[l.pos] == '.' {
+				if l.pos+1 >= len(l.src) || !unicode.IsDigit(rune(l.src[l.pos+1])) {
+					break
+				}
+			}
+			l.pos++
+		}
+		return qtoken{kind: qNumber, text: l.src[start:l.pos], pos: start}, nil
+	case c == '_' || unicode.IsLetter(rune(c)):
+		l.pos++
+		for l.pos < len(l.src) && (l.src[l.pos] == '_' || unicode.IsLetter(rune(l.src[l.pos])) || unicode.IsDigit(rune(l.src[l.pos]))) {
+			l.pos++
+		}
+		return qtoken{kind: qIdent, text: l.src[start:l.pos], pos: start}, nil
+	default:
+		return qtoken{}, fmt.Errorf("query: unexpected character %q at %d", c, start)
+	}
+}
+
+type qparser struct {
+	lex *qlexer
+	tok qtoken
+	err error
+}
+
+func (p *qparser) advance() {
+	if p.err != nil {
+		return
+	}
+	p.tok, p.err = p.lex.next()
+}
+
+func (p *qparser) errf(format string, args ...any) error {
+	if p.err != nil {
+		return p.err
+	}
+	return fmt.Errorf("query: position %d: %s", p.tok.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *qparser) keyword(kw string) bool {
+	return p.tok.kind == qIdent && strings.EqualFold(p.tok.text, kw)
+}
+
+func (p *qparser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return p.errf("expected %q, found %q", kw, p.tok.text)
+	}
+	p.advance()
+	return p.err
+}
+
+func (p *qparser) ident() (string, error) {
+	if p.tok.kind != qIdent {
+		return "", p.errf("expected identifier, found %q", p.tok.text)
+	}
+	for _, kw := range []string{"select", "from", "where", "in", "and"} {
+		if strings.EqualFold(p.tok.text, kw) {
+			return "", p.errf("keyword %q used as identifier", p.tok.text)
+		}
+	}
+	s := p.tok.text
+	p.advance()
+	return s, p.err
+}
+
+// parsePath parses v or v.A.B…
+func (p *qparser) parsePath() (Path, error) {
+	v, err := p.ident()
+	if err != nil {
+		return Path{}, err
+	}
+	path := Path{Var: v}
+	for p.tok.kind == qPunct && p.tok.text == "." {
+		p.advance()
+		a, err := p.ident()
+		if err != nil {
+			return Path{}, err
+		}
+		path.Attrs = append(path.Attrs, a)
+	}
+	return path, p.err
+}
+
+func (p *qparser) parseLiteral() (gom.Value, error) {
+	switch {
+	case p.tok.kind == qString:
+		s := p.tok.text
+		p.advance()
+		return gom.String(s), p.err
+	case p.tok.kind == qNumber:
+		text := p.tok.text
+		p.advance()
+		if strings.Contains(text, ".") {
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, p.errf("bad decimal %q", text)
+			}
+			return gom.Decimal(f), p.err
+		}
+		n, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer %q", text)
+		}
+		return gom.Integer(n), p.err
+	case p.keyword("true"):
+		p.advance()
+		return gom.Bool(true), p.err
+	case p.keyword("false"):
+		p.advance()
+		return gom.Bool(false), p.err
+	default:
+		return nil, p.errf("expected literal, found %q", p.tok.text)
+	}
+}
+
+func (p *qparser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	proj, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	q := &Query{Projection: proj}
+	for {
+		v, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("in"); err != nil {
+			return nil, err
+		}
+		src, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		r := Range{Var: v}
+		if len(src.Attrs) == 0 {
+			r.Collection = src.Var
+		} else {
+			dep := src
+			r.Dependent = &dep
+		}
+		q.Ranges = append(q.Ranges, r)
+		if p.tok.kind == qPunct && p.tok.text == "," {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if p.keyword("where") {
+		p.advance()
+		for {
+			path, err := p.parsePath()
+			if err != nil {
+				return nil, err
+			}
+			if !(p.tok.kind == qPunct && p.tok.text == "=") {
+				return nil, p.errf("expected '=', found %q", p.tok.text)
+			}
+			p.advance()
+			lit, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, Predicate{Path: path, Literal: lit})
+			if p.keyword("and") {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	return q, p.err
+}

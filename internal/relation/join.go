@@ -1,0 +1,127 @@
+package relation
+
+import (
+	"fmt"
+)
+
+// JoinKind selects one of the four join operators of §3: the natural
+// join ⨝ and the full/left/right outer joins ⟗/⟕/⟖, all taken "on the
+// last column of the first relation and the first column of the second"
+// (Definition 3.4).
+type JoinKind int
+
+// The four join kinds.
+const (
+	NaturalJoin JoinKind = iota
+	FullOuterJoin
+	LeftOuterJoin
+	RightOuterJoin
+)
+
+// String names the operator.
+func (k JoinKind) String() string {
+	switch k {
+	case NaturalJoin:
+		return "join"
+	case FullOuterJoin:
+		return "full-outer-join"
+	case LeftOuterJoin:
+		return "left-outer-join"
+	case RightOuterJoin:
+		return "right-outer-join"
+	default:
+		return fmt.Sprintf("JoinKind(%d)", int(k))
+	}
+}
+
+// Join computes l ∘ r for the chosen operator, joining on l's last and
+// r's first column. The join column appears once in the result. NULL
+// join values never match (a partial path ending in NULL has no
+// continuation); under the outer variants, unmatched tuples are padded
+// with NULLs on the opposite side. The result has arity
+// l.Arity()+r.Arity()-1.
+func Join(kind JoinKind, name string, l, r *Relation) (*Relation, error) {
+	if l.Arity() == 0 || r.Arity() == 0 {
+		return nil, fmt.Errorf("relation: join %s: empty-arity operand", name)
+	}
+	cols := append(l.Columns(), r.Columns()[1:]...)
+	out := New(name, cols...)
+
+	// Hash r by its first column.
+	index := make(map[string][]Tuple, r.Cardinality())
+	for _, rt := range r.Tuples() {
+		if rt[0] == nil {
+			continue // NULL never matches
+		}
+		k := rt[0].String()
+		index[k] = append(index[k], rt)
+	}
+	matchedRight := make(map[string]bool)
+
+	for _, lt := range l.Tuples() {
+		var matches []Tuple
+		if last := lt[len(lt)-1]; last != nil {
+			matches = index[last.String()]
+		}
+		if len(matches) == 0 {
+			if kind == FullOuterJoin || kind == LeftOuterJoin {
+				row := make(Tuple, len(cols))
+				copy(row, lt)
+				out.rows[row.Key()] = row
+			}
+			continue
+		}
+		for _, rt := range matches {
+			row := make(Tuple, 0, len(cols))
+			row = append(row, lt...)
+			row = append(row, rt[1:]...)
+			out.rows[row.Key()] = row
+			matchedRight[rt.Key()] = true
+		}
+	}
+
+	if kind == FullOuterJoin || kind == RightOuterJoin {
+		for _, rt := range r.Tuples() {
+			if matchedRight[rt.Key()] {
+				continue
+			}
+			row := make(Tuple, len(cols))
+			copy(row[l.Arity()-1:], rt)
+			out.rows[row.Key()] = row
+		}
+	}
+	return out, nil
+}
+
+// JoinChain folds a sequence of relations with the same operator. The
+// assoc parameter matters for outer joins: the paper builds E_left
+// left-associatively ((E_0 ⟕ E_1) ⟕ …, Definition 3.6) and E_right
+// right-associatively (E_0 ⟖ (… ⟖ E_{n-1}), Definition 3.7).
+func JoinChain(kind JoinKind, name string, leftAssoc bool, rels ...*Relation) (*Relation, error) {
+	if len(rels) == 0 {
+		return nil, fmt.Errorf("relation: JoinChain %s: no operands", name)
+	}
+	if len(rels) == 1 {
+		return rels[0].Clone(name), nil
+	}
+	var acc *Relation
+	var err error
+	if leftAssoc {
+		acc = rels[0]
+		for _, r := range rels[1:] {
+			acc, err = Join(kind, name, acc, r)
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		acc = rels[len(rels)-1]
+		for i := len(rels) - 2; i >= 0; i-- {
+			acc, err = Join(kind, name, rels[i], acc)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return acc, nil
+}

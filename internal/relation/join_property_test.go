@@ -1,0 +1,131 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"asr/internal/gom"
+)
+
+// referenceJoin is a deliberately naive nested-loop implementation of
+// the four join operators, used as the oracle for property tests.
+func referenceJoin(kind JoinKind, l, r *Relation) *Relation {
+	cols := append(l.Columns(), r.Columns()[1:]...)
+	out := New("ref", cols...)
+	matchedLeft := map[string]bool{}
+	matchedRight := map[string]bool{}
+	for _, lt := range l.Tuples() {
+		for _, rt := range r.Tuples() {
+			lv, rv := lt[len(lt)-1], rt[0]
+			if lv == nil || rv == nil || !lv.Equal(rv) {
+				continue
+			}
+			row := append(append(Tuple{}, lt...), rt[1:]...)
+			out.MustInsert(row)
+			matchedLeft[lt.Key()] = true
+			matchedRight[rt.Key()] = true
+		}
+	}
+	if kind == FullOuterJoin || kind == LeftOuterJoin {
+		for _, lt := range l.Tuples() {
+			if matchedLeft[lt.Key()] {
+				continue
+			}
+			row := make(Tuple, len(cols))
+			copy(row, lt)
+			out.MustInsert(row)
+		}
+	}
+	if kind == FullOuterJoin || kind == RightOuterJoin {
+		for _, rt := range r.Tuples() {
+			if matchedRight[rt.Key()] {
+				continue
+			}
+			row := make(Tuple, len(cols))
+			copy(row[l.Arity()-1:], rt)
+			out.MustInsert(row)
+		}
+	}
+	return out
+}
+
+// randomRelation builds a relation whose join-column values come from a
+// small domain (to force matches) and include NULLs.
+func randomRelation(rng *rand.Rand, name string, arity, rows, domain int) *Relation {
+	cols := make([]string, arity)
+	for i := range cols {
+		cols[i] = string(rune('A' + i))
+	}
+	rel := New(name, cols...)
+	for k := 0; k < rows; k++ {
+		t := make(Tuple, arity)
+		for i := range t {
+			if rng.Intn(6) == 0 {
+				continue // NULL
+			}
+			t[i] = gom.Ref(gom.OID(rng.Intn(domain) + 1))
+		}
+		rel.MustInsert(t)
+	}
+	return rel
+}
+
+func TestJoinMatchesNestedLoopReference(t *testing.T) {
+	f := func(seed int64, la, ra, lr, rr uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := randomRelation(rng, "L", int(la%3)+2, int(lr%12), 5)
+		r := randomRelation(rng, "R", int(ra%3)+2, int(rr%12), 5)
+		for _, kind := range []JoinKind{NaturalJoin, FullOuterJoin, LeftOuterJoin, RightOuterJoin} {
+			got, err := Join(kind, "J", l, r)
+			if err != nil {
+				return false
+			}
+			want := referenceJoin(kind, l, r)
+			if !got.Equal(want) {
+				t.Logf("%v:\nL:\n%v\nR:\n%v\ngot:\n%v\nwant:\n%v", kind, l, r, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinCardinalityBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := randomRelation(rng, "L", 2, 10, 4)
+		r := randomRelation(rng, "R", 2, 10, 4)
+		nat, _ := Join(NaturalJoin, "J", l, r)
+		full, _ := Join(FullOuterJoin, "J", l, r)
+		left, _ := Join(LeftOuterJoin, "J", l, r)
+		right, _ := Join(RightOuterJoin, "J", l, r)
+		// ⨝ ⊆ ⟕,⟖ ⊆ ⟗ in cardinality, and the outer joins never exceed
+		// matches + unmatched-side rows.
+		if !(nat.Cardinality() <= left.Cardinality() &&
+			nat.Cardinality() <= right.Cardinality() &&
+			left.Cardinality() <= full.Cardinality() &&
+			right.Cardinality() <= full.Cardinality()) {
+			return false
+		}
+		if full.Cardinality() > nat.Cardinality()+l.Cardinality()+r.Cardinality() {
+			return false
+		}
+		// Every natural-join row appears in each outer variant.
+		ok := true
+		nat.Each(func(tu Tuple) bool {
+			if !full.Contains(tu) || !left.Contains(tu) || !right.Contains(tu) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

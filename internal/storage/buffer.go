@@ -1,0 +1,280 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// ReplacementPolicy selects the buffer pool's victim strategy.
+type ReplacementPolicy int
+
+// Available replacement policies.
+const (
+	LRU ReplacementPolicy = iota
+	FIFO
+	Clock
+)
+
+// String names the policy.
+func (p ReplacementPolicy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	case Clock:
+		return "clock"
+	default:
+		return fmt.Sprintf("ReplacementPolicy(%d)", int(p))
+	}
+}
+
+// BufferStats counts buffer-pool activity. LogicalAccesses is the
+// paper's cost unit when the model assumes no buffering; Misses is the
+// physical page-fetch count under the configured pool size.
+type BufferStats struct {
+	LogicalAccesses uint64
+	Hits            uint64
+	Misses          uint64
+	Evictions       uint64
+	WriteBacks      uint64
+}
+
+type frame struct {
+	id      PageID
+	data    []byte
+	pins    int
+	dirty   bool
+	refBit  bool          // Clock
+	lruElem *list.Element // LRU / FIFO queue element
+}
+
+// Frame is a pinned page in the buffer pool. Callers must Unpin it when
+// done and MarkDirty after mutating Data.
+type Frame struct {
+	pool *BufferPool
+	f    *frame
+}
+
+// ID returns the framed page id.
+func (fr *Frame) ID() PageID { return fr.f.id }
+
+// Data returns the page bytes; valid while the frame is pinned.
+func (fr *Frame) Data() []byte { return fr.f.data }
+
+// MarkDirty records that the page must be written back on eviction or
+// flush.
+func (fr *Frame) MarkDirty() { fr.f.dirty = true }
+
+// Unpin releases the caller's pin.
+func (fr *Frame) Unpin() { fr.pool.unpin(fr.f) }
+
+// BufferPool caches disk pages with pin/unpin semantics and a pluggable
+// replacement policy. A capacity of 0 means unbounded (every page stays
+// resident; physical reads then count each page once).
+type BufferPool struct {
+	disk     *Disk
+	capacity int
+	policy   ReplacementPolicy
+	frames   map[PageID]*frame
+	queue    *list.List // LRU order (front = coldest) or FIFO arrival order
+	clock    []*frame   // Clock policy ring
+	hand     int
+	stats    BufferStats
+}
+
+// NewBufferPool creates a pool over disk with the given frame capacity
+// and policy.
+func NewBufferPool(disk *Disk, capacity int, policy ReplacementPolicy) *BufferPool {
+	return &BufferPool{
+		disk:     disk,
+		capacity: capacity,
+		policy:   policy,
+		frames:   make(map[PageID]*frame),
+		queue:    list.New(),
+	}
+}
+
+// Disk returns the underlying disk.
+func (b *BufferPool) Disk() *Disk { return b.disk }
+
+// Stats returns a copy of the counters.
+func (b *BufferPool) Stats() BufferStats { return b.stats }
+
+// ResetStats zeroes the counters (resident pages stay resident).
+func (b *BufferPool) ResetStats() { b.stats = BufferStats{} }
+
+// Resident returns the number of buffered pages.
+func (b *BufferPool) Resident() int { return len(b.frames) }
+
+// Get pins the page into the pool, fetching it from disk on a miss.
+func (b *BufferPool) Get(id PageID) (*Frame, error) {
+	b.stats.LogicalAccesses++
+	if f, ok := b.frames[id]; ok {
+		b.stats.Hits++
+		f.pins++
+		f.refBit = true
+		if b.policy == LRU && f.lruElem != nil {
+			b.queue.MoveToBack(f.lruElem)
+		}
+		return &Frame{pool: b, f: f}, nil
+	}
+	b.stats.Misses++
+	if b.capacity > 0 && len(b.frames) >= b.capacity {
+		if err := b.evictOne(); err != nil {
+			return nil, err
+		}
+	}
+	f := &frame{id: id, data: make([]byte, b.disk.PageSize()), pins: 1, refBit: true}
+	if err := b.disk.Read(id, f.data); err != nil {
+		return nil, err
+	}
+	b.frames[id] = f
+	switch b.policy {
+	case LRU, FIFO:
+		f.lruElem = b.queue.PushBack(f)
+	case Clock:
+		b.clock = append(b.clock, f)
+	}
+	return &Frame{pool: b, f: f}, nil
+}
+
+// GetNew allocates a fresh page on disk and pins it without a read. The
+// initial fetch is still one logical access (the page must be formatted).
+func (b *BufferPool) GetNew() (*Frame, error) {
+	id := b.disk.Allocate()
+	b.stats.LogicalAccesses++
+	b.stats.Misses++
+	if b.capacity > 0 && len(b.frames) >= b.capacity {
+		if err := b.evictOne(); err != nil {
+			return nil, err
+		}
+	}
+	f := &frame{id: id, data: make([]byte, b.disk.PageSize()), pins: 1, dirty: true, refBit: true}
+	b.frames[id] = f
+	switch b.policy {
+	case LRU, FIFO:
+		f.lruElem = b.queue.PushBack(f)
+	case Clock:
+		b.clock = append(b.clock, f)
+	}
+	return &Frame{pool: b, f: f}, nil
+}
+
+func (b *BufferPool) unpin(f *frame) {
+	if f.pins > 0 {
+		f.pins--
+	}
+}
+
+func (b *BufferPool) evictOne() error {
+	victim, err := b.pickVictim()
+	if err != nil {
+		return err
+	}
+	if victim.dirty {
+		if err := b.disk.Write(victim.id, victim.data); err != nil {
+			return err
+		}
+		b.stats.WriteBacks++
+	}
+	b.dropFrame(victim)
+	b.stats.Evictions++
+	return nil
+}
+
+func (b *BufferPool) pickVictim() (*frame, error) {
+	switch b.policy {
+	case LRU, FIFO:
+		for e := b.queue.Front(); e != nil; e = e.Next() {
+			f := e.Value.(*frame)
+			if f.pins == 0 {
+				return f, nil
+			}
+		}
+	case Clock:
+		// Two sweeps: clear reference bits on the first pass.
+		for sweep := 0; sweep < 2*len(b.clock); sweep++ {
+			if len(b.clock) == 0 {
+				break
+			}
+			f := b.clock[b.hand%len(b.clock)]
+			b.hand = (b.hand + 1) % len(b.clock)
+			if f.pins > 0 {
+				continue
+			}
+			if f.refBit {
+				f.refBit = false
+				continue
+			}
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("storage: buffer pool exhausted: all %d frames pinned", len(b.frames))
+}
+
+func (b *BufferPool) dropFrame(f *frame) {
+	delete(b.frames, f.id)
+	if f.lruElem != nil {
+		b.queue.Remove(f.lruElem)
+		f.lruElem = nil
+	}
+	for i, cf := range b.clock {
+		if cf == f {
+			b.clock = append(b.clock[:i], b.clock[i+1:]...)
+			if b.hand > i {
+				b.hand--
+			}
+			break
+		}
+	}
+}
+
+// Discard drops a page from the pool without writing it back — used
+// when the page is being freed. Discarding a pinned page is an error;
+// a non-resident page is a no-op.
+func (b *BufferPool) Discard(id PageID) error {
+	f, ok := b.frames[id]
+	if !ok {
+		return nil
+	}
+	if f.pins > 0 {
+		return fmt.Errorf("storage: Discard(%v): page pinned", id)
+	}
+	b.dropFrame(f)
+	return nil
+}
+
+// FlushAll writes every dirty resident page back to disk; pages remain
+// resident.
+func (b *BufferPool) FlushAll() error {
+	for _, f := range b.frames {
+		if !f.dirty {
+			continue
+		}
+		if err := b.disk.Write(f.id, f.data); err != nil {
+			return err
+		}
+		f.dirty = false
+		b.stats.WriteBacks++
+	}
+	return nil
+}
+
+// DropClean empties the pool after flushing, simulating a cold cache for
+// a fresh measurement run.
+func (b *BufferPool) DropClean() error {
+	if err := b.FlushAll(); err != nil {
+		return err
+	}
+	for _, f := range b.frames {
+		if f.pins > 0 {
+			return fmt.Errorf("storage: DropClean: page %v still pinned", f.id)
+		}
+	}
+	b.frames = make(map[PageID]*frame)
+	b.queue.Init()
+	b.clock = nil
+	b.hand = 0
+	return nil
+}

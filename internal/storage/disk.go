@@ -1,0 +1,126 @@
+// Package storage simulates the secondary-storage layer that the paper's
+// cost model charges against: fixed-size pages (net size 4056 bytes, the
+// paper's system parameter), a simulated disk with access accounting, a
+// pinning buffer pool with pluggable replacement, and type-clustered
+// record segments. Both the B⁺-trees holding access support relation
+// partitions (package btree) and the object segments allocate from this
+// layer, so measured page accesses are directly comparable with the
+// analytical model of package costmodel.
+package storage
+
+import (
+	"fmt"
+)
+
+// Paper system parameters (Figure 3).
+const (
+	// DefaultPageSize is the net page size in bytes.
+	DefaultPageSize = 4056
+	// OIDSize is the stored size of an object identifier in bytes.
+	OIDSize = 8
+	// PagePointerSize is the stored size of a page pointer in bytes.
+	PagePointerSize = 4
+)
+
+// PageID identifies a disk page. The zero value is the nil page.
+type PageID uint64
+
+// NilPage is the absent page reference.
+const NilPage PageID = 0
+
+// IsNil reports whether the id is the nil page.
+func (id PageID) IsNil() bool { return id == NilPage }
+
+// String renders the page id.
+func (id PageID) String() string {
+	if id == NilPage {
+		return "page:nil"
+	}
+	return fmt.Sprintf("page:%d", uint64(id))
+}
+
+// DiskStats counts physical page transfers.
+type DiskStats struct {
+	Reads     uint64
+	Writes    uint64
+	Allocated uint64
+	Freed     uint64
+}
+
+// Disk is a simulated secondary-storage device holding fixed-size pages.
+// All traffic is counted in Stats; the buffer pool sits on top and only
+// touches the disk on misses and write-backs.
+type Disk struct {
+	pageSize int
+	pages    map[PageID][]byte
+	next     PageID
+	stats    DiskStats
+}
+
+// NewDisk creates an empty disk with the given page size (DefaultPageSize
+// when ≤ 0).
+func NewDisk(pageSize int) *Disk {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	return &Disk{pageSize: pageSize, pages: make(map[PageID][]byte), next: 1}
+}
+
+// PageSize returns the page size in bytes.
+func (d *Disk) PageSize() int { return d.pageSize }
+
+// NumPages returns the number of allocated pages.
+func (d *Disk) NumPages() int { return len(d.pages) }
+
+// Stats returns a copy of the transfer counters.
+func (d *Disk) Stats() DiskStats { return d.stats }
+
+// ResetStats zeroes the transfer counters.
+func (d *Disk) ResetStats() { d.stats = DiskStats{} }
+
+// Allocate reserves a fresh zeroed page and returns its id.
+func (d *Disk) Allocate() PageID {
+	id := d.next
+	d.next++
+	d.pages[id] = make([]byte, d.pageSize)
+	d.stats.Allocated++
+	return id
+}
+
+// Free releases a page.
+func (d *Disk) Free(id PageID) error {
+	if _, ok := d.pages[id]; !ok {
+		return fmt.Errorf("storage: Free(%v): no such page", id)
+	}
+	delete(d.pages, id)
+	d.stats.Freed++
+	return nil
+}
+
+// Read copies the page contents into buf (which must be PageSize long).
+func (d *Disk) Read(id PageID, buf []byte) error {
+	p, ok := d.pages[id]
+	if !ok {
+		return fmt.Errorf("storage: Read(%v): no such page", id)
+	}
+	if len(buf) != d.pageSize {
+		return fmt.Errorf("storage: Read(%v): buffer size %d, want %d", id, len(buf), d.pageSize)
+	}
+	copy(buf, p)
+	d.stats.Reads++
+	return nil
+}
+
+// Write stores the page contents from buf (which must be PageSize long).
+func (d *Disk) Write(id PageID, buf []byte) error {
+	p, ok := d.pages[id]
+	if !ok {
+		return fmt.Errorf("storage: Write(%v): no such page", id)
+	}
+	if len(buf) != d.pageSize {
+		return fmt.Errorf("storage: Write(%v): buffer size %d, want %d", id, len(buf), d.pageSize)
+	}
+	copy(p, buf)
+	d.stats.Writes++
+	return nil
+}
