@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test race bench vet repro
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Concurrency suite: the whole tree under the race detector, including
+# the reader/writer stress tests in internal/asr and internal/query.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+
+# Regenerate every paper table/figure (EXPERIMENTS.md numbers).
+repro:
+	$(GO) run ./cmd/asrbench -all

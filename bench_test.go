@@ -221,3 +221,62 @@ func BenchmarkFig6Series(b *testing.B) {
 func BenchmarkSimUpdateMaintenance(b *testing.B) { benchExperiment(b, "sim-update") }
 
 func BenchmarkSimMixStreams(b *testing.B) { benchExperiment(b, "sim-mix") }
+
+// BenchmarkQueryParallel measures the parallel query executor against
+// its sequential baseline on the expensive case: a backward query with
+// no applicable index, which forces an exhaustive search over the whole
+// anchor extent (§5.6.2). The same query also runs through a canonical
+// ASR for reference.
+func BenchmarkQueryParallel(b *testing.B) {
+	db, err := gendb.Generate(gendb.Spec{
+		N:    3,
+		C:    []int{400, 1000, 2000, 4000},
+		D:    []int{360, 800, 1600},
+		Fan:  []int{2, 2, 2},
+		Seed: 99,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := storage.NewBufferPool(storage.NewDisk(0), 0, storage.LRU)
+	mgr := asr.NewManager(db.Base, pool)
+	span := db.Path.Len()
+	// A reachable target (a fixed extent member may have no incoming path).
+	var target gom.Value
+	for _, anchor := range db.Extents[0] {
+		vals, err := mgr.QueryForward(db.Path, 0, span, gom.Ref(anchor))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(vals) > 0 {
+			target = vals[0]
+			break
+		}
+	}
+	if target == nil {
+		b.Fatal("no reachable target")
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("exhaustive/w%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mgr.QueryBackwardParallel(db.Path, 0, span, workers, target); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	if _, err := mgr.CreateIndex(db.Path, asr.Canonical, asr.NoDecomposition(db.Path.Arity()-1)); err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("indexed/w%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mgr.QueryBackwardParallel(db.Path, 0, span, workers, target); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

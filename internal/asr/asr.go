@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"asr/internal/gom"
 	"asr/internal/relation"
@@ -27,7 +29,16 @@ type PlacedPartition struct {
 // expression: the chosen extension, decomposed per Definition 3.8, each
 // partition stored in two clustered B⁺-trees, kept consistent with the
 // object base by the Maintainer.
+//
+// An Index is safe for concurrent readers: QueryForward, QueryBackward,
+// their parallel variants, TotalRows, Stats and the accessor methods may
+// be called from any number of goroutines, concurrently with one
+// maintaining writer (the Maintainer's callbacks and ReleasePages take
+// the write lock). The physical partitions carry their own locks, so an
+// index stays safe even when a partition it reads is shared with —
+// and maintained through — another index (§5.4).
 type Index struct {
+	mu    sync.RWMutex // guards parts (release) and graph (maintenance)
 	ob    *gom.ObjectBase
 	path  *gom.PathExpression
 	ext   Extension
@@ -35,6 +46,30 @@ type Index struct {
 	parts []PlacedPartition
 	graph *pathGraph
 	pool  *storage.BufferPool
+
+	nQueries     atomic.Uint64
+	nRowsScanned atomic.Uint64
+}
+
+// IndexStats counts one index's read activity since construction (or
+// the last ResetStats): queries answered and stored rows inspected while
+// answering them (rows returned by clustered probes plus rows filtered
+// by interior-column partition scans).
+type IndexStats struct {
+	Queries     uint64
+	RowsScanned uint64
+}
+
+// Stats returns a snapshot of the index's read counters. Safe for
+// concurrent use.
+func (ix *Index) Stats() IndexStats {
+	return IndexStats{Queries: ix.nQueries.Load(), RowsScanned: ix.nRowsScanned.Load()}
+}
+
+// ResetStats zeroes the read counters.
+func (ix *Index) ResetStats() {
+	ix.nQueries.Store(0)
+	ix.nRowsScanned.Store(0)
 }
 
 // Build materializes the access support relation for path over ob in the
@@ -119,9 +154,12 @@ func build(ob *gom.ObjectBase, path *gom.PathExpression, ext Extension, dec Deco
 }
 
 // ReleasePages releases the index's claim on its partitions; partitions
-// not shared with another index have their B⁺-tree pages reclaimed. The
-// index must not be used afterwards.
+// not shared with another index have their B⁺-tree pages reclaimed.
+// In-flight queries finish first (they hold the index's read lock);
+// queries started afterwards fail with an error.
 func (ix *Index) ReleasePages() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	for _, pp := range ix.parts {
 		if err := pp.Part.release(); err != nil {
 			return err
@@ -141,7 +179,11 @@ func (ix *Index) Extension() Extension { return ix.ext }
 func (ix *Index) Decomposition() Decomposition { return append(Decomposition(nil), ix.dec...) }
 
 // Partitions returns the placed partitions in column order.
-func (ix *Index) Partitions() []PlacedPartition { return append([]PlacedPartition(nil), ix.parts...) }
+func (ix *Index) Partitions() []PlacedPartition {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return append([]PlacedPartition(nil), ix.parts...)
+}
 
 // Pool returns the buffer pool the partitions live on.
 func (ix *Index) Pool() *storage.BufferPool { return ix.pool }
@@ -204,10 +246,31 @@ func (ix *Index) partitionAtFromRight(col int) (PlacedPartition, error) {
 // a step's column is a partition's first column the clustered forward
 // tree is probed per value; when it falls inside a partition the whole
 // partition is scanned and filtered — exactly the two cases of eq. (33).
+// Safe for concurrent use.
 func (ix *Index) QueryForward(i, j int, start ...gom.Value) ([]gom.Value, error) {
+	return ix.queryForward(i, j, 1, start)
+}
+
+// QueryForwardParallel is QueryForward with the per-value clustered
+// probes of each partition hop fanned across up to workers goroutines.
+// The partition hops themselves stay sequential (each hop consumes the
+// previous hop's frontier); interior-column scans are one tree pass and
+// also stay sequential. Results are identical to QueryForward — both
+// deduplicate into a value set that is emitted in sorted order.
+func (ix *Index) QueryForwardParallel(i, j, workers int, start ...gom.Value) ([]gom.Value, error) {
+	return ix.queryForward(i, j, workers, start)
+}
+
+func (ix *Index) queryForward(i, j, workers int, start []gom.Value) ([]gom.Value, error) {
 	if !ix.Supports(i, j) {
 		return nil, ErrNotSupported
 	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if len(ix.parts) == 0 {
+		return nil, fmt.Errorf("asr: index on %s: pages released", ix.path)
+	}
+	ix.nQueries.Add(1)
 	ci := ix.path.ObjectColumn(i)
 	cj := ix.path.ObjectColumn(j)
 	cur := newValueSet(start...)
@@ -221,24 +284,23 @@ func (ix *Index) QueryForward(i, j int, start ...gom.Value) ([]gom.Value, error)
 		if cj < pp.Hi {
 			target = cj
 		}
-		next := newValueSet()
+		var next *valueSet
 		if col == pp.Lo {
-			for _, v := range cur.values() {
-				rows, err := pp.Part.LookupForward(v)
-				if err != nil {
-					return nil, err
-				}
-				for _, r := range rows {
-					next.add(r[target-pp.Lo])
-				}
+			next, err = ix.probeAll(cur.values(), workers, pp.Part.LookupForward, target-pp.Lo)
+			if err != nil {
+				return nil, err
 			}
 		} else {
+			next = newValueSet()
+			var scanned uint64
 			err := pp.Part.ScanAll(func(r relation.Tuple) bool {
+				scanned++
 				if cur.contains(r[col-pp.Lo]) {
 					next.add(r[target-pp.Lo])
 				}
 				return true
 			})
+			ix.nRowsScanned.Add(scanned)
 			if err != nil {
 				return nil, err
 			}
@@ -252,11 +314,28 @@ func (ix *Index) QueryForward(i, j int, start ...gom.Value) ([]gom.Value, error)
 // QueryBackward evaluates Q_{i,j}(bw): the distinct column values at
 // object step i from which some given end value at object step j is
 // reachable, following stored rows right to left via the backward-
-// clustered trees (§5.7.2).
+// clustered trees (§5.7.2). Safe for concurrent use.
 func (ix *Index) QueryBackward(i, j int, end ...gom.Value) ([]gom.Value, error) {
+	return ix.queryBackward(i, j, 1, end)
+}
+
+// QueryBackwardParallel is QueryBackward with the per-value clustered
+// probes of each partition hop fanned across up to workers goroutines;
+// see QueryForwardParallel for the execution model.
+func (ix *Index) QueryBackwardParallel(i, j, workers int, end ...gom.Value) ([]gom.Value, error) {
+	return ix.queryBackward(i, j, workers, end)
+}
+
+func (ix *Index) queryBackward(i, j, workers int, end []gom.Value) ([]gom.Value, error) {
 	if !ix.Supports(i, j) {
 		return nil, ErrNotSupported
 	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if len(ix.parts) == 0 {
+		return nil, fmt.Errorf("asr: index on %s: pages released", ix.path)
+	}
+	ix.nQueries.Add(1)
 	ci := ix.path.ObjectColumn(i)
 	cj := ix.path.ObjectColumn(j)
 	cur := newValueSet(end...)
@@ -270,24 +349,23 @@ func (ix *Index) QueryBackward(i, j int, end ...gom.Value) ([]gom.Value, error) 
 		if ci > pp.Lo {
 			target = ci
 		}
-		next := newValueSet()
+		var next *valueSet
 		if col == pp.Hi {
-			for _, v := range cur.values() {
-				rows, err := pp.Part.LookupBackward(v)
-				if err != nil {
-					return nil, err
-				}
-				for _, r := range rows {
-					next.add(r[target-pp.Lo])
-				}
+			next, err = ix.probeAll(cur.values(), workers, pp.Part.LookupBackward, target-pp.Lo)
+			if err != nil {
+				return nil, err
 			}
 		} else {
+			next = newValueSet()
+			var scanned uint64
 			err := pp.Part.ScanAll(func(r relation.Tuple) bool {
+				scanned++
 				if cur.contains(r[col-pp.Lo]) {
 					next.add(r[target-pp.Lo])
 				}
 				return true
 			})
+			ix.nRowsScanned.Add(scanned)
 			if err != nil {
 				return nil, err
 			}
@@ -296,6 +374,93 @@ func (ix *Index) QueryBackward(i, j int, end ...gom.Value) ([]gom.Value, error) 
 		col = target
 	}
 	return cur.values(), nil
+}
+
+// probeAll runs one clustered probe per frontier value — sequentially,
+// or chunked across up to workers goroutines when the frontier is wide
+// enough to pay for the fan-out — and merges the projected column off of
+// every matching row into one deduplicated set. The merge is
+// order-insensitive, so the parallel result equals the sequential one.
+func (ix *Index) probeAll(vals []gom.Value, workers int, lookup func(gom.Value) ([]relation.Tuple, error), off int) (*valueSet, error) {
+	next := newValueSet()
+	if workers > len(vals) {
+		workers = len(vals)
+	}
+	if workers <= 1 {
+		var scanned uint64
+		for _, v := range vals {
+			rows, err := lookup(v)
+			if err != nil {
+				return nil, err
+			}
+			scanned += uint64(len(rows))
+			for _, r := range rows {
+				next.add(r[off])
+			}
+		}
+		ix.nRowsScanned.Add(scanned)
+		return next, nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mergeMu  sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		lo, hi := chunkBounds(len(vals), workers, w)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(chunk []gom.Value) {
+			defer wg.Done()
+			local := newValueSet()
+			var scanned uint64
+			for _, v := range chunk {
+				rows, err := lookup(v)
+				if err != nil {
+					mergeMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mergeMu.Unlock()
+					return
+				}
+				scanned += uint64(len(rows))
+				for _, r := range rows {
+					local.add(r[off])
+				}
+			}
+			ix.nRowsScanned.Add(scanned)
+			mergeMu.Lock()
+			next.merge(local)
+			mergeMu.Unlock()
+		}(vals[lo:hi])
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return next, nil
+}
+
+// chunkBounds splits n items into parts near-equal chunks and returns
+// the half-open bounds of chunk w.
+func chunkBounds(n, parts, w int) (int, int) {
+	base, rem := n/parts, n%parts
+	lo := w*base + min(w, rem)
+	hi := lo + base
+	if w < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // OIDsOf filters reference values down to their OIDs, in sorted order —
@@ -311,8 +476,11 @@ func OIDsOf(vals []gom.Value) []gom.OID {
 	return out
 }
 
-// TotalRows returns the stored row count per partition.
+// TotalRows returns the stored row count per partition. Safe for
+// concurrent use.
 func (ix *Index) TotalRows() []int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	out := make([]int, len(ix.parts))
 	for i, pp := range ix.parts {
 		out[i] = pp.Part.Rows()
@@ -323,6 +491,8 @@ func (ix *Index) TotalRows() []int {
 // LogicalRelation materializes the undecomposed logical extension —
 // primarily for tests and the §3 golden tables.
 func (ix *Index) LogicalRelation() *relation.Relation {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	rel := relation.New("E_"+ix.ext.String(), columnNamesFor(ix.path)...)
 	for _, row := range ix.graph.allRows(ix.ext) {
 		rel.MustInsert(row)
@@ -336,6 +506,8 @@ func (ix *Index) LogicalRelation() *relation.Relation {
 // shared with another index (shared partitions legitimately hold foreign
 // rows). Intended for tests.
 func (ix *Index) CheckConsistent() error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	for _, pp := range ix.parts {
 		if err := pp.Part.CheckConsistent(); err != nil {
 			return err
@@ -356,12 +528,13 @@ func (ix *Index) CheckConsistent() error {
 	}
 	for i, pp := range ix.parts {
 		p := pp.Part
-		if len(want[i]) != len(p.refcnt) {
-			return fmt.Errorf("asr: partition %s: %d live rows, expected %d", p.name, len(p.refcnt), len(want[i]))
+		got := p.refcounts()
+		if len(want[i]) != len(got) {
+			return fmt.Errorf("asr: partition %s: %d live rows, expected %d", p.Name(), len(got), len(want[i]))
 		}
 		for k, cnt := range want[i] {
-			if p.refcnt[k] != cnt {
-				return fmt.Errorf("asr: partition %s: row %q refcount %d, expected %d", p.name, k, p.refcnt[k], cnt)
+			if got[k] != cnt {
+				return fmt.Errorf("asr: partition %s: row %q refcount %d, expected %d", p.Name(), k, got[k], cnt)
 			}
 		}
 	}
@@ -370,6 +543,8 @@ func (ix *Index) CheckConsistent() error {
 
 // String summarizes the index.
 func (ix *Index) String() string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	var b strings.Builder
 	fmt.Fprintf(&b, "ASR %s ext=%s dec=%s:", ix.path, ix.ext, ix.dec)
 	for _, pp := range ix.parts {
@@ -396,6 +571,13 @@ func (s *valueSet) add(v gom.Value) {
 		return
 	}
 	s.byKey[gom.ValueString(v)] = v
+}
+
+// merge adds every value of other into s.
+func (s *valueSet) merge(other *valueSet) {
+	for k, v := range other.byKey {
+		s.byKey[k] = v
+	}
 }
 
 func (s *valueSet) contains(v gom.Value) bool {

@@ -2,6 +2,7 @@ package asr
 
 import (
 	"fmt"
+	"sync"
 
 	"asr/internal/gom"
 	"asr/internal/relation"
@@ -21,19 +22,32 @@ import (
 // observer callbacks are retained and reported by Err — the object base
 // update itself has already happened, matching the paper's model where
 // the object update precedes index maintenance.
+//
+// A Maintainer's callbacks must be driven by a single writer goroutine
+// at a time (the object base serializes mutations, so this holds
+// whenever updates flow through one ObjectBase). Err is safe to call
+// from any goroutine; each applied change takes the index's write lock,
+// so concurrent index readers see atomic transitions.
 type Maintainer struct {
-	ix  *Index
-	err error
+	ix    *Index
+	errMu sync.Mutex
+	err   error
 }
 
 // NewMaintainer creates a maintainer for the index.
 func NewMaintainer(ix *Index) *Maintainer { return &Maintainer{ix: ix} }
 
 // Err returns the first maintenance error, if any. After a non-nil Err
-// the index must be rebuilt.
-func (m *Maintainer) Err() error { return m.err }
+// the index must be rebuilt. Safe for concurrent use.
+func (m *Maintainer) Err() error {
+	m.errMu.Lock()
+	defer m.errMu.Unlock()
+	return m.err
+}
 
 func (m *Maintainer) fail(err error) {
+	m.errMu.Lock()
+	defer m.errMu.Unlock()
 	if m.err == nil && err != nil {
 		m.err = err
 	}
@@ -49,7 +63,7 @@ type edgeChange struct {
 
 // AttrAssigned implements gom.Observer.
 func (m *Maintainer) AttrAssigned(o *gom.Object, attr string, old, new gom.Value) {
-	if m.err != nil {
+	if m.Err() != nil {
 		return
 	}
 	for j := 1; j <= m.ix.path.Len(); j++ {
@@ -119,7 +133,7 @@ func (m *Maintainer) SetRemoved(set *gom.Object, elem gom.Value) {
 }
 
 func (m *Maintainer) setElementChanged(set *gom.Object, elem gom.Value, add bool) {
-	if m.err != nil {
+	if m.Err() != nil {
 		return
 	}
 	for j := 1; j <= m.ix.path.Len(); j++ {
@@ -142,7 +156,7 @@ func (m *Maintainer) setElementChanged(set *gom.Object, elem gom.Value, add bool
 // deleted object disappears, with the set-element cascade applied where
 // the object referenced a set it was the last referencer of.
 func (m *Maintainer) ObjectDeleted(o *gom.Object) {
-	if m.err != nil {
+	if m.Err() != nil {
 		return
 	}
 	g := m.ix.graph
@@ -179,11 +193,14 @@ func (m *Maintainer) isSetColumn(c int) bool {
 
 // applyChanges performs the diff protocol: enumerate affected rows
 // before the graph mutation, mutate, enumerate after, and apply the row
-// difference to all partitions.
+// difference to all partitions. It takes the index's write lock, so
+// concurrent queries see either the whole change or none of it.
 func (ix *Index) applyChanges(changes []edgeChange) error {
 	if len(changes) == 0 {
 		return nil
 	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	// Affected (column, value) endpoints, deduplicated.
 	type cv struct {
 		col int

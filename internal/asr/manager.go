@@ -3,6 +3,8 @@ package asr
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"asr/internal/gom"
 	"asr/internal/storage"
@@ -22,16 +24,31 @@ type QueryEvent struct {
 // routes path queries to the best usable index, and falls back to object
 // traversal (forward) or exhaustive search (backward) when no index
 // applies — the execution strategies of §5.6.
+//
+// A Manager is safe for concurrent use: QueryForward, QueryBackward,
+// their parallel variants, FindIndex, Indexes, Healthy and Stats may be
+// called from any number of goroutines, concurrently with at most one
+// goroutine mutating the underlying object base (whose updates drive
+// the registered Maintainers) and with CreateIndex/DropIndex, which take
+// the registry's write lock. The query-event hook may be invoked
+// concurrently and must be safe for that.
 type Manager struct {
+	mu      sync.RWMutex
 	ob      *gom.ObjectBase
 	pool    *storage.BufferPool
 	entries []*managedIndex
 	hook    func(QueryEvent)
+
+	nQueries    atomic.Uint64
+	nIndexHits  atomic.Uint64
+	nTraversals atomic.Uint64
+	nExhaustive atomic.Uint64
 }
 
 type managedIndex struct {
 	ix         *Index
 	maintainer *Maintainer
+	hits       atomic.Uint64 // queries routed to this index
 }
 
 // NewManager creates a manager whose indexes allocate pages from pool.
@@ -39,11 +56,18 @@ func NewManager(ob *gom.ObjectBase, pool *storage.BufferPool) *Manager {
 	return &Manager{ob: ob, pool: pool}
 }
 
-// SetHook installs a query-event callback (nil to remove).
-func (m *Manager) SetHook(fn func(QueryEvent)) { m.hook = fn }
+// SetHook installs a query-event callback (nil to remove). The hook may
+// be called from any goroutine issuing queries.
+func (m *Manager) SetHook(fn func(QueryEvent)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.hook = fn
+}
 
 // CreateIndex builds and registers a maintained index.
 func (m *Manager) CreateIndex(path *gom.PathExpression, ext Extension, dec Decomposition) (*Index, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for _, e := range m.entries {
 		if e.ix.path.String() == path.String() && e.ix.ext == ext && e.ix.dec.String() == dec.String() {
 			return nil, fmt.Errorf("asr: index %s %s %s already exists", path, ext, dec)
@@ -62,7 +86,10 @@ func (m *Manager) CreateIndex(path *gom.PathExpression, ext Extension, dec Decom
 // DropIndex unregisters an index and its maintainer and reclaims the
 // pages of every partition not shared with another index (§5.4 sharing
 // keeps shared partitions alive until their last owner is dropped).
+// Queries already running against the index finish first.
 func (m *Manager) DropIndex(ix *Index) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for i, e := range m.entries {
 		if e.ix == ix {
 			m.ob.RemoveObserver(e.maintainer)
@@ -75,6 +102,8 @@ func (m *Manager) DropIndex(ix *Index) error {
 
 // Indexes returns the managed indexes.
 func (m *Manager) Indexes() []*Index {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make([]*Index, len(m.entries))
 	for i, e := range m.entries {
 		out[i] = e.ix
@@ -85,6 +114,8 @@ func (m *Manager) Indexes() []*Index {
 // Healthy reports the first maintenance error across all indexes, if
 // any.
 func (m *Manager) Healthy() error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	for _, e := range m.entries {
 		if err := e.maintainer.Err(); err != nil {
 			return fmt.Errorf("asr: index %s: %w", e.ix, err)
@@ -97,17 +128,27 @@ func (m *Manager) Healthy() error {
 // or nil. "Cheapest" prefers the fewest stored rows — a proxy for the
 // eq. (33)/(34) cost that needs no model evaluation.
 func (m *Manager) FindIndex(path *gom.PathExpression, i, j int) *Index {
-	var candidates []*Index
+	e := m.findEntry(path, i, j)
+	if e == nil {
+		return nil
+	}
+	return e.ix
+}
+
+func (m *Manager) findEntry(path *gom.PathExpression, i, j int) *managedIndex {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var candidates []*managedIndex
 	for _, e := range m.entries {
 		if e.ix.path.String() == path.String() && e.ix.Supports(i, j) {
-			candidates = append(candidates, e.ix)
+			candidates = append(candidates, e)
 		}
 	}
 	if len(candidates) == 0 {
 		return nil
 	}
 	sort.Slice(candidates, func(a, b int) bool {
-		return totalRows(candidates[a]) < totalRows(candidates[b])
+		return totalRows(candidates[a].ix) < totalRows(candidates[b].ix)
 	})
 	return candidates[0]
 }
@@ -120,49 +161,171 @@ func totalRows(ix *Index) int {
 	return total
 }
 
+// fireHook reports a query event to the installed hook, if any.
+func (m *Manager) fireHook(ev QueryEvent) {
+	m.mu.RLock()
+	hook := m.hook
+	m.mu.RUnlock()
+	if hook != nil {
+		hook(ev)
+	}
+}
+
 // QueryForward evaluates Q_{i,j}(fw) through the best index, or by
-// object traversal when none applies.
+// object traversal when none applies. Safe for concurrent use.
 func (m *Manager) QueryForward(path *gom.PathExpression, i, j int, start ...gom.Value) ([]gom.Value, error) {
-	if m.hook != nil {
-		m.hook(QueryEvent{Path: path.String(), Forward: true, I: i, J: j})
+	return m.queryForward(path, i, j, 1, start)
+}
+
+// QueryForwardParallel is QueryForward with the work fanned across up
+// to workers goroutines: index probes are parallelized per frontier
+// value, and the no-index traversal fallback splits the start values
+// across workers. Results are identical to QueryForward.
+func (m *Manager) QueryForwardParallel(path *gom.PathExpression, i, j, workers int, start ...gom.Value) ([]gom.Value, error) {
+	return m.queryForward(path, i, j, workers, start)
+}
+
+func (m *Manager) queryForward(path *gom.PathExpression, i, j, workers int, start []gom.Value) ([]gom.Value, error) {
+	m.fireHook(QueryEvent{Path: path.String(), Forward: true, I: i, J: j})
+	m.nQueries.Add(1)
+	if e := m.findEntry(path, i, j); e != nil {
+		m.nIndexHits.Add(1)
+		e.hits.Add(1)
+		return e.ix.QueryForwardParallel(i, j, workers, start...)
 	}
-	if ix := m.FindIndex(path, i, j); ix != nil {
-		return ix.QueryForward(i, j, start...)
+	m.nTraversals.Add(1)
+	if workers <= 1 || len(start) < 2 {
+		return m.traverseForward(path, i, j, start)
 	}
-	return m.traverseForward(path, i, j, start)
+	if workers > len(start) {
+		workers = len(start)
+	}
+	result := newValueSet()
+	var (
+		wg       sync.WaitGroup
+		mergeMu  sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		lo, hi := chunkBounds(len(start), workers, w)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(chunk []gom.Value) {
+			defer wg.Done()
+			vals, err := m.traverseForward(path, i, j, chunk)
+			mergeMu.Lock()
+			defer mergeMu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			for _, v := range vals {
+				result.add(v)
+			}
+		}(start[lo:hi])
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return result.values(), nil
 }
 
 // QueryBackward evaluates Q_{i,j}(bw) through the best index, or by
 // exhaustive search over the uni-directional references when none
-// applies (§5.6.2).
+// applies (§5.6.2). Safe for concurrent use.
 func (m *Manager) QueryBackward(path *gom.PathExpression, i, j int, end ...gom.Value) ([]gom.Value, error) {
-	if m.hook != nil {
-		m.hook(QueryEvent{Path: path.String(), Forward: false, I: i, J: j})
-	}
-	if ix := m.FindIndex(path, i, j); ix != nil {
-		return ix.QueryBackward(i, j, end...)
+	return m.queryBackward(path, i, j, 1, end)
+}
+
+// QueryBackwardParallel is QueryBackward with the work fanned across up
+// to workers goroutines: index probes are parallelized per frontier
+// value, and the exhaustive-search fallback — the expensive case, since
+// uni-directional references force a scan of the whole t_i extent —
+// splits the candidate anchors across workers. Results are identical to
+// QueryBackward.
+func (m *Manager) QueryBackwardParallel(path *gom.PathExpression, i, j, workers int, end ...gom.Value) ([]gom.Value, error) {
+	return m.queryBackward(path, i, j, workers, end)
+}
+
+func (m *Manager) queryBackward(path *gom.PathExpression, i, j, workers int, end []gom.Value) ([]gom.Value, error) {
+	m.fireHook(QueryEvent{Path: path.String(), Forward: false, I: i, J: j})
+	m.nQueries.Add(1)
+	if e := m.findEntry(path, i, j); e != nil {
+		m.nIndexHits.Add(1)
+		e.hits.Add(1)
+		return e.ix.QueryBackwardParallel(i, j, workers, end...)
 	}
 	// Exhaustive search: traverse forward from every t_i instance and
 	// keep the anchors whose closure hits an end value.
+	m.nExhaustive.Add(1)
 	targets := newValueSet(end...)
+	anchors := m.ob.Extent(path.Step(i+1).Domain, true)
 	result := newValueSet()
-	for _, id := range m.ob.Extent(path.Step(i+1).Domain, true) {
-		vals, err := m.traverseForward(path, i, j, []gom.Value{gom.Ref(id)})
-		if err != nil {
-			return nil, err
-		}
-		for _, v := range vals {
-			if targets.contains(v) {
-				result.add(gom.Ref(id))
-				break
+	scan := func(ids []gom.OID, sink *valueSet) error {
+		for _, id := range ids {
+			vals, err := m.traverseForward(path, i, j, []gom.Value{gom.Ref(id)})
+			if err != nil {
+				return err
+			}
+			for _, v := range vals {
+				if targets.contains(v) {
+					sink.add(gom.Ref(id))
+					break
+				}
 			}
 		}
+		return nil
+	}
+	if workers <= 1 || len(anchors) < 2 {
+		if err := scan(anchors, result); err != nil {
+			return nil, err
+		}
+		return result.values(), nil
+	}
+	if workers > len(anchors) {
+		workers = len(anchors)
+	}
+	var (
+		wg       sync.WaitGroup
+		mergeMu  sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		lo, hi := chunkBounds(len(anchors), workers, w)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(ids []gom.OID) {
+			defer wg.Done()
+			local := newValueSet()
+			err := scan(ids, local)
+			mergeMu.Lock()
+			defer mergeMu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			result.merge(local)
+		}(anchors[lo:hi])
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return result.values(), nil
 }
 
 // traverseForward walks the object graph (no index) from the start
-// values at object step i to step j.
+// values at object step i to step j. Read-only on the object base, so
+// safe to call from multiple goroutines.
 func (m *Manager) traverseForward(path *gom.PathExpression, i, j int, start []gom.Value) ([]gom.Value, error) {
 	if i < 0 || j > path.Len() || i >= j {
 		return nil, fmt.Errorf("asr: bad query span (%d,%d) for path of length %d", i, j, path.Len())
@@ -208,4 +371,81 @@ func (m *Manager) traverseForward(path *gom.PathExpression, i, j int, start []go
 		cur = next
 	}
 	return cur.values(), nil
+}
+
+// ManagedIndexStats describes one managed index's activity inside a
+// ManagerStats snapshot.
+type ManagedIndexStats struct {
+	Path          string // indexed path expression
+	Ext           string // extension (can/full/left/right)
+	Dec           string // decomposition
+	Rows          int    // stored rows, summed over partitions
+	Hits          uint64 // queries the manager routed to this index
+	Queries       uint64 // queries the index answered (incl. direct calls)
+	RowsScanned   uint64 // stored rows inspected answering them
+	MaintenanceOK bool   // false after a maintenance error (index stale)
+}
+
+// ManagerStats is an observability snapshot of the manager's routing
+// and of every managed index (§5.6 execution strategy mix).
+type ManagerStats struct {
+	Queries            uint64 // total routed queries
+	IndexHits          uint64 // answered through some index
+	Traversals         uint64 // forward fallback: object traversal
+	ExhaustiveSearches uint64 // backward fallback: exhaustive search
+	Indexes            []ManagedIndexStats
+}
+
+// String renders the snapshot compactly.
+func (s ManagerStats) String() string {
+	out := fmt.Sprintf("queries=%d index=%d traversal=%d exhaustive=%d",
+		s.Queries, s.IndexHits, s.Traversals, s.ExhaustiveSearches)
+	for _, ix := range s.Indexes {
+		out += fmt.Sprintf("\n  %s ext=%s dec=%s rows=%d hits=%d queries=%d rowsScanned=%d",
+			ix.Path, ix.Ext, ix.Dec, ix.Rows, ix.Hits, ix.Queries, ix.RowsScanned)
+	}
+	return out
+}
+
+// Stats returns a snapshot of routing counters and per-index activity.
+// Safe for concurrent use; the snapshot is internally consistent only
+// when the manager is quiescent.
+func (m *Manager) Stats() ManagerStats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	st := ManagerStats{
+		Queries:            m.nQueries.Load(),
+		IndexHits:          m.nIndexHits.Load(),
+		Traversals:         m.nTraversals.Load(),
+		ExhaustiveSearches: m.nExhaustive.Load(),
+	}
+	for _, e := range m.entries {
+		ixStats := e.ix.Stats()
+		st.Indexes = append(st.Indexes, ManagedIndexStats{
+			Path:          e.ix.path.String(),
+			Ext:           e.ix.ext.String(),
+			Dec:           e.ix.dec.String(),
+			Rows:          totalRows(e.ix),
+			Hits:          e.hits.Load(),
+			Queries:       ixStats.Queries,
+			RowsScanned:   ixStats.RowsScanned,
+			MaintenanceOK: e.maintainer.Err() == nil,
+		})
+	}
+	return st
+}
+
+// ResetStats zeroes the manager's routing counters and every managed
+// index's read counters.
+func (m *Manager) ResetStats() {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	m.nQueries.Store(0)
+	m.nIndexHits.Store(0)
+	m.nTraversals.Store(0)
+	m.nExhaustive.Store(0)
+	for _, e := range m.entries {
+		e.hits.Store(0)
+		e.ix.ResetStats()
+	}
 }

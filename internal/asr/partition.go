@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+	"sync"
 
 	"asr/internal/btree"
 	"asr/internal/gom"
@@ -27,7 +28,15 @@ import (
 // Because a projected row may be shared by several logical rows (and,
 // when shared, by several paths), the partition keeps a reference count
 // per row; the trees hold exactly the rows with a positive count.
+//
+// A Partition is safe for concurrent use: the lookup and scan methods
+// take a read lock, the mutators (AddProjected, RemoveProjected, and the
+// ownership transitions) take the write lock. Because a partition may be
+// physically shared by two indexes (§5.4), this lock — not the owning
+// Index's — is what protects readers of one index from the maintainer of
+// another index sharing the same partition.
 type Partition struct {
+	mu       sync.RWMutex
 	name     string
 	arity    int
 	fwd      *btree.Tree // clustered on column 0 of the projection
@@ -118,13 +127,23 @@ func sortKVs(kvs []btree.KV) {
 func (p *Partition) Name() string { return p.name }
 
 // Owners returns how many indexes currently place this partition.
-func (p *Partition) Owners() int { return p.owners }
+func (p *Partition) Owners() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.owners
+}
 
 // acquire/release track index placements; the last release drops the
 // trees and reclaims their pages.
-func (p *Partition) acquire() { p.owners++ }
+func (p *Partition) acquire() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.owners++
+}
 
 func (p *Partition) release() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.owners > 0 {
 		p.owners--
 	}
@@ -145,8 +164,24 @@ func (p *Partition) release() error {
 // Arity returns the partition's column count.
 func (p *Partition) Arity() int { return p.arity }
 
+// refcounts returns a snapshot copy of the per-row reference counts;
+// used by consistency checks.
+func (p *Partition) refcounts() map[string]int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make(map[string]int, len(p.refcnt))
+	for k, v := range p.refcnt {
+		out[k] = v
+	}
+	return out
+}
+
 // Rows returns the number of distinct stored rows.
-func (p *Partition) Rows() int { return len(p.refcnt) }
+func (p *Partition) Rows() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.refcnt)
+}
 
 // Forward returns the tree clustered on the first column.
 func (p *Partition) Forward() *btree.Tree { return p.fwd }
@@ -158,6 +193,8 @@ func (p *Partition) Backward() *btree.Tree { return p.bwd }
 // inserting it into both trees when it becomes live. All-NULL rows are
 // ignored (they describe no path segment).
 func (p *Partition) AddProjected(row relation.Tuple) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if len(row) != p.arity {
 		return fmt.Errorf("asr: partition %s: row arity %d, want %d", p.name, len(row), p.arity)
 	}
@@ -176,6 +213,8 @@ func (p *Partition) AddProjected(row relation.Tuple) error {
 // RemoveProjected decrements the reference count of a projected row,
 // deleting it from both trees when it dies.
 func (p *Partition) RemoveProjected(row relation.Tuple) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if row.IsAllNull() {
 		return nil
 	}
@@ -228,6 +267,8 @@ func (p *Partition) deleteRow(row relation.Tuple) error {
 // LookupForward returns all stored rows whose first column equals v — a
 // clustered prefix scan on the forward tree.
 func (p *Partition) LookupForward(v gom.Value) ([]relation.Tuple, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	prefix, err := encodePrefix(v)
 	if err != nil {
 		return nil, err
@@ -252,6 +293,8 @@ func (p *Partition) LookupForward(v gom.Value) ([]relation.Tuple, error) {
 // LookupBackward returns all stored rows whose last column equals v — a
 // clustered prefix scan on the backward tree.
 func (p *Partition) LookupBackward(v gom.Value) ([]relation.Tuple, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	prefix, err := encodePrefix(v)
 	if err != nil {
 		return nil, err
@@ -276,6 +319,8 @@ func (p *Partition) LookupBackward(v gom.Value) ([]relation.Tuple, error) {
 // ScanAll iterates every stored row (forward-clustered order); fn
 // returning false stops early.
 func (p *Partition) ScanAll(fn func(relation.Tuple) bool) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	var derr error
 	err := p.fwd.Scan(func(k, _ []byte) bool {
 		t, err := decodeTuple(k, p.arity, 0)
@@ -309,6 +354,8 @@ func (p *Partition) AsRelation(cols []string) (*relation.Relation, error) {
 // counted rows and satisfy their structural invariants; intended for
 // tests.
 func (p *Partition) CheckConsistent() error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if p.fwd.Len() != len(p.refcnt) || p.bwd.Len() != len(p.refcnt) {
 		return fmt.Errorf("asr: partition %s: fwd=%d bwd=%d refcnt=%d",
 			p.name, p.fwd.Len(), p.bwd.Len(), len(p.refcnt))

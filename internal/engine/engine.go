@@ -34,6 +34,10 @@ type Engine struct {
 func New(place *gendb.Placement) *Engine { return &Engine{place: place} }
 
 // measure runs op against a cold buffer and captures its page traffic.
+// The DropClean/ResetStats protocol makes the measurement meaningful
+// only when nothing else touches the pool, so an Engine is a
+// single-threaded measurement harness: unlike the asr and query layers
+// it must not be shared between goroutines.
 func (e *Engine) measure(pool *storage.BufferPool, op func() error) (Measurement, error) {
 	if err := pool.DropClean(); err != nil {
 		return Measurement{}, err

@@ -3,11 +3,20 @@ package gom
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Observer receives change notifications from an ObjectBase. Access
 // support relation managers register as observers to maintain their
 // extensions incrementally under object updates (§6).
+//
+// Observers are invoked after the base's write lock has been released,
+// so an observer may freely read the object base (and its own indexes)
+// from inside a callback. With a single logical writer — the
+// concurrency model this repository targets, see docs/CONCURRENCY.md —
+// callbacks therefore always observe the post-update state. Concurrent
+// writers are serialized on the base itself, but their notification
+// order is then unspecified.
 type Observer interface {
 	// AttrAssigned is called after attribute attr of object o changed
 	// from old to new (either may be NULL).
@@ -26,7 +35,17 @@ type Observer interface {
 // uni-directional, exactly as in the paper — there are no reverse
 // pointers in the object representation; backward traversal without an
 // access support relation therefore requires exhaustive search.
+//
+// An ObjectBase is safe for concurrent use under a readers/writer
+// discipline: any number of goroutines may call the read-only methods
+// (Get, Extent, Var, Count, CheckIntegrity, and every Object accessor)
+// concurrently with each other and with at most one mutating goroutine.
+// Mutations (New, SetAttr, InsertIntoSet, RemoveFromSet, AppendToList,
+// Delete, BindVar, AddObserver, RemoveObserver) take the write lock and
+// are internally serialized; observer callbacks run after the lock is
+// released.
 type ObjectBase struct {
+	mu        sync.RWMutex
 	schema    *Schema
 	objects   map[OID]*Object
 	extents   map[*Type][]OID // exact-type extents, in creation order
@@ -50,16 +69,30 @@ func NewObjectBase(schema *Schema) *ObjectBase {
 func (ob *ObjectBase) Schema() *Schema { return ob.schema }
 
 // AddObserver registers an update observer.
-func (ob *ObjectBase) AddObserver(obs Observer) { ob.observers = append(ob.observers, obs) }
+func (ob *ObjectBase) AddObserver(obs Observer) {
+	ob.mu.Lock()
+	defer ob.mu.Unlock()
+	ob.observers = append(ob.observers, obs)
+}
 
 // RemoveObserver unregisters a previously added observer.
 func (ob *ObjectBase) RemoveObserver(obs Observer) {
+	ob.mu.Lock()
+	defer ob.mu.Unlock()
 	for i, o := range ob.observers {
 		if o == obs {
 			ob.observers = append(ob.observers[:i], ob.observers[i+1:]...)
 			return
 		}
 	}
+}
+
+// watchers snapshots the observer list; must be called with ob.mu held.
+func (ob *ObjectBase) watchers() []Observer {
+	if len(ob.observers) == 0 {
+		return nil
+	}
+	return append([]Observer(nil), ob.observers...)
 }
 
 // New instantiates the given type: tuple attributes start NULL, sets and
@@ -75,6 +108,8 @@ func (ob *ObjectBase) New(t *Type) (*Object, error) {
 	if t.Kind() == AtomicType {
 		return nil, fmt.Errorf("gom: New: atomic type %q cannot be instantiated", t.Name())
 	}
+	ob.mu.Lock()
+	defer ob.mu.Unlock()
 	o := &Object{id: ob.nextOID, typ: t, base: ob}
 	ob.nextOID++
 	switch t.Kind() {
@@ -99,16 +134,24 @@ func (ob *ObjectBase) MustNew(t *Type) *Object {
 
 // Get returns the object with the given OID.
 func (ob *ObjectBase) Get(id OID) (*Object, bool) {
+	ob.mu.RLock()
+	defer ob.mu.RUnlock()
 	o, ok := ob.objects[id]
 	return o, ok
 }
 
 // Count returns the number of live objects.
-func (ob *ObjectBase) Count() int { return len(ob.objects) }
+func (ob *ObjectBase) Count() int {
+	ob.mu.RLock()
+	defer ob.mu.RUnlock()
+	return len(ob.objects)
+}
 
 // Extent returns the OIDs of all instances whose exact type is t, or —
 // with includeSubtypes — of t and all its subtypes, in creation order.
 func (ob *ObjectBase) Extent(t *Type, includeSubtypes bool) []OID {
+	ob.mu.RLock()
+	defer ob.mu.RUnlock()
 	if !includeSubtypes {
 		return append([]OID(nil), ob.extents[t]...)
 	}
@@ -125,6 +168,8 @@ func (ob *ObjectBase) Extent(t *Type, includeSubtypes bool) []OID {
 // BindVar binds a database variable name (e.g. "OurRobots" or
 // "Mercedes") to an object.
 func (ob *ObjectBase) BindVar(name string, id OID) error {
+	ob.mu.Lock()
+	defer ob.mu.Unlock()
 	if _, ok := ob.objects[id]; !ok && !id.IsNil() {
 		return fmt.Errorf("gom: BindVar(%q): unknown object %s", name, id)
 	}
@@ -134,12 +179,16 @@ func (ob *ObjectBase) BindVar(name string, id OID) error {
 
 // Var resolves a bound database variable.
 func (ob *ObjectBase) Var(name string) (OID, bool) {
+	ob.mu.RLock()
+	defer ob.mu.RUnlock()
 	id, ok := ob.vars[name]
 	return id, ok
 }
 
 // VarNames returns the bound database variable names, sorted.
 func (ob *ObjectBase) VarNames() []string {
+	ob.mu.RLock()
+	defer ob.mu.RUnlock()
 	out := make([]string, 0, len(ob.vars))
 	for name := range ob.vars {
 		out = append(out, name)
@@ -151,7 +200,8 @@ func (ob *ObjectBase) VarNames() []string {
 // checkAssignable validates that v may be stored in a slot constrained to
 // type want: NULL always may; atomic kinds must match; references must
 // denote a live instance of want or a subtype (the constrained type is
-// only an upper bound, §2 "strong typing").
+// only an upper bound, §2 "strong typing"). Must be called with ob.mu
+// held (read or write).
 func (ob *ObjectBase) checkAssignable(want *Type, v Value) error {
 	if v == nil {
 		return nil
@@ -182,18 +232,23 @@ func (ob *ObjectBase) checkAssignable(want *Type, v Value) error {
 // SetAttr assigns attribute attr of tuple object id to v (NULL when v is
 // nil) and notifies observers.
 func (ob *ObjectBase) SetAttr(id OID, attr string, v Value) error {
+	ob.mu.Lock()
 	o, ok := ob.objects[id]
 	if !ok {
+		ob.mu.Unlock()
 		return fmt.Errorf("gom: SetAttr: unknown object %s", id)
 	}
 	if o.typ.Kind() != TupleType {
+		ob.mu.Unlock()
 		return fmt.Errorf("gom: SetAttr: %s is %s-structured, not a tuple", id, o.typ.Kind())
 	}
 	a, ok := o.typ.Attribute(attr)
 	if !ok {
+		ob.mu.Unlock()
 		return fmt.Errorf("gom: SetAttr: type %s has no attribute %q", o.typ.Name(), attr)
 	}
 	if err := ob.checkAssignable(a.Type, v); err != nil {
+		ob.mu.Unlock()
 		return fmt.Errorf("gom: SetAttr %s.%s: %w", o.typ.Name(), attr, err)
 	}
 	old := o.attrs[attr]
@@ -202,10 +257,14 @@ func (ob *ObjectBase) SetAttr(id OID, attr string, v Value) error {
 	} else {
 		o.attrs[attr] = v
 	}
-	if !ValuesEqual(old, v) {
-		for _, obs := range ob.observers {
-			obs.AttrAssigned(o, attr, old, v)
-		}
+	changed := !ValuesEqual(old, v)
+	var obs []Observer
+	if changed {
+		obs = ob.watchers()
+	}
+	ob.mu.Unlock()
+	for _, w := range obs {
+		w.AttrAssigned(o, attr, old, v)
 	}
 	return nil
 }
@@ -221,26 +280,34 @@ func (ob *ObjectBase) MustSetAttr(id OID, attr string, v Value) {
 // present) and notifies observers. This is the paper's characteristic
 // update operation ins_i of §6.
 func (ob *ObjectBase) InsertIntoSet(id OID, v Value) error {
+	ob.mu.Lock()
 	o, ok := ob.objects[id]
 	if !ok {
+		ob.mu.Unlock()
 		return fmt.Errorf("gom: InsertIntoSet: unknown object %s", id)
 	}
 	if o.typ.Kind() != SetType {
+		ob.mu.Unlock()
 		return fmt.Errorf("gom: InsertIntoSet: %s is %s-structured, not a set", id, o.typ.Kind())
 	}
 	if v == nil {
+		ob.mu.Unlock()
 		return fmt.Errorf("gom: InsertIntoSet: cannot insert NULL into a set")
 	}
 	if err := ob.checkAssignable(o.typ.Elem(), v); err != nil {
+		ob.mu.Unlock()
 		return fmt.Errorf("gom: InsertIntoSet into %s: %w", o.typ.Name(), err)
 	}
 	k := valueKey(v)
 	if _, dup := o.set[k]; dup {
+		ob.mu.Unlock()
 		return nil
 	}
 	o.set[k] = v
-	for _, obs := range ob.observers {
-		obs.SetInserted(o, v)
+	obs := ob.watchers()
+	ob.mu.Unlock()
+	for _, w := range obs {
+		w.SetInserted(o, v)
 	}
 	return nil
 }
@@ -255,41 +322,53 @@ func (ob *ObjectBase) MustInsertIntoSet(id OID, v Value) {
 // RemoveFromSet removes v from set object id (a no-op if absent) and
 // notifies observers.
 func (ob *ObjectBase) RemoveFromSet(id OID, v Value) error {
+	ob.mu.Lock()
 	o, ok := ob.objects[id]
 	if !ok {
+		ob.mu.Unlock()
 		return fmt.Errorf("gom: RemoveFromSet: unknown object %s", id)
 	}
 	if o.typ.Kind() != SetType {
+		ob.mu.Unlock()
 		return fmt.Errorf("gom: RemoveFromSet: %s is %s-structured, not a set", id, o.typ.Kind())
 	}
 	k := valueKey(v)
 	if _, present := o.set[k]; !present {
+		ob.mu.Unlock()
 		return nil
 	}
 	delete(o.set, k)
-	for _, obs := range ob.observers {
-		obs.SetRemoved(o, v)
+	obs := ob.watchers()
+	ob.mu.Unlock()
+	for _, w := range obs {
+		w.SetRemoved(o, v)
 	}
 	return nil
 }
 
 // AppendToList appends v to list object id.
 func (ob *ObjectBase) AppendToList(id OID, v Value) error {
+	ob.mu.Lock()
 	o, ok := ob.objects[id]
 	if !ok {
+		ob.mu.Unlock()
 		return fmt.Errorf("gom: AppendToList: unknown object %s", id)
 	}
 	if o.typ.Kind() != ListType {
+		ob.mu.Unlock()
 		return fmt.Errorf("gom: AppendToList: %s is %s-structured, not a list", id, o.typ.Kind())
 	}
 	if err := ob.checkAssignable(o.typ.Elem(), v); err != nil {
+		ob.mu.Unlock()
 		return fmt.Errorf("gom: AppendToList into %s: %w", o.typ.Name(), err)
 	}
 	o.list = append(o.list, v)
+	obs := ob.watchers()
+	ob.mu.Unlock()
 	// List insertion is reported through the set-insertion hook: access
 	// support over ordered collections is analogous to sets (§2.1).
-	for _, obs := range ob.observers {
-		obs.SetInserted(o, v)
+	for _, w := range obs {
+		w.SetInserted(o, v)
 	}
 	return nil
 }
@@ -299,8 +378,10 @@ func (ob *ObjectBase) AppendToList(id OID, v Value) error {
 // find them cheaply — callers that need referential integrity should
 // clear referrers first (CheckIntegrity finds violations).
 func (ob *ObjectBase) Delete(id OID) error {
+	ob.mu.Lock()
 	o, ok := ob.objects[id]
 	if !ok {
+		ob.mu.Unlock()
 		return fmt.Errorf("gom: Delete: unknown object %s", id)
 	}
 	delete(ob.objects, id)
@@ -311,8 +392,10 @@ func (ob *ObjectBase) Delete(id OID) error {
 			break
 		}
 	}
-	for _, obs := range ob.observers {
-		obs.ObjectDeleted(o)
+	obs := ob.watchers()
+	ob.mu.Unlock()
+	for _, w := range obs {
+		w.ObjectDeleted(o)
 	}
 	return nil
 }
@@ -320,6 +403,8 @@ func (ob *ObjectBase) Delete(id OID) error {
 // CheckIntegrity scans the whole base and returns every dangling
 // reference as an error slice (empty means consistent).
 func (ob *ObjectBase) CheckIntegrity() []error {
+	ob.mu.RLock()
+	defer ob.mu.RUnlock()
 	var errs []error
 	check := func(where string, v Value) {
 		r, ok := v.(Ref)
@@ -343,7 +428,7 @@ func (ob *ObjectBase) CheckIntegrity() []error {
 				check(fmt.Sprintf("%s.%s", id, name), v)
 			}
 		case SetType, ListType:
-			for _, v := range o.Elements() {
+			for _, v := range o.elementsLocked() {
 				check(fmt.Sprintf("%s element", id), v)
 			}
 		}

@@ -12,6 +12,11 @@ import (
 // mutated only through their owning ObjectBase, which enforces strong
 // typing and notifies registered observers (used for incremental access
 // support relation maintenance).
+//
+// Object accessors share the owning ObjectBase's readers/writer lock:
+// they are safe to call from any number of goroutines concurrently with
+// each other and with base mutations (ID and Type are immutable and
+// lock-free).
 type Object struct {
 	id   OID
 	typ  *Type
@@ -32,6 +37,13 @@ func (o *Object) Type() *Type { return o.typ }
 // never assigned. The second result reports whether the attribute exists
 // on the object's type at all.
 func (o *Object) Attr(name string) (Value, bool) {
+	o.base.mu.RLock()
+	defer o.base.mu.RUnlock()
+	return o.attrLocked(name)
+}
+
+// attrLocked is Attr without locking; o.base.mu must be held.
+func (o *Object) attrLocked(name string) (Value, bool) {
 	if o.typ.Kind() != TupleType {
 		return nil, false
 	}
@@ -53,6 +65,8 @@ func (o *Object) AttrOID(name string) OID {
 
 // Len returns the element count of a set or list object, and 0 otherwise.
 func (o *Object) Len() int {
+	o.base.mu.RLock()
+	defer o.base.mu.RUnlock()
 	switch o.typ.Kind() {
 	case SetType:
 		return len(o.set)
@@ -66,6 +80,13 @@ func (o *Object) Len() int {
 // Elements returns the elements of a set object in a deterministic order
 // (sorted by canonical key), or of a list object in list order.
 func (o *Object) Elements() []Value {
+	o.base.mu.RLock()
+	defer o.base.mu.RUnlock()
+	return o.elementsLocked()
+}
+
+// elementsLocked is Elements without locking; o.base.mu must be held.
+func (o *Object) elementsLocked() []Value {
 	switch o.typ.Kind() {
 	case SetType:
 		keys := make([]string, 0, len(o.set))
@@ -99,6 +120,8 @@ func (o *Object) ElementOIDs() []OID {
 
 // Contains reports whether a set object contains the given value.
 func (o *Object) Contains(v Value) bool {
+	o.base.mu.RLock()
+	defer o.base.mu.RUnlock()
 	if o.typ.Kind() != SetType {
 		return false
 	}
@@ -109,6 +132,8 @@ func (o *Object) Contains(v Value) bool {
 // String renders the object in the style of the paper's Figure 1/2
 // extension tables.
 func (o *Object) String() string {
+	o.base.mu.RLock()
+	defer o.base.mu.RUnlock()
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s:%s", o.id, o.typ.Name())
 	switch o.typ.Kind() {
@@ -123,7 +148,7 @@ func (o *Object) String() string {
 		b.WriteString("]")
 	case SetType:
 		b.WriteString("{")
-		for i, v := range o.Elements() {
+		for i, v := range o.elementsLocked() {
 			if i > 0 {
 				b.WriteString(", ")
 			}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"asr/internal/asr"
 	"asr/internal/gom"
@@ -14,6 +15,11 @@ import (
 // has a usable access support relation are rewritten into backward index
 // queries that pre-filter the outer collection — the paper's intended
 // use of ASRs in query evaluation (§5).
+//
+// An Engine is stateless between calls and safe for concurrent use: any
+// number of goroutines may call Run and RunParallel simultaneously,
+// concurrently with at most one writer mutating the object base (the
+// readers/writer discipline of gom.ObjectBase and asr.Manager).
 type Engine struct {
 	ob  *gom.ObjectBase
 	mgr *asr.Manager
@@ -152,7 +158,21 @@ func (r *resolved) composedPath(idx int, extra []string) (*gom.PathExpression, b
 }
 
 // Run evaluates the query.
-func (e *Engine) Run(q *Query) (*Result, error) {
+func (e *Engine) Run(q *Query) (*Result, error) { return e.run(q, 1) }
+
+// RunParallel evaluates the query with the outer collection's surviving
+// anchors fanned across up to workers goroutines. The resolution step,
+// the ASR pre-filter and the plan are computed once, exactly as in Run;
+// each worker then evaluates the nested-loop over its anchor chunk into
+// a private result set, and the sets are merged and emitted in the same
+// deterministic sorted order Run uses — so RunParallel(q, w) returns
+// the same Values as Run(q) for every query and worker count (the Plan
+// additionally records the fan-out). workers ≤ 1 degenerates to Run.
+func (e *Engine) RunParallel(q *Query, workers int) (*Result, error) {
+	return e.run(q, workers)
+}
+
+func (e *Engine) run(q *Query, workers int) (*Result, error) {
 	r, err := e.resolve(q)
 	if err != nil {
 		return nil, err
@@ -219,64 +239,116 @@ func (e *Engine) Run(q *Query) (*Result, error) {
 		planNotes = append(planNotes, "nested-loop traversal (no usable access support relation)")
 	}
 
-	out := map[string]gom.Value{}
-	bindings := make([]gom.OID, len(r.ranges))
-	var loop func(depth int) error
-	loop = func(depth int) error {
-		if depth == len(r.ranges) {
-			for pi := range q.Where {
-				v := bindings[r.byVar[q.Where[pi].Path.Var]]
-				if !e.pathHasValue(v, r.predPaths[pi], q.Where[pi].Literal) {
+	// evalAnchors runs the nested-loop evaluation over one chunk of the
+	// outer collection's anchors into a private result set; both the
+	// sequential path (one chunk: everything) and the parallel path (one
+	// chunk per worker) go through it, so they agree by construction.
+	evalAnchors := func(chunk []gom.OID) (map[string]gom.Value, error) {
+		out := map[string]gom.Value{}
+		bindings := make([]gom.OID, len(r.ranges))
+		var loop func(depth int) error
+		loop = func(depth int) error {
+			if depth == len(r.ranges) {
+				for pi := range q.Where {
+					v := bindings[r.byVar[q.Where[pi].Path.Var]]
+					if !e.pathHasValue(v, r.predPaths[pi], q.Where[pi].Literal) {
+						return nil
+					}
+				}
+				projVar := bindings[r.byVar[q.Projection.Var]]
+				if r.projPath == nil {
+					out[gom.Ref(projVar).String()] = gom.Ref(projVar)
 					return nil
 				}
-			}
-			projVar := bindings[r.byVar[q.Projection.Var]]
-			if r.projPath == nil {
-				out[gom.Ref(projVar).String()] = gom.Ref(projVar)
+				if projIx != nil {
+					vals, err := projIx.QueryForward(0, projComposed.Len(), gom.Ref(projVar))
+					if err == nil {
+						for _, v := range vals {
+							out[gom.ValueString(v)] = v
+						}
+						return nil
+					}
+					// Fall back below on any index error.
+				}
+				for _, v := range e.evalPath(projVar, r.projPath) {
+					out[gom.ValueString(v)] = v
+				}
 				return nil
 			}
-			if projIx != nil {
-				vals, err := projIx.QueryForward(0, projComposed.Len(), gom.Ref(projVar))
-				if err == nil {
-					for _, v := range vals {
-						out[gom.ValueString(v)] = v
-					}
-					return nil
+			br := r.ranges[depth]
+			var members []gom.OID
+			if depth == 0 {
+				members = chunk
+			} else if br.r.Dependent == nil {
+				so, ok := e.ob.Get(br.setOID)
+				if !ok {
+					return fmt.Errorf("query: collection object deleted")
 				}
-				// Fall back below on any index error.
+				members = so.ElementOIDs()
+			} else {
+				for _, v := range e.evalPath(bindings[br.parentIdx], br.path) {
+					if ref, ok := v.(gom.Ref); ok {
+						members = append(members, ref.OID())
+					}
+				}
 			}
-			for _, v := range e.evalPath(projVar, r.projPath) {
-				out[gom.ValueString(v)] = v
+			for _, id := range members {
+				bindings[depth] = id
+				if err := loop(depth + 1); err != nil {
+					return err
+				}
 			}
 			return nil
 		}
-		br := r.ranges[depth]
-		var members []gom.OID
-		if depth == 0 {
-			members = anchors
-		} else if br.r.Dependent == nil {
-			so, ok := e.ob.Get(br.setOID)
-			if !ok {
-				return fmt.Errorf("query: collection object deleted")
-			}
-			members = so.ElementOIDs()
-		} else {
-			for _, v := range e.evalPath(bindings[br.parentIdx], br.path) {
-				if ref, ok := v.(gom.Ref); ok {
-					members = append(members, ref.OID())
-				}
-			}
+		if err := loop(0); err != nil {
+			return nil, err
 		}
-		for _, id := range members {
-			bindings[depth] = id
-			if err := loop(depth + 1); err != nil {
-				return err
-			}
-		}
-		return nil
+		return out, nil
 	}
-	if err := loop(0); err != nil {
-		return nil, err
+
+	var out map[string]gom.Value
+	if workers <= 1 || len(anchors) < 2 {
+		out, err = evalAnchors(anchors)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if workers > len(anchors) {
+			workers = len(anchors)
+		}
+		planNotes = append(planNotes, fmt.Sprintf("parallel over %d workers", workers))
+		out = map[string]gom.Value{}
+		var (
+			wg       sync.WaitGroup
+			mergeMu  sync.Mutex
+			firstErr error
+		)
+		for w := 0; w < workers; w++ {
+			lo, hi := chunkBounds(len(anchors), workers, w)
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(chunk []gom.OID) {
+				defer wg.Done()
+				local, err := evalAnchors(chunk)
+				mergeMu.Lock()
+				defer mergeMu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				for k, v := range local {
+					out[k] = v
+				}
+			}(anchors[lo:hi])
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
 	}
 
 	keys := make([]string, 0, len(out))
@@ -289,6 +361,26 @@ func (e *Engine) Run(q *Query) (*Result, error) {
 		res.Values = append(res.Values, out[k])
 	}
 	return res, nil
+}
+
+// chunkBounds returns the half-open range [lo, hi) of items assigned to
+// worker w when n items are split near-evenly across parts workers.
+func chunkBounds(n, parts, w int) (int, int) {
+	size := n / parts
+	rem := n % parts
+	lo := w*size + min(w, rem)
+	hi := lo + size
+	if w < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // evalPath traverses a resolved path from one object, returning all

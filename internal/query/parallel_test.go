@@ -1,0 +1,131 @@
+package query
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"asr/internal/asr"
+	"asr/internal/gom"
+	"asr/internal/paperdb"
+)
+
+// RunParallel's contract: identical Values to Run for every query and
+// worker count, with or without ASR assistance, and safe to invoke from
+// many goroutines at once (run with -race).
+
+var parallelQueries = []string{
+	`select r.Name from r in OurRobots
+		where r.Arm.MountedTool.ManufacturedBy.Location = "Utopia"`,
+	`select r from r in OurRobots`,
+}
+
+var parallelCompanyQueries = []string{
+	`select d.Name from d in Mercedes, b in d.Manufactures.Composition
+		where b.Name = "Door"`,
+	`select d.Manufactures.Composition.Name from d in Mercedes`,
+	`select d.Name from d in Mercedes`,
+}
+
+func TestRunParallelMatchesRun(t *testing.T) {
+	r := paperdb.BuildRobots()
+	c := paperdb.BuildCompany()
+	rmgr := asr.NewManager(r.Base, newPool())
+	if _, err := rmgr.CreateIndex(r.Path, asr.Canonical, asr.NoDecomposition(r.Path.Arity()-1)); err != nil {
+		t.Fatal(err)
+	}
+	cmgr := asr.NewManager(c.Base, newPool())
+	if _, err := cmgr.CreateIndex(c.Path, asr.Full, asr.BinaryDecomposition(5)); err != nil {
+		t.Fatal(err)
+	}
+
+	engines := map[string]struct {
+		e       *Engine
+		queries []string
+	}{
+		"robots-naive":    {New(r.Base, nil), parallelQueries},
+		"robots-indexed":  {New(r.Base, rmgr), parallelQueries},
+		"company-naive":   {New(c.Base, nil), parallelCompanyQueries},
+		"company-indexed": {New(c.Base, cmgr), parallelCompanyQueries},
+	}
+	for name, eng := range engines {
+		for _, src := range eng.queries {
+			q := MustParse(src)
+			seq, err := eng.e.Run(q)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			for _, w := range []int{0, 1, 2, 3, 8, 64} {
+				par, err := eng.e.RunParallel(q, w)
+				if err != nil {
+					t.Fatalf("%s w=%d: %v", name, w, err)
+				}
+				got, want := valueStrings(par.Values), valueStrings(seq.Values)
+				if len(got) != len(want) {
+					t.Fatalf("%s w=%d %q:\nseq %v\npar %v", name, w, src, want, got)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s w=%d %q:\nseq %v\npar %v", name, w, src, want, got)
+					}
+				}
+				if w > 1 && len(seq.Values) >= 2 && !strings.Contains(par.Plan, "parallel over") {
+					t.Errorf("%s w=%d: plan lacks fan-out note: %q", name, w, par.Plan)
+				}
+			}
+		}
+	}
+}
+
+func TestRunParallelConcurrentCallers(t *testing.T) {
+	c := paperdb.BuildCompany()
+	mgr := asr.NewManager(c.Base, newPool())
+	if _, err := mgr.CreateIndex(c.Path, asr.Full, asr.BinaryDecomposition(5)); err != nil {
+		t.Fatal(err)
+	}
+	e := New(c.Base, mgr)
+	q := MustParse(parallelCompanyQueries[0])
+	want := valueStrings(mustRun(t, e, q))
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(workers int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				res, err := e.RunParallel(q, workers)
+				if err != nil {
+					errc <- err
+					return
+				}
+				got := valueStrings(res.Values)
+				if len(got) != len(want) {
+					errc <- errMismatch(got, want)
+					return
+				}
+			}
+		}(1 + g%4)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+func mustRun(t *testing.T, e *Engine, q *Query) []gom.Value {
+	t.Helper()
+	res, err := e.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Values
+}
+
+type errMismatchT struct{ got, want []string }
+
+func errMismatch(got, want []string) error { return errMismatchT{got, want} }
+func (e errMismatchT) Error() string {
+	return "parallel result mismatch: got " + strings.Join(e.got, ",") + " want " + strings.Join(e.want, ",")
+}

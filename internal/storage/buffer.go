@@ -3,6 +3,8 @@ package storage
 import (
 	"container/list"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // ReplacementPolicy selects the buffer pool's victim strategy.
@@ -31,13 +33,15 @@ func (p ReplacementPolicy) String() string {
 
 // BufferStats counts buffer-pool activity. LogicalAccesses is the
 // paper's cost unit when the model assumes no buffering; Misses is the
-// physical page-fetch count under the configured pool size.
+// physical page-fetch count under the configured pool size. Pins counts
+// every successful pin (Get and GetNew).
 type BufferStats struct {
 	LogicalAccesses uint64
 	Hits            uint64
 	Misses          uint64
 	Evictions       uint64
 	WriteBacks      uint64
+	Pins            uint64
 }
 
 type frame struct {
@@ -51,6 +55,11 @@ type frame struct {
 
 // Frame is a pinned page in the buffer pool. Callers must Unpin it when
 // done and MarkDirty after mutating Data.
+//
+// Pinned frames may be shared by concurrent readers; the page bytes
+// themselves are not synchronized by the pool, so writers to Data must
+// hold a higher-level lock (in this repository: the owning partition's
+// or segment's write lock) that excludes readers of the same page.
 type Frame struct {
 	pool *BufferPool
 	f    *frame
@@ -63,16 +72,28 @@ func (fr *Frame) ID() PageID { return fr.f.id }
 func (fr *Frame) Data() []byte { return fr.f.data }
 
 // MarkDirty records that the page must be written back on eviction or
-// flush.
-func (fr *Frame) MarkDirty() { fr.f.dirty = true }
+// flush. Safe for concurrent use.
+func (fr *Frame) MarkDirty() {
+	fr.pool.mu.Lock()
+	fr.f.dirty = true
+	fr.pool.mu.Unlock()
+}
 
-// Unpin releases the caller's pin.
+// Unpin releases the caller's pin. Safe for concurrent use.
 func (fr *Frame) Unpin() { fr.pool.unpin(fr.f) }
 
 // BufferPool caches disk pages with pin/unpin semantics and a pluggable
 // replacement policy. A capacity of 0 means unbounded (every page stays
 // resident; physical reads then count each page once).
+//
+// A BufferPool is safe for concurrent use: the frame table, replacement
+// structures and pin counts are guarded by one mutex, and the activity
+// counters are atomics, so Stats never blocks page traffic. The
+// measurement helpers ResetStats and DropClean change global state and
+// are meant for single-threaded experiment harnesses, not for use while
+// other goroutines hold pins.
 type BufferPool struct {
+	mu       sync.Mutex
 	disk     *Disk
 	capacity int
 	policy   ReplacementPolicy
@@ -80,7 +101,13 @@ type BufferPool struct {
 	queue    *list.List // LRU order (front = coldest) or FIFO arrival order
 	clock    []*frame   // Clock policy ring
 	hand     int
-	stats    BufferStats
+
+	nLogical    atomic.Uint64
+	nHits       atomic.Uint64
+	nMisses     atomic.Uint64
+	nEvictions  atomic.Uint64
+	nWriteBacks atomic.Uint64
+	nPins       atomic.Uint64
 }
 
 // NewBufferPool creates a pool over disk with the given frame capacity
@@ -98,20 +125,44 @@ func NewBufferPool(disk *Disk, capacity int, policy ReplacementPolicy) *BufferPo
 // Disk returns the underlying disk.
 func (b *BufferPool) Disk() *Disk { return b.disk }
 
-// Stats returns a copy of the counters.
-func (b *BufferPool) Stats() BufferStats { return b.stats }
+// Stats returns a snapshot of the counters. Safe for concurrent use;
+// the snapshot is internally consistent only when the pool is quiescent.
+func (b *BufferPool) Stats() BufferStats {
+	return BufferStats{
+		LogicalAccesses: b.nLogical.Load(),
+		Hits:            b.nHits.Load(),
+		Misses:          b.nMisses.Load(),
+		Evictions:       b.nEvictions.Load(),
+		WriteBacks:      b.nWriteBacks.Load(),
+		Pins:            b.nPins.Load(),
+	}
+}
 
 // ResetStats zeroes the counters (resident pages stay resident).
-func (b *BufferPool) ResetStats() { b.stats = BufferStats{} }
+func (b *BufferPool) ResetStats() {
+	b.nLogical.Store(0)
+	b.nHits.Store(0)
+	b.nMisses.Store(0)
+	b.nEvictions.Store(0)
+	b.nWriteBacks.Store(0)
+	b.nPins.Store(0)
+}
 
 // Resident returns the number of buffered pages.
-func (b *BufferPool) Resident() int { return len(b.frames) }
+func (b *BufferPool) Resident() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.frames)
+}
 
 // Get pins the page into the pool, fetching it from disk on a miss.
 func (b *BufferPool) Get(id PageID) (*Frame, error) {
-	b.stats.LogicalAccesses++
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nLogical.Add(1)
 	if f, ok := b.frames[id]; ok {
-		b.stats.Hits++
+		b.nHits.Add(1)
+		b.nPins.Add(1)
 		f.pins++
 		f.refBit = true
 		if b.policy == LRU && f.lruElem != nil {
@@ -119,7 +170,7 @@ func (b *BufferPool) Get(id PageID) (*Frame, error) {
 		}
 		return &Frame{pool: b, f: f}, nil
 	}
-	b.stats.Misses++
+	b.nMisses.Add(1)
 	if b.capacity > 0 && len(b.frames) >= b.capacity {
 		if err := b.evictOne(); err != nil {
 			return nil, err
@@ -129,6 +180,7 @@ func (b *BufferPool) Get(id PageID) (*Frame, error) {
 	if err := b.disk.Read(id, f.data); err != nil {
 		return nil, err
 	}
+	b.nPins.Add(1)
 	b.frames[id] = f
 	switch b.policy {
 	case LRU, FIFO:
@@ -142,15 +194,18 @@ func (b *BufferPool) Get(id PageID) (*Frame, error) {
 // GetNew allocates a fresh page on disk and pins it without a read. The
 // initial fetch is still one logical access (the page must be formatted).
 func (b *BufferPool) GetNew() (*Frame, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	id := b.disk.Allocate()
-	b.stats.LogicalAccesses++
-	b.stats.Misses++
+	b.nLogical.Add(1)
+	b.nMisses.Add(1)
 	if b.capacity > 0 && len(b.frames) >= b.capacity {
 		if err := b.evictOne(); err != nil {
 			return nil, err
 		}
 	}
 	f := &frame{id: id, data: make([]byte, b.disk.PageSize()), pins: 1, dirty: true, refBit: true}
+	b.nPins.Add(1)
 	b.frames[id] = f
 	switch b.policy {
 	case LRU, FIFO:
@@ -162,11 +217,14 @@ func (b *BufferPool) GetNew() (*Frame, error) {
 }
 
 func (b *BufferPool) unpin(f *frame) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if f.pins > 0 {
 		f.pins--
 	}
 }
 
+// evictOne must be called with b.mu held.
 func (b *BufferPool) evictOne() error {
 	victim, err := b.pickVictim()
 	if err != nil {
@@ -176,13 +234,14 @@ func (b *BufferPool) evictOne() error {
 		if err := b.disk.Write(victim.id, victim.data); err != nil {
 			return err
 		}
-		b.stats.WriteBacks++
+		b.nWriteBacks.Add(1)
 	}
 	b.dropFrame(victim)
-	b.stats.Evictions++
+	b.nEvictions.Add(1)
 	return nil
 }
 
+// pickVictim must be called with b.mu held.
 func (b *BufferPool) pickVictim() (*frame, error) {
 	switch b.policy {
 	case LRU, FIFO:
@@ -213,6 +272,7 @@ func (b *BufferPool) pickVictim() (*frame, error) {
 	return nil, fmt.Errorf("storage: buffer pool exhausted: all %d frames pinned", len(b.frames))
 }
 
+// dropFrame must be called with b.mu held.
 func (b *BufferPool) dropFrame(f *frame) {
 	delete(b.frames, f.id)
 	if f.lruElem != nil {
@@ -234,6 +294,8 @@ func (b *BufferPool) dropFrame(f *frame) {
 // when the page is being freed. Discarding a pinned page is an error;
 // a non-resident page is a no-op.
 func (b *BufferPool) Discard(id PageID) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	f, ok := b.frames[id]
 	if !ok {
 		return nil
@@ -248,6 +310,13 @@ func (b *BufferPool) Discard(id PageID) error {
 // FlushAll writes every dirty resident page back to disk; pages remain
 // resident.
 func (b *BufferPool) FlushAll() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.flushAllLocked()
+}
+
+// flushAllLocked must be called with b.mu held.
+func (b *BufferPool) flushAllLocked() error {
 	for _, f := range b.frames {
 		if !f.dirty {
 			continue
@@ -256,7 +325,7 @@ func (b *BufferPool) FlushAll() error {
 			return err
 		}
 		f.dirty = false
-		b.stats.WriteBacks++
+		b.nWriteBacks.Add(1)
 	}
 	return nil
 }
@@ -264,7 +333,9 @@ func (b *BufferPool) FlushAll() error {
 // DropClean empties the pool after flushing, simulating a cold cache for
 // a fresh measurement run.
 func (b *BufferPool) DropClean() error {
-	if err := b.FlushAll(); err != nil {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.flushAllLocked(); err != nil {
 		return err
 	}
 	for _, f := range b.frames {

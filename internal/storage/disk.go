@@ -10,6 +10,7 @@ package storage
 
 import (
 	"fmt"
+	"sync"
 )
 
 // Paper system parameters (Figure 3).
@@ -50,7 +51,11 @@ type DiskStats struct {
 // Disk is a simulated secondary-storage device holding fixed-size pages.
 // All traffic is counted in Stats; the buffer pool sits on top and only
 // touches the disk on misses and write-backs.
+//
+// A Disk is safe for concurrent use; every method takes an internal
+// mutex, mirroring a device that serializes transfers.
 type Disk struct {
+	mu       sync.Mutex
 	pageSize int
 	pages    map[PageID][]byte
 	next     PageID
@@ -70,16 +75,30 @@ func NewDisk(pageSize int) *Disk {
 func (d *Disk) PageSize() int { return d.pageSize }
 
 // NumPages returns the number of allocated pages.
-func (d *Disk) NumPages() int { return len(d.pages) }
+func (d *Disk) NumPages() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pages)
+}
 
 // Stats returns a copy of the transfer counters.
-func (d *Disk) Stats() DiskStats { return d.stats }
+func (d *Disk) Stats() DiskStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
 
 // ResetStats zeroes the transfer counters.
-func (d *Disk) ResetStats() { d.stats = DiskStats{} }
+func (d *Disk) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = DiskStats{}
+}
 
 // Allocate reserves a fresh zeroed page and returns its id.
 func (d *Disk) Allocate() PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	id := d.next
 	d.next++
 	d.pages[id] = make([]byte, d.pageSize)
@@ -89,6 +108,8 @@ func (d *Disk) Allocate() PageID {
 
 // Free releases a page.
 func (d *Disk) Free(id PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if _, ok := d.pages[id]; !ok {
 		return fmt.Errorf("storage: Free(%v): no such page", id)
 	}
@@ -99,6 +120,8 @@ func (d *Disk) Free(id PageID) error {
 
 // Read copies the page contents into buf (which must be PageSize long).
 func (d *Disk) Read(id PageID, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	p, ok := d.pages[id]
 	if !ok {
 		return fmt.Errorf("storage: Read(%v): no such page", id)
@@ -113,6 +136,8 @@ func (d *Disk) Read(id PageID, buf []byte) error {
 
 // Write stores the page contents from buf (which must be PageSize long).
 func (d *Disk) Write(id PageID, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	p, ok := d.pages[id]
 	if !ok {
 		return fmt.Errorf("storage: Write(%v): no such page", id)
