@@ -1,8 +1,11 @@
 GO ?= go
 
-.PHONY: all build test race bench vet repro
+.PHONY: all build test race bench vet repro ci
 
 all: build test
+
+# What CI runs (.github/workflows/ci.yml): build, vet, tests, race suite.
+ci: build vet test race
 
 build:
 	$(GO) build ./...

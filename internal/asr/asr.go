@@ -1,6 +1,7 @@
 package asr
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -15,6 +16,13 @@ import (
 // ErrNotSupported is returned when a query span cannot be answered by
 // the chosen extension (§5.3): callers fall back to object traversal.
 var ErrNotSupported = fmt.Errorf("asr: query span not supported by this extension")
+
+// ErrQuarantined is returned by index queries while the index is
+// quarantined after an unrecoverable maintenance failure: its stored
+// rows may be stale, so callers must fall back to object traversal or
+// exhaustive search (the Manager does this automatically) until Repair
+// lifts the quarantine.
+var ErrQuarantined = fmt.Errorf("asr: index quarantined")
 
 // PlacedPartition is a stored partition together with the inclusive
 // column window [Lo, Hi] it covers within this index's path. The same
@@ -47,23 +55,67 @@ type Index struct {
 	graph *pathGraph
 	pool  *storage.BufferPool
 
+	quarantined atomic.Bool
+	quarMu      sync.Mutex // guards quarErr
+	quarErr     error
+
 	nQueries     atomic.Uint64
 	nRowsScanned atomic.Uint64
+	nRetries     atomic.Uint64
+	nRollbacks   atomic.Uint64
 }
 
-// IndexStats counts one index's read activity since construction (or
-// the last ResetStats): queries answered and stored rows inspected while
+// IndexStats counts one index's activity since construction (or the
+// last ResetStats): queries answered and stored rows inspected while
 // answering them (rows returned by clustered probes plus rows filtered
-// by interior-column partition scans).
+// by interior-column partition scans), plus the maintenance fault
+// counters — transient-fault retries, rolled-back update transactions,
+// and whether the index is currently quarantined.
 type IndexStats struct {
 	Queries     uint64
 	RowsScanned uint64
+	Retries     uint64
+	Rollbacks   uint64
+	Quarantined bool
 }
 
-// Stats returns a snapshot of the index's read counters. Safe for
-// concurrent use.
+// Stats returns a snapshot of the index's counters. Safe for concurrent
+// use.
 func (ix *Index) Stats() IndexStats {
-	return IndexStats{Queries: ix.nQueries.Load(), RowsScanned: ix.nRowsScanned.Load()}
+	return IndexStats{
+		Queries:     ix.nQueries.Load(),
+		RowsScanned: ix.nRowsScanned.Load(),
+		Retries:     ix.nRetries.Load(),
+		Rollbacks:   ix.nRollbacks.Load(),
+		Quarantined: ix.quarantined.Load(),
+	}
+}
+
+// Quarantined reports whether the index is quarantined (stale after an
+// unrecoverable maintenance failure). Safe for concurrent use.
+func (ix *Index) Quarantined() bool { return ix.quarantined.Load() }
+
+// QuarantineReason returns the error that quarantined the index, or nil.
+func (ix *Index) QuarantineReason() error {
+	ix.quarMu.Lock()
+	defer ix.quarMu.Unlock()
+	return ix.quarErr
+}
+
+// quarantine marks the index unusable for queries until Repair.
+func (ix *Index) quarantine(err error) {
+	ix.quarMu.Lock()
+	ix.quarErr = err
+	ix.quarMu.Unlock()
+	ix.quarantined.Store(true)
+}
+
+// clearQuarantine lifts the quarantine (Repair succeeded).
+func (ix *Index) clearQuarantine() {
+	ix.quarMu.Lock()
+	ix.quarErr = nil
+	ix.quarMu.Unlock()
+	ix.quarantined.Store(false)
 }
 
 // ResetStats zeroes the read counters.
@@ -248,7 +300,7 @@ func (ix *Index) partitionAtFromRight(col int) (PlacedPartition, error) {
 // partition is scanned and filtered — exactly the two cases of eq. (33).
 // Safe for concurrent use.
 func (ix *Index) QueryForward(i, j int, start ...gom.Value) ([]gom.Value, error) {
-	return ix.queryForward(i, j, 1, start)
+	return ix.queryForward(context.Background(), i, j, 1, start)
 }
 
 // QueryForwardParallel is QueryForward with the per-value clustered
@@ -258,12 +310,22 @@ func (ix *Index) QueryForward(i, j int, start ...gom.Value) ([]gom.Value, error)
 // also stay sequential. Results are identical to QueryForward — both
 // deduplicate into a value set that is emitted in sorted order.
 func (ix *Index) QueryForwardParallel(i, j, workers int, start ...gom.Value) ([]gom.Value, error) {
-	return ix.queryForward(i, j, workers, start)
+	return ix.queryForward(context.Background(), i, j, workers, start)
 }
 
-func (ix *Index) queryForward(i, j, workers int, start []gom.Value) ([]gom.Value, error) {
+// QueryForwardCtx is QueryForwardParallel honoring ctx: cancellation or
+// deadline expiry aborts the evaluation — including every parallel
+// probe worker — and returns ctx's error.
+func (ix *Index) QueryForwardCtx(ctx context.Context, i, j, workers int, start ...gom.Value) ([]gom.Value, error) {
+	return ix.queryForward(ctx, i, j, workers, start)
+}
+
+func (ix *Index) queryForward(ctx context.Context, i, j, workers int, start []gom.Value) ([]gom.Value, error) {
 	if !ix.Supports(i, j) {
 		return nil, ErrNotSupported
+	}
+	if ix.quarantined.Load() {
+		return nil, fmt.Errorf("asr: index on %s: %w", ix.path, ErrQuarantined)
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -276,6 +338,9 @@ func (ix *Index) queryForward(i, j, workers int, start []gom.Value) ([]gom.Value
 	cur := newValueSet(start...)
 	col := ci
 	for col < cj {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		pp, err := ix.partitionAt(col)
 		if err != nil {
 			return nil, err
@@ -286,7 +351,7 @@ func (ix *Index) queryForward(i, j, workers int, start []gom.Value) ([]gom.Value
 		}
 		var next *valueSet
 		if col == pp.Lo {
-			next, err = ix.probeAll(cur.values(), workers, pp.Part.LookupForward, target-pp.Lo)
+			next, err = ix.probeAll(ctx, cur.values(), workers, pp.Part.LookupForward, target-pp.Lo)
 			if err != nil {
 				return nil, err
 			}
@@ -295,12 +360,18 @@ func (ix *Index) queryForward(i, j, workers int, start []gom.Value) ([]gom.Value
 			var scanned uint64
 			err := pp.Part.ScanAll(func(r relation.Tuple) bool {
 				scanned++
+				if scanned%scanCtxStride == 0 && ctx.Err() != nil {
+					return false
+				}
 				if cur.contains(r[col-pp.Lo]) {
 					next.add(r[target-pp.Lo])
 				}
 				return true
 			})
 			ix.nRowsScanned.Add(scanned)
+			if err == nil {
+				err = ctx.Err()
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -311,24 +382,37 @@ func (ix *Index) queryForward(i, j, workers int, start []gom.Value) ([]gom.Value
 	return cur.values(), nil
 }
 
+// scanCtxStride is how many scanned rows pass between context checks in
+// interior-column partition scans.
+const scanCtxStride = 1024
+
 // QueryBackward evaluates Q_{i,j}(bw): the distinct column values at
 // object step i from which some given end value at object step j is
 // reachable, following stored rows right to left via the backward-
 // clustered trees (§5.7.2). Safe for concurrent use.
 func (ix *Index) QueryBackward(i, j int, end ...gom.Value) ([]gom.Value, error) {
-	return ix.queryBackward(i, j, 1, end)
+	return ix.queryBackward(context.Background(), i, j, 1, end)
 }
 
 // QueryBackwardParallel is QueryBackward with the per-value clustered
 // probes of each partition hop fanned across up to workers goroutines;
 // see QueryForwardParallel for the execution model.
 func (ix *Index) QueryBackwardParallel(i, j, workers int, end ...gom.Value) ([]gom.Value, error) {
-	return ix.queryBackward(i, j, workers, end)
+	return ix.queryBackward(context.Background(), i, j, workers, end)
 }
 
-func (ix *Index) queryBackward(i, j, workers int, end []gom.Value) ([]gom.Value, error) {
+// QueryBackwardCtx is QueryBackwardParallel honoring ctx; see
+// QueryForwardCtx.
+func (ix *Index) QueryBackwardCtx(ctx context.Context, i, j, workers int, end ...gom.Value) ([]gom.Value, error) {
+	return ix.queryBackward(ctx, i, j, workers, end)
+}
+
+func (ix *Index) queryBackward(ctx context.Context, i, j, workers int, end []gom.Value) ([]gom.Value, error) {
 	if !ix.Supports(i, j) {
 		return nil, ErrNotSupported
+	}
+	if ix.quarantined.Load() {
+		return nil, fmt.Errorf("asr: index on %s: %w", ix.path, ErrQuarantined)
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -341,6 +425,9 @@ func (ix *Index) queryBackward(i, j, workers int, end []gom.Value) ([]gom.Value,
 	cur := newValueSet(end...)
 	col := cj
 	for col > ci {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		pp, err := ix.partitionAtFromRight(col)
 		if err != nil {
 			return nil, err
@@ -351,7 +438,7 @@ func (ix *Index) queryBackward(i, j, workers int, end []gom.Value) ([]gom.Value,
 		}
 		var next *valueSet
 		if col == pp.Hi {
-			next, err = ix.probeAll(cur.values(), workers, pp.Part.LookupBackward, target-pp.Lo)
+			next, err = ix.probeAll(ctx, cur.values(), workers, pp.Part.LookupBackward, target-pp.Lo)
 			if err != nil {
 				return nil, err
 			}
@@ -360,12 +447,18 @@ func (ix *Index) queryBackward(i, j, workers int, end []gom.Value) ([]gom.Value,
 			var scanned uint64
 			err := pp.Part.ScanAll(func(r relation.Tuple) bool {
 				scanned++
+				if scanned%scanCtxStride == 0 && ctx.Err() != nil {
+					return false
+				}
 				if cur.contains(r[col-pp.Lo]) {
 					next.add(r[target-pp.Lo])
 				}
 				return true
 			})
 			ix.nRowsScanned.Add(scanned)
+			if err == nil {
+				err = ctx.Err()
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -381,7 +474,9 @@ func (ix *Index) queryBackward(i, j, workers int, end []gom.Value) ([]gom.Value,
 // enough to pay for the fan-out — and merges the projected column off of
 // every matching row into one deduplicated set. The merge is
 // order-insensitive, so the parallel result equals the sequential one.
-func (ix *Index) probeAll(vals []gom.Value, workers int, lookup func(gom.Value) ([]relation.Tuple, error), off int) (*valueSet, error) {
+// Cancellation of ctx stops every worker between probes; a panicking
+// worker is recovered into an error instead of crashing the process.
+func (ix *Index) probeAll(ctx context.Context, vals []gom.Value, workers int, lookup func(gom.Value) ([]relation.Tuple, error), off int) (*valueSet, error) {
 	next := newValueSet()
 	if workers > len(vals) {
 		workers = len(vals)
@@ -389,8 +484,13 @@ func (ix *Index) probeAll(vals []gom.Value, workers int, lookup func(gom.Value) 
 	if workers <= 1 {
 		var scanned uint64
 		for _, v := range vals {
+			if err := ctx.Err(); err != nil {
+				ix.nRowsScanned.Add(scanned)
+				return nil, err
+			}
 			rows, err := lookup(v)
 			if err != nil {
+				ix.nRowsScanned.Add(scanned)
 				return nil, err
 			}
 			scanned += uint64(len(rows))
@@ -406,6 +506,13 @@ func (ix *Index) probeAll(vals []gom.Value, workers int, lookup func(gom.Value) 
 		mergeMu  sync.Mutex
 		firstErr error
 	)
+	fail := func(err error) {
+		mergeMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mergeMu.Unlock()
+	}
 	for w := 0; w < workers; w++ {
 		lo, hi := chunkBounds(len(vals), workers, w)
 		if lo >= hi {
@@ -414,16 +521,23 @@ func (ix *Index) probeAll(vals []gom.Value, workers int, lookup func(gom.Value) 
 		wg.Add(1)
 		go func(chunk []gom.Value) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					fail(fmt.Errorf("asr: probe worker panicked: %v", r))
+				}
+			}()
 			local := newValueSet()
 			var scanned uint64
 			for _, v := range chunk {
+				if err := ctx.Err(); err != nil {
+					ix.nRowsScanned.Add(scanned)
+					fail(err)
+					return
+				}
 				rows, err := lookup(v)
 				if err != nil {
-					mergeMu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mergeMu.Unlock()
+					ix.nRowsScanned.Add(scanned)
+					fail(err)
 					return
 				}
 				scanned += uint64(len(rows))

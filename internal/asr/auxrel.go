@@ -157,16 +157,19 @@ func newPathGraph(ob *gom.ObjectBase, path *gom.PathExpression) (*pathGraph, err
 	return g, nil
 }
 
-// addEdge records from(at column c) → to(at column c+1), deduplicated.
-func (g *pathGraph) addEdge(c int, from, to gom.Value) {
+// addEdge records from(at column c) → to(at column c+1), deduplicated;
+// it reports whether the edge was actually new. Maintenance rollback
+// relies on the report to reverse exactly the effective mutations.
+func (g *pathGraph) addEdge(c int, from, to gom.Value) bool {
 	fk, tk := gom.ValueString(from), gom.ValueString(to)
 	for _, v := range g.succ[c][fk] {
 		if gom.ValuesEqual(v, to) {
-			return
+			return false
 		}
 	}
 	g.succ[c][fk] = append(g.succ[c][fk], to)
 	g.pred[c+1][tk] = append(g.pred[c+1][tk], from)
+	return true
 }
 
 // removeEdge deletes from → to at column c; it reports whether the edge

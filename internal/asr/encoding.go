@@ -93,6 +93,9 @@ func decodeValue(src []byte) (gom.Value, []byte, error) {
 	payload, rest := src[3:3+l], src[3+l:]
 	switch tag {
 	case tagNull:
+		if l != 0 {
+			return nil, nil, fmt.Errorf("asr: bad null payload length %d", l)
+		}
 		return nil, rest, nil
 	case tagRef:
 		if l != 8 {
@@ -118,8 +121,8 @@ func decodeValue(src []byte) (gom.Value, []byte, error) {
 		}
 		return gom.Decimal(math.Float64frombits(bits)), rest, nil
 	case tagBool:
-		if l != 1 {
-			return nil, nil, fmt.Errorf("asr: bad bool payload length %d", l)
+		if l != 1 || payload[0] > 1 {
+			return nil, nil, fmt.Errorf("asr: bad bool payload %x (length %d)", payload, l)
 		}
 		return gom.Bool(payload[0] != 0), rest, nil
 	case tagChar:

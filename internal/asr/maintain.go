@@ -1,8 +1,10 @@
 package asr
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"asr/internal/gom"
 	"asr/internal/relation"
@@ -23,34 +25,92 @@ import (
 // update itself has already happened, matching the paper's model where
 // the object update precedes index maintenance.
 //
+// Each update's row diff is applied transactionally: a storage-level
+// undo transaction plus a logical journal make a partial failure — a
+// device write fault halfway through the partitions — roll back to the
+// exact pre-update state, including the path graph. Transient faults
+// are retried with exponential backoff per SetRetryPolicy; when the
+// retries are exhausted the index is quarantined (queries fail with
+// ErrQuarantined and the Manager routes around it) until Repair.
+//
 // A Maintainer's callbacks must be driven by a single writer goroutine
 // at a time (the object base serializes mutations, so this holds
 // whenever updates flow through one ObjectBase). Err is safe to call
 // from any goroutine; each applied change takes the index's write lock,
 // so concurrent index readers see atomic transitions.
 type Maintainer struct {
-	ix    *Index
-	errMu sync.Mutex
-	err   error
+	ix      *Index
+	errMu   sync.Mutex
+	errs    []error
+	retries int
+	backoff time.Duration
 }
 
-// NewMaintainer creates a maintainer for the index.
-func NewMaintainer(ix *Index) *Maintainer { return &Maintainer{ix: ix} }
+// NewMaintainer creates a maintainer for the index with the default
+// retry policy (2 retries, 200µs initial backoff).
+func NewMaintainer(ix *Index) *Maintainer {
+	return &Maintainer{ix: ix, retries: 2, backoff: 200 * time.Microsecond}
+}
 
-// Err returns the first maintenance error, if any. After a non-nil Err
-// the index must be rebuilt. Safe for concurrent use.
+// SetRetryPolicy configures how transient maintenance faults are
+// retried: up to retries re-attempts per update, sleeping backoff,
+// 2·backoff, 4·backoff, … between them. retries = 0 disables retrying.
+func (m *Maintainer) SetRetryPolicy(retries int, backoff time.Duration) {
+	m.errMu.Lock()
+	defer m.errMu.Unlock()
+	if retries < 0 {
+		retries = 0
+	}
+	m.retries, m.backoff = retries, backoff
+}
+
+// Err returns every retained maintenance error joined into one (see
+// errors.Join), or nil. A non-nil Err means at least one update could
+// not be applied and the index is quarantined; after a successful
+// Repair, call ClearErr. Safe for concurrent use.
 func (m *Maintainer) Err() error {
 	m.errMu.Lock()
 	defer m.errMu.Unlock()
-	return m.err
+	return errors.Join(m.errs...)
+}
+
+// ClearErr discards the retained maintenance errors — call it after
+// Index.Repair (or Manager.Repair, which does both) has restored the
+// index. Safe for concurrent use.
+func (m *Maintainer) ClearErr() {
+	m.errMu.Lock()
+	defer m.errMu.Unlock()
+	m.errs = nil
 }
 
 func (m *Maintainer) fail(err error) {
+	if err == nil {
+		return
+	}
 	m.errMu.Lock()
 	defer m.errMu.Unlock()
-	if m.err == nil && err != nil {
-		m.err = err
+	m.errs = append(m.errs, err)
+}
+
+// retryPolicy snapshots the current policy. Safe for concurrent use.
+func (m *Maintainer) retryPolicy() (int, time.Duration) {
+	m.errMu.Lock()
+	defer m.errMu.Unlock()
+	return m.retries, m.backoff
+}
+
+// apply runs one update's edge changes through the index with the
+// maintainer's retry policy, retaining any terminal error. While the
+// index is quarantined its graph no longer tracks the object base, so
+// further incremental maintenance would only compound the drift —
+// updates are skipped until Repair resynchronizes everything from the
+// base.
+func (m *Maintainer) apply(changes []edgeChange) {
+	if m.ix.Quarantined() {
+		return
 	}
+	retries, backoff := m.retryPolicy()
+	m.fail(m.ix.applyChanges(changes, retries, backoff))
 }
 
 // edgeChange is one path-graph edge addition or removal at column col
@@ -63,9 +123,6 @@ type edgeChange struct {
 
 // AttrAssigned implements gom.Observer.
 func (m *Maintainer) AttrAssigned(o *gom.Object, attr string, old, new gom.Value) {
-	if m.Err() != nil {
-		return
-	}
 	for j := 1; j <= m.ix.path.Len(); j++ {
 		step := m.ix.path.Step(j)
 		if step.Attr != attr || !o.Type().IsSubtypeOf(step.Domain) {
@@ -84,7 +141,7 @@ func (m *Maintainer) AttrAssigned(o *gom.Object, attr string, old, new gom.Value
 				changes = append(changes, edgeChange{domCol, u, new, true})
 			}
 		}
-		m.fail(m.ix.applyChanges(changes))
+		m.apply(changes)
 	}
 }
 
@@ -133,9 +190,6 @@ func (m *Maintainer) SetRemoved(set *gom.Object, elem gom.Value) {
 }
 
 func (m *Maintainer) setElementChanged(set *gom.Object, elem gom.Value, add bool) {
-	if m.Err() != nil {
-		return
-	}
 	for j := 1; j <= m.ix.path.Len(); j++ {
 		step := m.ix.path.Step(j)
 		if !step.IsSetOccurrence() || step.Set != set.Type() {
@@ -148,7 +202,7 @@ func (m *Maintainer) setElementChanged(set *gom.Object, elem gom.Value, add bool
 		if !m.ix.graph.referenced(setCol, s) {
 			continue
 		}
-		m.fail(m.ix.applyChanges([]edgeChange{{setCol, s, elem, add}}))
+		m.apply([]edgeChange{{setCol, s, elem, add}})
 	}
 }
 
@@ -156,9 +210,6 @@ func (m *Maintainer) setElementChanged(set *gom.Object, elem gom.Value, add bool
 // deleted object disappears, with the set-element cascade applied where
 // the object referenced a set it was the last referencer of.
 func (m *Maintainer) ObjectDeleted(o *gom.Object) {
-	if m.Err() != nil {
-		return
-	}
 	g := m.ix.graph
 	v := gom.Value(gom.Ref(o.ID()))
 	var changes []edgeChange
@@ -179,7 +230,7 @@ func (m *Maintainer) ObjectDeleted(o *gom.Object) {
 			changes = append(changes, edgeChange{c - 1, from, v, false})
 		}
 	}
-	m.fail(m.ix.applyChanges(changes))
+	m.apply(changes)
 }
 
 // isSetColumn reports whether relation column c holds set-object OIDs.
@@ -193,9 +244,20 @@ func (m *Maintainer) isSetColumn(c int) bool {
 
 // applyChanges performs the diff protocol: enumerate affected rows
 // before the graph mutation, mutate, enumerate after, and apply the row
-// difference to all partitions. It takes the index's write lock, so
-// concurrent queries see either the whole change or none of it.
-func (ix *Index) applyChanges(changes []edgeChange) error {
+// difference to all partitions transactionally. It takes the index's
+// write lock, so concurrent queries see either the whole change or none
+// of it.
+//
+// The partition updates run under a storage undo transaction plus a
+// logical journal (applyDiffTxn). A failed attempt — typically an
+// injected or real device fault during a B⁺-tree page write-back — is
+// rolled back and retried up to retries times with exponential backoff
+// starting at backoff. If every attempt fails, the effective graph
+// mutations are reversed too (restoring the exact pre-update state) and
+// the index is quarantined: its stored rows are consistent with the
+// pre-update object base, which no longer exists, so only Repair can
+// bring it back.
+func (ix *Index) applyChanges(changes []edgeChange, retries int, backoff time.Duration) error {
 	if len(changes) == 0 {
 		return nil
 	}
@@ -228,30 +290,143 @@ func (ix *Index) applyChanges(changes []edgeChange) error {
 	}
 
 	before := collect()
+	// Mutate the graph, recording which mutations took effect (addEdge
+	// deduplicates, removeEdge reports existence) so a terminal failure
+	// can reverse exactly those.
+	effective := make([]edgeChange, 0, len(changes))
 	for _, ch := range changes {
 		if ch.add {
-			ix.graph.addEdge(ch.col, ch.from, ch.to)
+			if ix.graph.addEdge(ch.col, ch.from, ch.to) {
+				effective = append(effective, ch)
+			}
 		} else {
-			ix.graph.removeEdge(ch.col, ch.from, ch.to)
+			if ix.graph.removeEdge(ch.col, ch.from, ch.to) {
+				effective = append(effective, ch)
+			}
 		}
 	}
 	after := collect()
 
+	var removes, adds []relation.Tuple
 	for k, row := range before {
-		if _, still := after[k]; still {
-			continue
-		}
-		if err := ix.removeLogical(row); err != nil {
-			return fmt.Errorf("asr: maintenance remove: %w", err)
+		if _, still := after[k]; !still {
+			removes = append(removes, row)
 		}
 	}
 	for k, row := range after {
-		if _, was := before[k]; was {
-			continue
-		}
-		if err := ix.addLogical(row); err != nil {
-			return fmt.Errorf("asr: maintenance add: %w", err)
+		if _, was := before[k]; !was {
+			adds = append(adds, row)
 		}
 	}
-	return nil
+
+	var attempts []error
+	for attempt := 0; ; attempt++ {
+		err := ix.applyDiffTxn(removes, adds)
+		if err == nil {
+			return nil
+		}
+		attempts = append(attempts, fmt.Errorf("attempt %d: %w", attempt+1, err))
+		if attempt >= retries {
+			break
+		}
+		ix.nRetries.Add(1)
+		time.Sleep(backoff << uint(attempt))
+	}
+
+	// Terminal failure: every attempt rolled the partitions back to the
+	// pre-update state, so reverse the graph mutations to match and
+	// quarantine the index.
+	for i := len(effective) - 1; i >= 0; i-- {
+		ch := effective[i]
+		if ch.add {
+			ix.graph.removeEdge(ch.col, ch.from, ch.to)
+		} else {
+			ix.graph.addEdge(ch.col, ch.from, ch.to)
+		}
+	}
+	err := fmt.Errorf("asr: index on %s: maintenance failed after %d attempt(s), index quarantined: %w",
+		ix.path, len(attempts), errors.Join(attempts...))
+	ix.quarantine(err)
+	return err
+}
+
+// applyDiffTxn applies one update's row diff — removes, then adds — to
+// every partition atomically. Page mutations run under a storage
+// UndoTxn; the in-memory row maps are journaled per operation and the
+// trees' metadata marked per partition. Any failure triggers a full
+// rollback: the journal is reverted in reverse order, the undo
+// transaction restores the pages, and the tree marks rewind root/
+// height/count — all under the involved partitions' write locks so
+// concurrent readers of shared partitions never observe a torn state.
+func (ix *Index) applyDiffTxn(removes, adds []relation.Tuple) (err error) {
+	if len(removes) == 0 && len(adds) == 0 {
+		return nil
+	}
+	txn, err := ix.pool.BeginUndo()
+	if err != nil {
+		return err
+	}
+	var journal []partUndo
+	marks := map[*Partition]treeMarks{}
+	var order []*Partition // marks in first-touch order
+
+	apply := func(row relation.Tuple, add bool) error {
+		for _, pp := range ix.parts {
+			proj := row[pp.Lo : pp.Hi+1]
+			if _, ok := marks[pp.Part]; !ok {
+				marks[pp.Part] = pp.Part.marks()
+				order = append(order, pp.Part)
+			}
+			journal = append(journal, pp.Part.captureUndo(proj))
+			var err error
+			if add {
+				err = pp.Part.AddProjected(proj.Clone())
+			} else {
+				err = pp.Part.RemoveProjected(proj.Clone())
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for _, row := range removes {
+		if err = apply(row, false); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		for _, row := range adds {
+			if err = apply(row, true); err != nil {
+				break
+			}
+		}
+	}
+	if err == nil {
+		txn.Commit()
+		return nil
+	}
+
+	// Roll back. Lock every touched partition first: the journal revert,
+	// the page restore, and the tree-mark rewind must be invisible to
+	// concurrent readers (who lock the partition, not the index).
+	ix.nRollbacks.Add(1)
+	for _, p := range order {
+		p.mu.Lock()
+	}
+	for i := len(journal) - 1; i >= 0; i-- {
+		journal[i].revertLocked()
+	}
+	rbErr := txn.Rollback()
+	for _, p := range order {
+		marks[p].restoreLocked()
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		order[i].mu.Unlock()
+	}
+	if rbErr != nil {
+		return fmt.Errorf("asr: rollback after %w: %w", err, rbErr)
+	}
+	return err
 }

@@ -1,6 +1,7 @@
 package asr
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -43,6 +44,7 @@ type Manager struct {
 	nIndexHits  atomic.Uint64
 	nTraversals atomic.Uint64
 	nExhaustive atomic.Uint64
+	nDegraded   atomic.Uint64 // fallbacks forced by a quarantined index
 }
 
 type managedIndex struct {
@@ -111,6 +113,31 @@ func (m *Manager) Indexes() []*Index {
 	return out
 }
 
+// Repair resynchronizes a quarantined managed index with the object
+// base (see Index.Repair) and clears its maintainer's retained errors,
+// so maintenance resumes with the next update. Must be called with
+// object-base mutation quiesced (the single-writer rule).
+func (m *Manager) Repair(ix *Index) (VerifyReport, error) {
+	m.mu.RLock()
+	var entry *managedIndex
+	for _, e := range m.entries {
+		if e.ix == ix {
+			entry = e
+			break
+		}
+	}
+	m.mu.RUnlock()
+	if entry == nil {
+		return VerifyReport{}, fmt.Errorf("asr: index not managed: %s", ix)
+	}
+	rep, err := ix.Repair()
+	if err != nil {
+		return rep, err
+	}
+	entry.maintainer.ClearErr()
+	return rep, nil
+}
+
 // Healthy reports the first maintenance error across all indexes, if
 // any.
 func (m *Manager) Healthy() error {
@@ -126,31 +153,40 @@ func (m *Manager) Healthy() error {
 
 // FindIndex returns the cheapest usable index for Q_{i,j} over the path,
 // or nil. "Cheapest" prefers the fewest stored rows — a proxy for the
-// eq. (33)/(34) cost that needs no model evaluation.
+// eq. (33)/(34) cost that needs no model evaluation. Quarantined
+// indexes are never returned: their stored rows may be stale.
 func (m *Manager) FindIndex(path *gom.PathExpression, i, j int) *Index {
-	e := m.findEntry(path, i, j)
+	e, _ := m.findEntry(path, i, j)
 	if e == nil {
 		return nil
 	}
 	return e.ix
 }
 
-func (m *Manager) findEntry(path *gom.PathExpression, i, j int) *managedIndex {
+// findEntry picks the cheapest healthy index for the query. degraded
+// reports that at least one matching index was passed over because it
+// is quarantined — the caller is about to pay the fallback cost for a
+// query an index was built for.
+func (m *Manager) findEntry(path *gom.PathExpression, i, j int) (e *managedIndex, degraded bool) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	var candidates []*managedIndex
 	for _, e := range m.entries {
 		if e.ix.path.String() == path.String() && e.ix.Supports(i, j) {
+			if e.ix.Quarantined() {
+				degraded = true
+				continue
+			}
 			candidates = append(candidates, e)
 		}
 	}
 	if len(candidates) == 0 {
-		return nil
+		return nil, degraded
 	}
 	sort.Slice(candidates, func(a, b int) bool {
 		return totalRows(candidates[a].ix) < totalRows(candidates[b].ix)
 	})
-	return candidates[0]
+	return candidates[0], false
 }
 
 func totalRows(ix *Index) int {
@@ -172,9 +208,10 @@ func (m *Manager) fireHook(ev QueryEvent) {
 }
 
 // QueryForward evaluates Q_{i,j}(fw) through the best index, or by
-// object traversal when none applies. Safe for concurrent use.
+// object traversal when none applies (or the matching indexes are all
+// quarantined). Safe for concurrent use.
 func (m *Manager) QueryForward(path *gom.PathExpression, i, j int, start ...gom.Value) ([]gom.Value, error) {
-	return m.queryForward(path, i, j, 1, start)
+	return m.queryForward(context.Background(), path, i, j, 1, start)
 }
 
 // QueryForwardParallel is QueryForward with the work fanned across up
@@ -182,20 +219,31 @@ func (m *Manager) QueryForward(path *gom.PathExpression, i, j int, start ...gom.
 // value, and the no-index traversal fallback splits the start values
 // across workers. Results are identical to QueryForward.
 func (m *Manager) QueryForwardParallel(path *gom.PathExpression, i, j, workers int, start ...gom.Value) ([]gom.Value, error) {
-	return m.queryForward(path, i, j, workers, start)
+	return m.queryForward(context.Background(), path, i, j, workers, start)
 }
 
-func (m *Manager) queryForward(path *gom.PathExpression, i, j, workers int, start []gom.Value) ([]gom.Value, error) {
+// QueryForwardCtx is QueryForwardParallel honoring ctx: cancellation or
+// deadline expiry aborts the index probes or the traversal fallback and
+// returns ctx's error.
+func (m *Manager) QueryForwardCtx(ctx context.Context, path *gom.PathExpression, i, j, workers int, start ...gom.Value) ([]gom.Value, error) {
+	return m.queryForward(ctx, path, i, j, workers, start)
+}
+
+func (m *Manager) queryForward(ctx context.Context, path *gom.PathExpression, i, j, workers int, start []gom.Value) ([]gom.Value, error) {
 	m.fireHook(QueryEvent{Path: path.String(), Forward: true, I: i, J: j})
 	m.nQueries.Add(1)
-	if e := m.findEntry(path, i, j); e != nil {
+	e, degraded := m.findEntry(path, i, j)
+	if e != nil {
 		m.nIndexHits.Add(1)
 		e.hits.Add(1)
-		return e.ix.QueryForwardParallel(i, j, workers, start...)
+		return e.ix.QueryForwardCtx(ctx, i, j, workers, start...)
+	}
+	if degraded {
+		m.nDegraded.Add(1)
 	}
 	m.nTraversals.Add(1)
 	if workers <= 1 || len(start) < 2 {
-		return m.traverseForward(path, i, j, start)
+		return m.traverseForward(ctx, path, i, j, start)
 	}
 	if workers > len(start) {
 		workers = len(start)
@@ -206,6 +254,11 @@ func (m *Manager) queryForward(path *gom.PathExpression, i, j, workers int, star
 		mergeMu  sync.Mutex
 		firstErr error
 	)
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
 	for w := 0; w < workers; w++ {
 		lo, hi := chunkBounds(len(start), workers, w)
 		if lo >= hi {
@@ -214,13 +267,18 @@ func (m *Manager) queryForward(path *gom.PathExpression, i, j, workers int, star
 		wg.Add(1)
 		go func(chunk []gom.Value) {
 			defer wg.Done()
-			vals, err := m.traverseForward(path, i, j, chunk)
+			defer func() {
+				if r := recover(); r != nil {
+					mergeMu.Lock()
+					fail(fmt.Errorf("asr: traversal worker panicked: %v", r))
+					mergeMu.Unlock()
+				}
+			}()
+			vals, err := m.traverseForward(ctx, path, i, j, chunk)
 			mergeMu.Lock()
 			defer mergeMu.Unlock()
 			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
+				fail(err)
 				return
 			}
 			for _, v := range vals {
@@ -237,9 +295,10 @@ func (m *Manager) queryForward(path *gom.PathExpression, i, j, workers int, star
 
 // QueryBackward evaluates Q_{i,j}(bw) through the best index, or by
 // exhaustive search over the uni-directional references when none
-// applies (§5.6.2). Safe for concurrent use.
+// applies (§5.6.2) or the matching indexes are all quarantined. Safe
+// for concurrent use.
 func (m *Manager) QueryBackward(path *gom.PathExpression, i, j int, end ...gom.Value) ([]gom.Value, error) {
-	return m.queryBackward(path, i, j, 1, end)
+	return m.queryBackward(context.Background(), path, i, j, 1, end)
 }
 
 // QueryBackwardParallel is QueryBackward with the work fanned across up
@@ -249,16 +308,26 @@ func (m *Manager) QueryBackward(path *gom.PathExpression, i, j int, end ...gom.V
 // splits the candidate anchors across workers. Results are identical to
 // QueryBackward.
 func (m *Manager) QueryBackwardParallel(path *gom.PathExpression, i, j, workers int, end ...gom.Value) ([]gom.Value, error) {
-	return m.queryBackward(path, i, j, workers, end)
+	return m.queryBackward(context.Background(), path, i, j, workers, end)
 }
 
-func (m *Manager) queryBackward(path *gom.PathExpression, i, j, workers int, end []gom.Value) ([]gom.Value, error) {
+// QueryBackwardCtx is QueryBackwardParallel honoring ctx; see
+// QueryForwardCtx.
+func (m *Manager) QueryBackwardCtx(ctx context.Context, path *gom.PathExpression, i, j, workers int, end ...gom.Value) ([]gom.Value, error) {
+	return m.queryBackward(ctx, path, i, j, workers, end)
+}
+
+func (m *Manager) queryBackward(ctx context.Context, path *gom.PathExpression, i, j, workers int, end []gom.Value) ([]gom.Value, error) {
 	m.fireHook(QueryEvent{Path: path.String(), Forward: false, I: i, J: j})
 	m.nQueries.Add(1)
-	if e := m.findEntry(path, i, j); e != nil {
+	e, degraded := m.findEntry(path, i, j)
+	if e != nil {
 		m.nIndexHits.Add(1)
 		e.hits.Add(1)
-		return e.ix.QueryBackwardParallel(i, j, workers, end...)
+		return e.ix.QueryBackwardCtx(ctx, i, j, workers, end...)
+	}
+	if degraded {
+		m.nDegraded.Add(1)
 	}
 	// Exhaustive search: traverse forward from every t_i instance and
 	// keep the anchors whose closure hits an end value.
@@ -268,7 +337,10 @@ func (m *Manager) queryBackward(path *gom.PathExpression, i, j, workers int, end
 	result := newValueSet()
 	scan := func(ids []gom.OID, sink *valueSet) error {
 		for _, id := range ids {
-			vals, err := m.traverseForward(path, i, j, []gom.Value{gom.Ref(id)})
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			vals, err := m.traverseForward(ctx, path, i, j, []gom.Value{gom.Ref(id)})
 			if err != nil {
 				return err
 			}
@@ -295,6 +367,11 @@ func (m *Manager) queryBackward(path *gom.PathExpression, i, j, workers int, end
 		mergeMu  sync.Mutex
 		firstErr error
 	)
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
 	for w := 0; w < workers; w++ {
 		lo, hi := chunkBounds(len(anchors), workers, w)
 		if lo >= hi {
@@ -303,14 +380,19 @@ func (m *Manager) queryBackward(path *gom.PathExpression, i, j, workers int, end
 		wg.Add(1)
 		go func(ids []gom.OID) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mergeMu.Lock()
+					fail(fmt.Errorf("asr: search worker panicked: %v", r))
+					mergeMu.Unlock()
+				}
+			}()
 			local := newValueSet()
 			err := scan(ids, local)
 			mergeMu.Lock()
 			defer mergeMu.Unlock()
 			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
+				fail(err)
 				return
 			}
 			result.merge(local)
@@ -325,13 +407,16 @@ func (m *Manager) queryBackward(path *gom.PathExpression, i, j, workers int, end
 
 // traverseForward walks the object graph (no index) from the start
 // values at object step i to step j. Read-only on the object base, so
-// safe to call from multiple goroutines.
-func (m *Manager) traverseForward(path *gom.PathExpression, i, j int, start []gom.Value) ([]gom.Value, error) {
+// safe to call from multiple goroutines; checks ctx between steps.
+func (m *Manager) traverseForward(ctx context.Context, path *gom.PathExpression, i, j int, start []gom.Value) ([]gom.Value, error) {
 	if i < 0 || j > path.Len() || i >= j {
 		return nil, fmt.Errorf("asr: bad query span (%d,%d) for path of length %d", i, j, path.Len())
 	}
 	cur := newValueSet(start...)
 	for s := i + 1; s <= j; s++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		step := path.Step(s)
 		next := newValueSet()
 		for _, v := range cur.values() {
@@ -384,6 +469,9 @@ type ManagedIndexStats struct {
 	Queries       uint64 // queries the index answered (incl. direct calls)
 	RowsScanned   uint64 // stored rows inspected answering them
 	MaintenanceOK bool   // false after a maintenance error (index stale)
+	Quarantined   bool   // true while the index is routed around
+	Retries       uint64 // transient-fault maintenance retries
+	Rollbacks     uint64 // rolled-back maintenance transactions
 }
 
 // ManagerStats is an observability snapshot of the manager's routing
@@ -393,16 +481,20 @@ type ManagerStats struct {
 	IndexHits          uint64 // answered through some index
 	Traversals         uint64 // forward fallback: object traversal
 	ExhaustiveSearches uint64 // backward fallback: exhaustive search
+	DegradedQueries    uint64 // fallbacks forced by a quarantined index
 	Indexes            []ManagedIndexStats
 }
 
 // String renders the snapshot compactly.
 func (s ManagerStats) String() string {
-	out := fmt.Sprintf("queries=%d index=%d traversal=%d exhaustive=%d",
-		s.Queries, s.IndexHits, s.Traversals, s.ExhaustiveSearches)
+	out := fmt.Sprintf("queries=%d index=%d traversal=%d exhaustive=%d degraded=%d",
+		s.Queries, s.IndexHits, s.Traversals, s.ExhaustiveSearches, s.DegradedQueries)
 	for _, ix := range s.Indexes {
 		out += fmt.Sprintf("\n  %s ext=%s dec=%s rows=%d hits=%d queries=%d rowsScanned=%d",
 			ix.Path, ix.Ext, ix.Dec, ix.Rows, ix.Hits, ix.Queries, ix.RowsScanned)
+		if ix.Quarantined {
+			out += " QUARANTINED"
+		}
 	}
 	return out
 }
@@ -418,6 +510,7 @@ func (m *Manager) Stats() ManagerStats {
 		IndexHits:          m.nIndexHits.Load(),
 		Traversals:         m.nTraversals.Load(),
 		ExhaustiveSearches: m.nExhaustive.Load(),
+		DegradedQueries:    m.nDegraded.Load(),
 	}
 	for _, e := range m.entries {
 		ixStats := e.ix.Stats()
@@ -430,6 +523,9 @@ func (m *Manager) Stats() ManagerStats {
 			Queries:       ixStats.Queries,
 			RowsScanned:   ixStats.RowsScanned,
 			MaintenanceOK: e.maintainer.Err() == nil,
+			Quarantined:   ixStats.Quarantined,
+			Retries:       ixStats.Retries,
+			Rollbacks:     ixStats.Rollbacks,
 		})
 	}
 	return st
@@ -444,6 +540,7 @@ func (m *Manager) ResetStats() {
 	m.nIndexHits.Store(0)
 	m.nTraversals.Store(0)
 	m.nExhaustive.Store(0)
+	m.nDegraded.Store(0)
 	for _, e := range m.entries {
 		e.hits.Store(0)
 		e.ix.ResetStats()

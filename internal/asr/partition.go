@@ -2,6 +2,7 @@ package asr
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -230,6 +231,126 @@ func (p *Partition) RemoveProjected(row relation.Tuple) error {
 	delete(p.refcnt, k)
 	delete(p.rowByKey, k)
 	return p.deleteRow(row)
+}
+
+// partUndo captures the logical pre-state of one projected row in one
+// partition: the reference count and stored tuple before a mutation.
+// Appended to the maintenance journal before each AddProjected/
+// RemoveProjected so a partial failure can be reverted exactly —
+// including the op that failed halfway through. The B⁺-tree pages
+// themselves are reverted by the storage.UndoTxn; partUndo only covers
+// the in-memory row maps.
+type partUndo struct {
+	p    *Partition
+	skip bool // all-NULL projection: the mutators ignore it
+	key  string
+	cnt  int // reference count before the op (0 = row absent)
+	row  relation.Tuple
+}
+
+// captureUndo records row's pre-state in p; call before mutating.
+func (p *Partition) captureUndo(row relation.Tuple) partUndo {
+	if row.IsAllNull() {
+		return partUndo{skip: true}
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	k := row.Key()
+	return partUndo{p: p, key: k, cnt: p.refcnt[k], row: p.rowByKey[k]}
+}
+
+// revertLocked restores the captured pre-state; the caller must hold
+// p.mu (the maintenance rollback locks every involved partition once,
+// then reverts the whole journal in reverse order).
+func (u partUndo) revertLocked() {
+	if u.skip {
+		return
+	}
+	if u.cnt == 0 {
+		delete(u.p.refcnt, u.key)
+		delete(u.p.rowByKey, u.key)
+		return
+	}
+	u.p.refcnt[u.key] = u.cnt
+	u.p.rowByKey[u.key] = u.row
+}
+
+// treeMarks snapshots both clustered trees' mutable metadata (root,
+// height, count) so a rollback can rewind them alongside the page
+// restore. Taken once per partition per maintenance transaction.
+type treeMarks struct {
+	p        *Partition
+	fwd, bwd btree.Mark
+}
+
+// marks must be called by the single maintenance writer.
+func (p *Partition) marks() treeMarks {
+	return treeMarks{p: p, fwd: p.fwd.Mark(), bwd: p.bwd.Mark()}
+}
+
+// restoreLocked rewinds both trees; the caller must hold p.mu.
+func (m treeMarks) restoreLocked() {
+	m.p.fwd.Restore(m.fwd)
+	m.p.bwd.Restore(m.bwd)
+}
+
+// reloadBulk replaces the partition's stored rows wholesale: both
+// clustered trees are bulk-loaded fresh from the given reference-counted
+// rows, the old trees are dropped and their pages reclaimed. Building
+// the new trees runs under an undo transaction, so a device failure
+// mid-load leaves the old trees untouched and leaks no pages. Used by
+// Index.Repair.
+func (p *Partition) reloadBulk(pool *storage.BufferPool, rows map[string]relation.Tuple, refcnt map[string]int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	newRefcnt := make(map[string]int, len(rows))
+	newRows := make(map[string]relation.Tuple, len(rows))
+	fwdEntries := make([]btree.KV, 0, len(rows))
+	bwdEntries := make([]btree.KV, 0, len(rows))
+	for k, row := range rows {
+		if len(row) != p.arity {
+			return fmt.Errorf("asr: partition %s: reload row arity %d, want %d", p.name, len(row), p.arity)
+		}
+		cnt := refcnt[k]
+		if cnt <= 0 {
+			return fmt.Errorf("asr: partition %s: reload row %v has reference count %d", p.name, row, cnt)
+		}
+		newRefcnt[k] = cnt
+		newRows[k] = row.Clone()
+		fk, err := encodeTuple(row, 0)
+		if err != nil {
+			return err
+		}
+		bk, err := encodeTuple(row, p.arity-1)
+		if err != nil {
+			return err
+		}
+		fwdEntries = append(fwdEntries, btree.KV{Key: fk})
+		bwdEntries = append(bwdEntries, btree.KV{Key: bk})
+	}
+	sortKVs(fwdEntries)
+	sortKVs(bwdEntries)
+
+	txn, err := pool.BeginUndo()
+	if err != nil {
+		return err
+	}
+	newFwd, err := btree.BulkLoad(pool, p.name+".fwd", fwdEntries)
+	if err != nil {
+		return errors.Join(err, txn.Rollback())
+	}
+	newBwd, err := btree.BulkLoad(pool, p.name+".bwd", bwdEntries)
+	if err != nil {
+		return errors.Join(err, txn.Rollback())
+	}
+	txn.Commit()
+
+	oldFwd, oldBwd := p.fwd, p.bwd
+	p.fwd, p.bwd = newFwd, newBwd
+	p.refcnt, p.rowByKey = newRefcnt, newRows
+	// Reclaim the old trees last: a failure here leaks pages but leaves
+	// the partition fully consistent on the new trees.
+	return errors.Join(oldFwd.Drop(), oldBwd.Drop())
 }
 
 func (p *Partition) insertRow(row relation.Tuple) error {

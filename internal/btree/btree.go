@@ -64,6 +64,31 @@ func New(pool *storage.BufferPool, name string) (*Tree, error) {
 // Name returns the tree name.
 func (t *Tree) Name() string { return t.name }
 
+// Mark is an opaque snapshot of a tree's mutable metadata (root page,
+// height, entry count). Together with a storage.UndoTxn capturing the
+// page mutations, restoring a Mark rewinds the tree to the state it had
+// when the mark was taken — the mechanism transactional index
+// maintenance uses to roll back a partially applied update.
+type Mark struct {
+	root   storage.PageID
+	height int
+	count  int
+}
+
+// Mark snapshots the tree's mutable metadata. The caller must hold the
+// lock that serializes mutations of this tree (in this repository: the
+// owning partition's or segment's write lock).
+func (t *Tree) Mark() Mark {
+	return Mark{root: t.root, height: t.height, count: t.count}
+}
+
+// Restore rewinds the tree's metadata to a previously taken Mark; the
+// caller is responsible for restoring the page contents (via
+// storage.UndoTxn.Rollback) under the same lock.
+func (t *Tree) Restore(m Mark) {
+	t.root, t.height, t.count = m.root, m.height, m.count
+}
+
 // Len returns the number of stored entries.
 func (t *Tree) Len() int { return t.count }
 

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -158,7 +159,7 @@ func (r *resolved) composedPath(idx int, extra []string) (*gom.PathExpression, b
 }
 
 // Run evaluates the query.
-func (e *Engine) Run(q *Query) (*Result, error) { return e.run(q, 1) }
+func (e *Engine) Run(q *Query) (*Result, error) { return e.run(context.Background(), q, 1) }
 
 // RunParallel evaluates the query with the outer collection's surviving
 // anchors fanned across up to workers goroutines. The resolution step,
@@ -169,10 +170,17 @@ func (e *Engine) Run(q *Query) (*Result, error) { return e.run(q, 1) }
 // the same Values as Run(q) for every query and worker count (the Plan
 // additionally records the fan-out). workers ≤ 1 degenerates to Run.
 func (e *Engine) RunParallel(q *Query, workers int) (*Result, error) {
-	return e.run(q, workers)
+	return e.run(context.Background(), q, workers)
 }
 
-func (e *Engine) run(q *Query, workers int) (*Result, error) {
+// RunCtx is RunParallel honoring ctx: cancellation or deadline expiry
+// aborts the index pre-filter, every evaluation worker, and the index-
+// backed projection probes, returning ctx's error.
+func (e *Engine) RunCtx(ctx context.Context, q *Query, workers int) (*Result, error) {
+	return e.run(ctx, q, workers)
+}
+
+func (e *Engine) run(ctx context.Context, q *Query, workers int) (*Result, error) {
 	r, err := e.resolve(q)
 	if err != nil {
 		return nil, err
@@ -199,7 +207,7 @@ func (e *Engine) run(q *Query, workers int) (*Result, error) {
 				continue
 			}
 			if ix := e.mgr.FindIndex(composed, 0, composed.Len()); ix != nil {
-				sat, err := e.mgr.QueryBackward(composed, 0, composed.Len(), q.Where[pi].Literal)
+				sat, err := e.mgr.QueryBackwardCtx(ctx, composed, 0, composed.Len(), 1, q.Where[pi].Literal)
 				if err != nil {
 					return nil, err
 				}
@@ -261,14 +269,19 @@ func (e *Engine) run(q *Query, workers int) (*Result, error) {
 					return nil
 				}
 				if projIx != nil {
-					vals, err := projIx.QueryForward(0, projComposed.Len(), gom.Ref(projVar))
+					vals, err := projIx.QueryForwardCtx(ctx, 0, projComposed.Len(), 1, gom.Ref(projVar))
 					if err == nil {
 						for _, v := range vals {
 							out[gom.ValueString(v)] = v
 						}
 						return nil
 					}
-					// Fall back below on any index error.
+					if ctx.Err() != nil {
+						return ctx.Err()
+					}
+					// Fall back below on any other index error — including a
+					// quarantined index (asr.ErrQuarantined): traversal reads
+					// the object base directly, so the result stays correct.
 				}
 				for _, v := range e.evalPath(projVar, r.projPath) {
 					out[gom.ValueString(v)] = v
@@ -293,6 +306,11 @@ func (e *Engine) run(q *Query, workers int) (*Result, error) {
 				}
 			}
 			for _, id := range members {
+				if depth == 0 {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+				}
 				bindings[depth] = id
 				if err := loop(depth + 1); err != nil {
 					return err
@@ -331,6 +349,15 @@ func (e *Engine) run(q *Query, workers int) (*Result, error) {
 			wg.Add(1)
 			go func(chunk []gom.OID) {
 				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						mergeMu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("query: evaluation worker panicked: %v", r)
+						}
+						mergeMu.Unlock()
+					}
+				}()
 				local, err := evalAnchors(chunk)
 				mergeMu.Lock()
 				defer mergeMu.Unlock()

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -34,13 +35,16 @@ func (p ReplacementPolicy) String() string {
 // BufferStats counts buffer-pool activity. LogicalAccesses is the
 // paper's cost unit when the model assumes no buffering; Misses is the
 // physical page-fetch count under the configured pool size. Pins counts
-// every successful pin (Get and GetNew).
+// every successful pin (Get and GetNew). WriteBackErrors counts dirty
+// write-backs the device rejected — the frame stays resident and dirty,
+// so no data is lost, but the error is surfaced to the caller.
 type BufferStats struct {
 	LogicalAccesses uint64
 	Hits            uint64
 	Misses          uint64
 	Evictions       uint64
 	WriteBacks      uint64
+	WriteBackErrors uint64
 	Pins            uint64
 }
 
@@ -94,27 +98,29 @@ func (fr *Frame) Unpin() { fr.pool.unpin(fr.f) }
 // other goroutines hold pins.
 type BufferPool struct {
 	mu       sync.Mutex
-	disk     *Disk
+	dev      Device
 	capacity int
 	policy   ReplacementPolicy
 	frames   map[PageID]*frame
 	queue    *list.List // LRU order (front = coldest) or FIFO arrival order
 	clock    []*frame   // Clock policy ring
 	hand     int
+	undo     *UndoTxn // active undo transaction, nil outside maintenance
 
-	nLogical    atomic.Uint64
-	nHits       atomic.Uint64
-	nMisses     atomic.Uint64
-	nEvictions  atomic.Uint64
-	nWriteBacks atomic.Uint64
-	nPins       atomic.Uint64
+	nLogical        atomic.Uint64
+	nHits           atomic.Uint64
+	nMisses         atomic.Uint64
+	nEvictions      atomic.Uint64
+	nWriteBacks     atomic.Uint64
+	nWriteBackErrs  atomic.Uint64
+	nPins           atomic.Uint64
 }
 
-// NewBufferPool creates a pool over disk with the given frame capacity
-// and policy.
-func NewBufferPool(disk *Disk, capacity int, policy ReplacementPolicy) *BufferPool {
+// NewBufferPool creates a pool over a page device with the given frame
+// capacity and policy.
+func NewBufferPool(dev Device, capacity int, policy ReplacementPolicy) *BufferPool {
 	return &BufferPool{
-		disk:     disk,
+		dev:      dev,
 		capacity: capacity,
 		policy:   policy,
 		frames:   make(map[PageID]*frame),
@@ -122,8 +128,8 @@ func NewBufferPool(disk *Disk, capacity int, policy ReplacementPolicy) *BufferPo
 	}
 }
 
-// Disk returns the underlying disk.
-func (b *BufferPool) Disk() *Disk { return b.disk }
+// Disk returns the underlying page device.
+func (b *BufferPool) Disk() Device { return b.dev }
 
 // Stats returns a snapshot of the counters. Safe for concurrent use;
 // the snapshot is internally consistent only when the pool is quiescent.
@@ -134,6 +140,7 @@ func (b *BufferPool) Stats() BufferStats {
 		Misses:          b.nMisses.Load(),
 		Evictions:       b.nEvictions.Load(),
 		WriteBacks:      b.nWriteBacks.Load(),
+		WriteBackErrors: b.nWriteBackErrs.Load(),
 		Pins:            b.nPins.Load(),
 	}
 }
@@ -145,6 +152,7 @@ func (b *BufferPool) ResetStats() {
 	b.nMisses.Store(0)
 	b.nEvictions.Store(0)
 	b.nWriteBacks.Store(0)
+	b.nWriteBackErrs.Store(0)
 	b.nPins.Store(0)
 }
 
@@ -168,6 +176,7 @@ func (b *BufferPool) Get(id PageID) (*Frame, error) {
 		if b.policy == LRU && f.lruElem != nil {
 			b.queue.MoveToBack(f.lruElem)
 		}
+		b.captureLocked(f)
 		return &Frame{pool: b, f: f}, nil
 	}
 	b.nMisses.Add(1)
@@ -176,10 +185,11 @@ func (b *BufferPool) Get(id PageID) (*Frame, error) {
 			return nil, err
 		}
 	}
-	f := &frame{id: id, data: make([]byte, b.disk.PageSize()), pins: 1, refBit: true}
-	if err := b.disk.Read(id, f.data); err != nil {
+	f := &frame{id: id, data: make([]byte, b.dev.PageSize()), pins: 1, refBit: true}
+	if err := b.dev.Read(id, f.data); err != nil {
 		return nil, err
 	}
+	b.captureLocked(f)
 	b.nPins.Add(1)
 	b.frames[id] = f
 	switch b.policy {
@@ -196,7 +206,7 @@ func (b *BufferPool) Get(id PageID) (*Frame, error) {
 func (b *BufferPool) GetNew() (*Frame, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	id := b.disk.Allocate()
+	id := b.dev.Allocate()
 	b.nLogical.Add(1)
 	b.nMisses.Add(1)
 	if b.capacity > 0 && len(b.frames) >= b.capacity {
@@ -204,7 +214,10 @@ func (b *BufferPool) GetNew() (*Frame, error) {
 			return nil, err
 		}
 	}
-	f := &frame{id: id, data: make([]byte, b.disk.PageSize()), pins: 1, dirty: true, refBit: true}
+	f := &frame{id: id, data: make([]byte, b.dev.PageSize()), pins: 1, dirty: true, refBit: true}
+	if b.undo != nil {
+		b.undo.fresh[id] = true
+	}
 	b.nPins.Add(1)
 	b.frames[id] = f
 	switch b.policy {
@@ -231,8 +244,11 @@ func (b *BufferPool) evictOne() error {
 		return err
 	}
 	if victim.dirty {
-		if err := b.disk.Write(victim.id, victim.data); err != nil {
-			return err
+		if err := b.dev.Write(victim.id, victim.data); err != nil {
+			// The victim stays resident and dirty — nothing is lost, the
+			// caller sees the device error and the counter records it.
+			b.nWriteBackErrs.Add(1)
+			return fmt.Errorf("storage: write-back of %v failed: %w", victim.id, err)
 		}
 		b.nWriteBacks.Add(1)
 	}
@@ -315,19 +331,25 @@ func (b *BufferPool) FlushAll() error {
 	return b.flushAllLocked()
 }
 
-// flushAllLocked must be called with b.mu held.
+// flushAllLocked must be called with b.mu held. Every dirty frame is
+// attempted: a failed write-back leaves its frame dirty (so the data is
+// retried on the next flush or eviction) and does not stop the
+// remaining frames from flushing; all failures are joined and counted.
 func (b *BufferPool) flushAllLocked() error {
+	var errs []error
 	for _, f := range b.frames {
 		if !f.dirty {
 			continue
 		}
-		if err := b.disk.Write(f.id, f.data); err != nil {
-			return err
+		if err := b.dev.Write(f.id, f.data); err != nil {
+			b.nWriteBackErrs.Add(1)
+			errs = append(errs, fmt.Errorf("storage: flush of %v failed: %w", f.id, err))
+			continue
 		}
 		f.dirty = false
 		b.nWriteBacks.Add(1)
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // DropClean empties the pool after flushing, simulating a cold cache for

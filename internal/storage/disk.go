@@ -48,6 +48,28 @@ type DiskStats struct {
 	Freed     uint64
 }
 
+// Device is the page-device abstraction the buffer pool sits on: a
+// plain simulated Disk, or a FaultInjector wrapping one to exercise
+// error paths. All implementations must be safe for concurrent use.
+type Device interface {
+	// PageSize returns the page size in bytes.
+	PageSize() int
+	// NumPages returns the number of allocated pages.
+	NumPages() int
+	// Allocate reserves a fresh zeroed page and returns its id.
+	Allocate() PageID
+	// Free releases a page.
+	Free(id PageID) error
+	// Read copies the page contents into buf (PageSize bytes long).
+	Read(id PageID, buf []byte) error
+	// Write stores the page contents from buf (PageSize bytes long).
+	Write(id PageID, buf []byte) error
+	// Stats returns a copy of the transfer counters.
+	Stats() DiskStats
+	// ResetStats zeroes the transfer counters.
+	ResetStats()
+}
+
 // Disk is a simulated secondary-storage device holding fixed-size pages.
 // All traffic is counted in Stats; the buffer pool sits on top and only
 // touches the disk on misses and write-backs.
@@ -116,6 +138,18 @@ func (d *Disk) Free(id PageID) error {
 	delete(d.pages, id)
 	d.stats.Freed++
 	return nil
+}
+
+// Snapshot returns a deep copy of every allocated page keyed by id —
+// the ground truth a test compares against after a rollback.
+func (d *Disk) Snapshot() map[PageID][]byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[PageID][]byte, len(d.pages))
+	for id, p := range d.pages {
+		out[id] = append([]byte(nil), p...)
+	}
+	return out
 }
 
 // Read copies the page contents into buf (which must be PageSize long).

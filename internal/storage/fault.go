@@ -1,0 +1,215 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// ErrInjectedFault is wrapped by every error a FaultInjector produces,
+// so callers (and tests) can tell injected faults from genuine ones
+// with errors.Is.
+var ErrInjectedFault = errors.New("injected fault")
+
+// FaultOp selects which device operation a scheduled fault intercepts.
+type FaultOp int
+
+// The interceptable operations.
+const (
+	OpRead FaultOp = iota
+	OpWrite
+)
+
+// String names the operation.
+func (op FaultOp) String() string {
+	switch op {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("FaultOp(%d)", int(op))
+	}
+}
+
+// Fault is one scheduled device fault. The zero Page matches any page;
+// Skip lets that many matching operations through before the fault
+// fires; a transient fault clears after firing once, a Permanent one
+// keeps firing on every subsequent match. For writes, TornFraction > 0
+// persists that fraction of the page before failing — the classic torn
+// write, leaving the stored page half-old half-new.
+type Fault struct {
+	Op           FaultOp
+	Page         PageID  // NilPage matches any page
+	Skip         int     // matching operations to let through first
+	Permanent    bool    // keep firing after the first hit
+	TornFraction float64 // writes only: fraction of buf persisted before the failure
+}
+
+// FaultStats counts injected faults by kind.
+type FaultStats struct {
+	ReadFaults  uint64
+	WriteFaults uint64
+	TornWrites  uint64
+}
+
+// FaultInjector wraps a Device and fails operations on a deterministic
+// schedule, so every storage error path is testable. Faults are either
+// scheduled explicitly (Schedule) or drawn from a seeded RNG
+// (FailProbabilistically); both are reproducible for a fixed seed and
+// operation order. Heal removes all fault sources, modelling a repaired
+// device.
+//
+// A FaultInjector is safe for concurrent use.
+type FaultInjector struct {
+	mu            sync.Mutex
+	dev           Device
+	rng           *rand.Rand
+	pRead, pWrite float64
+	faults        []*Fault
+	stats         FaultStats
+}
+
+// NewFaultInjector wraps dev; seed drives the probabilistic mode.
+func NewFaultInjector(dev Device, seed int64) *FaultInjector {
+	return &FaultInjector{dev: dev, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Inner returns the wrapped device.
+func (f *FaultInjector) Inner() Device { return f.dev }
+
+// Schedule adds a fault to the schedule.
+func (f *FaultInjector) Schedule(fault Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fc := fault
+	f.faults = append(f.faults, &fc)
+}
+
+// FailProbabilistically makes each read fail with probability pRead and
+// each write with probability pWrite (transient: the same operation
+// retried may succeed). Drawn from the injector's seeded RNG.
+func (f *FaultInjector) FailProbabilistically(pRead, pWrite float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.pRead, f.pWrite = pRead, pWrite
+}
+
+// Heal clears every scheduled fault and the failure probabilities.
+func (f *FaultInjector) Heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = nil
+	f.pRead, f.pWrite = 0, 0
+}
+
+// FaultStats returns a copy of the injection counters.
+func (f *FaultInjector) FaultStats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// fire decides whether the operation faults; it must be called with
+// f.mu held. It returns the matched fault (nil when the operation
+// should proceed normally) and whether a probabilistic fault fired.
+func (f *FaultInjector) fire(op FaultOp, id PageID) (*Fault, bool) {
+	for i, ft := range f.faults {
+		if ft.Op != op || (ft.Page != NilPage && ft.Page != id) {
+			continue
+		}
+		if ft.Skip > 0 {
+			ft.Skip--
+			return nil, false
+		}
+		if !ft.Permanent {
+			f.faults = append(f.faults[:i], f.faults[i+1:]...)
+		}
+		return ft, false
+	}
+	p := f.pRead
+	if op == OpWrite {
+		p = f.pWrite
+	}
+	if p > 0 && f.rng.Float64() < p {
+		return nil, true
+	}
+	return nil, false
+}
+
+// PageSize implements Device.
+func (f *FaultInjector) PageSize() int { return f.dev.PageSize() }
+
+// NumPages implements Device.
+func (f *FaultInjector) NumPages() int { return f.dev.NumPages() }
+
+// Allocate implements Device; allocations never fault.
+func (f *FaultInjector) Allocate() PageID { return f.dev.Allocate() }
+
+// Free implements Device; frees never fault (rollback must be able to
+// reclaim pages even on a sick device).
+func (f *FaultInjector) Free(id PageID) error { return f.dev.Free(id) }
+
+// Stats implements Device.
+func (f *FaultInjector) Stats() DiskStats { return f.dev.Stats() }
+
+// ResetStats implements Device.
+func (f *FaultInjector) ResetStats() { f.dev.ResetStats() }
+
+// Read implements Device, failing when a scheduled or probabilistic
+// read fault fires.
+func (f *FaultInjector) Read(id PageID, buf []byte) error {
+	f.mu.Lock()
+	ft, prob := f.fire(OpRead, id)
+	if ft != nil || prob {
+		f.stats.ReadFaults++
+		kind := "transient"
+		if ft != nil && ft.Permanent {
+			kind = "permanent"
+		}
+		f.mu.Unlock()
+		return fmt.Errorf("storage: Read(%v): %s %w", id, kind, ErrInjectedFault)
+	}
+	f.mu.Unlock()
+	return f.dev.Read(id, buf)
+}
+
+// Write implements Device, failing when a scheduled or probabilistic
+// write fault fires. A torn fault persists a prefix of buf before
+// reporting the failure.
+func (f *FaultInjector) Write(id PageID, buf []byte) error {
+	f.mu.Lock()
+	ft, prob := f.fire(OpWrite, id)
+	if ft == nil && !prob {
+		f.mu.Unlock()
+		return f.dev.Write(id, buf)
+	}
+	f.stats.WriteFaults++
+	kind := "transient"
+	torn := 0.0
+	if ft != nil {
+		if ft.Permanent {
+			kind = "permanent"
+		}
+		torn = ft.TornFraction
+	}
+	if torn > 0 {
+		f.stats.TornWrites++
+	}
+	f.mu.Unlock()
+	if torn > 0 {
+		// Persist a prefix of the new content over the old page, then fail.
+		cur := make([]byte, f.dev.PageSize())
+		if err := f.dev.Read(id, cur); err == nil {
+			n := int(torn * float64(len(buf)))
+			if n > len(buf) {
+				n = len(buf)
+			}
+			copy(cur[:n], buf[:n])
+			_ = f.dev.Write(id, cur)
+		}
+		return fmt.Errorf("storage: Write(%v): torn after %d%%: %s %w", id, int(torn*100), kind, ErrInjectedFault)
+	}
+	return fmt.Errorf("storage: Write(%v): %s %w", id, kind, ErrInjectedFault)
+}

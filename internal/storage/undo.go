@@ -1,0 +1,124 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+)
+
+// UndoTxn makes a span of page mutations atomic at the storage level.
+// While a transaction is active the pool captures the pre-image of
+// every page at its first pin and records every page allocated through
+// GetNew; Rollback restores the pre-images and frees the fresh pages,
+// Commit discards the captures. One page copy per touched page is the
+// whole cost — there is no redo log and no disk I/O on the commit path.
+//
+// Rollback deliberately performs no device writes: pre-images are
+// restored into (or reinstated as) resident dirty frames, which reach
+// the device on a later write-back. A rollback forced by device write
+// faults therefore cannot itself be stopped by those faults.
+//
+// Usage contract: at most one transaction is active per pool
+// (maintenance in this repository is single-writer, so this is natural);
+// every page the transaction owner mutates must be pinned through
+// Get/GetNew while the transaction is active (true for all B⁺-tree and
+// segment mutators); and concurrent readers may pin pages freely — an
+// unchanged captured page is left untouched by Rollback, so reader-
+// pinned pages are never written under a reader.
+type UndoTxn struct {
+	pool  *BufferPool
+	pre   map[PageID][]byte // first-pin pre-images
+	fresh map[PageID]bool   // pages allocated during the txn
+	done  bool
+}
+
+// BeginUndo starts an undo transaction; it fails when one is already
+// active.
+func (b *BufferPool) BeginUndo() (*UndoTxn, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.undo != nil {
+		return nil, fmt.Errorf("storage: an undo transaction is already active")
+	}
+	t := &UndoTxn{pool: b, pre: map[PageID][]byte{}, fresh: map[PageID]bool{}}
+	b.undo = t
+	return t, nil
+}
+
+// captureLocked records the frame's pre-image if an undo transaction is
+// active and the page has not been captured yet; must be called with
+// b.mu held, before the frame is returned to the caller.
+func (b *BufferPool) captureLocked(f *frame) {
+	t := b.undo
+	if t == nil || t.fresh[f.id] {
+		return
+	}
+	if _, ok := t.pre[f.id]; ok {
+		return
+	}
+	t.pre[f.id] = append([]byte(nil), f.data...)
+}
+
+// Commit ends the transaction keeping all mutations.
+func (t *UndoTxn) Commit() {
+	b := t.pool
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !t.done {
+		t.done = true
+		b.undo = nil
+	}
+}
+
+// Rollback ends the transaction restoring every captured page to its
+// pre-image and freeing every page allocated during the transaction.
+// Callers mutating shared structures (B⁺-tree pages of a shared
+// partition) must hold those structures' write locks across Rollback so
+// concurrent readers never observe the restore mid-flight.
+func (t *UndoTxn) Rollback() error {
+	b := t.pool
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t.done {
+		return fmt.Errorf("storage: undo transaction already finished")
+	}
+	t.done = true
+	b.undo = nil
+	var errs []error
+	for id := range t.fresh {
+		if f, ok := b.frames[id]; ok {
+			if f.pins > 0 {
+				errs = append(errs, fmt.Errorf("storage: rollback: fresh page %v still pinned", id))
+				continue
+			}
+			b.dropFrame(f)
+		}
+		if err := b.dev.Free(id); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	for id, pre := range t.pre {
+		if f, ok := b.frames[id]; ok {
+			// Unchanged pages (captured by concurrent reader pins) are left
+			// alone, so their bytes are never written under a reader.
+			if !bytes.Equal(f.data, pre) {
+				copy(f.data, pre)
+				f.dirty = true
+			}
+			continue
+		}
+		// The page was evicted — possibly with its post-image written back.
+		// Reinstate the pre-image as a resident dirty frame; it reaches the
+		// device on a later write-back. The pool may transiently exceed its
+		// capacity here, which the next eviction corrects.
+		nf := &frame{id: id, data: append([]byte(nil), pre...), dirty: true, refBit: true}
+		b.frames[id] = nf
+		switch b.policy {
+		case LRU, FIFO:
+			nf.lruElem = b.queue.PushBack(nf)
+		case Clock:
+			b.clock = append(b.clock, nf)
+		}
+	}
+	return errors.Join(errs...)
+}
