@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: all build test race bench vet repro ci
+.PHONY: all build test race bench bench-smoke vet repro ci
 
 all: build test
 
-# What CI runs (.github/workflows/ci.yml): build, vet, tests, race suite.
-ci: build vet test race
+# What CI runs (.github/workflows/ci.yml): build, vet, tests, race
+# suite, bench smoke.
+ci: build vet test race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -21,7 +22,13 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Smoke-test the instrumented path end to end: one tiny asrbench
+# experiment (EXPLAIN ANALYZE calibration) with a telemetry snapshot.
+bench-smoke:
+	$(GO) run ./cmd/asrbench -experiment explain-calib -metrics
+
 vet:
+	$(GO) vet ./internal/telemetry/
 	$(GO) vet ./...
 
 # Regenerate every paper table/figure (EXPERIMENTS.md numbers).

@@ -16,14 +16,16 @@ import (
 	"os"
 
 	"asr/internal/bench"
+	"asr/internal/telemetry"
 )
 
 func main() {
 	var (
-		list = flag.Bool("list", false, "list available experiments")
-		id   = flag.String("experiment", "", "experiment id to run (see -list)")
-		all  = flag.Bool("all", false, "run every experiment")
-		csv  = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		list    = flag.Bool("list", false, "list available experiments")
+		id      = flag.String("experiment", "", "experiment id to run (see -list)")
+		all     = flag.Bool("all", false, "run every experiment")
+		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		metrics = flag.Bool("metrics", false, "emit a telemetry snapshot (Prometheus text) after each experiment")
 	)
 	flag.Parse()
 
@@ -35,7 +37,7 @@ func main() {
 		}
 	case *all:
 		for _, e := range bench.All() {
-			if err := runOne(e, *csv); err != nil {
+			if err := runOne(e, *csv, *metrics); err != nil {
 				fail(err)
 			}
 		}
@@ -44,7 +46,7 @@ func main() {
 		if !ok {
 			fail(fmt.Errorf("unknown experiment %q; use -list", *id))
 		}
-		if err := runOne(e, *csv); err != nil {
+		if err := runOne(e, *csv, *metrics); err != nil {
 			fail(err)
 		}
 	default:
@@ -53,7 +55,12 @@ func main() {
 	}
 }
 
-func runOne(e bench.Experiment, csv bool) error {
+func runOne(e bench.Experiment, csv, metrics bool) error {
+	if metrics {
+		// Per-experiment snapshot: zero the registry so the dump below
+		// shows only this experiment's instrumentation counts.
+		telemetry.Default().Reset()
+	}
 	tab, err := e.Run()
 	if err != nil {
 		return fmt.Errorf("%s: %w", e.ID, err)
@@ -62,6 +69,12 @@ func runOne(e bench.Experiment, csv bool) error {
 		fmt.Print(tab.CSV())
 	} else {
 		fmt.Println(tab.String())
+	}
+	if metrics {
+		fmt.Printf("-- metrics after %s --\n", e.ID)
+		if _, err := telemetry.Default().WriteTo(os.Stdout); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"io"
+	"os"
+	"strings"
 	"testing"
 
 	"asr/internal/bench"
@@ -11,7 +14,7 @@ func TestEveryRegisteredExperimentRunsViaCLIHelper(t *testing.T) {
 		t.Skip("runs every experiment; skipped in -short mode")
 	}
 	for _, e := range bench.All() {
-		if err := runOne(e, false); err != nil {
+		if err := runOne(e, false, false); err != nil {
 			t.Errorf("%s: %v", e.ID, err)
 		}
 	}
@@ -20,7 +23,7 @@ func TestEveryRegisteredExperimentRunsViaCLIHelper(t *testing.T) {
 	if !ok {
 		t.Fatal("fig4 missing")
 	}
-	if err := runOne(e, true); err != nil {
+	if err := runOne(e, true, false); err != nil {
 		t.Error(err)
 	}
 }
@@ -36,4 +39,45 @@ func TestShorten(t *testing.T) {
 	if got := shorten("§§§§§§§§§§§§§§"); len([]rune(got)) != 12 {
 		t.Errorf("shorten = %q", got)
 	}
+}
+
+func TestRunOneEmitsMetrics(t *testing.T) {
+	e, ok := bench.Lookup("explain-calib")
+	if !ok {
+		t.Fatal("explain-calib missing")
+	}
+	out := captureStdout(t, func() {
+		if err := runOne(e, false, true); err != nil {
+			t.Error(err)
+		}
+	})
+	for _, want := range []string{
+		"EXPLAIN ANALYZE calibration",
+		"-- metrics after explain-calib --",
+		"# TYPE query_runs_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and
+// returns what it wrote.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	fn()
+	w.Close()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
 }

@@ -19,6 +19,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"os"
 	"strconv"
@@ -29,6 +30,7 @@ import (
 	"asr/internal/gom"
 	"asr/internal/query"
 	"asr/internal/storage"
+	"asr/internal/telemetry"
 )
 
 type shell struct {
@@ -142,6 +144,11 @@ func (sh *shell) exec(line string) error {
 		return sh.cmdSave(fields[1:])
 	case "load":
 		return sh.cmdLoad(fields[1:])
+	case `\metrics`:
+		_, err := telemetry.Default().WriteTo(sh.out)
+		return err
+	case `\explain`:
+		return sh.cmdExplain(strings.TrimSpace(strings.TrimPrefix(line, `\explain`)))
 	default:
 		return fmt.Errorf("unknown command %q (try 'help')", fields[0])
 	}
@@ -160,6 +167,9 @@ func (sh *shell) help() {
   query forward $x via TYPE.A.B    objects reachable from $x
   query backward VALUE via ...     anchors reaching VALUE
   select p from v in Var where ... SQL-like query (paper syntax, §2.2/2.3)
+  \explain [analyze] select ...    strategy + cost-model prediction; with
+                                   analyze, run it and report predicted vs actual
+  \metrics                         dump the telemetry registry (Prometheus text)
   save FILE / load FILE            dump or restore the object base (JSON)
   quit
 `)
@@ -388,15 +398,10 @@ func (sh *shell) cmdQuery(args []string) error {
 	return nil
 }
 
-// cmdSelect evaluates a select-from-where query in the paper's notation,
-// routing predicates through declared indexes when possible.
-func (sh *shell) cmdSelect(line string) error {
-	q, err := query.Parse(line)
-	if err != nil {
-		return err
-	}
-	// Collections named in from-clauses refer to shell variables: bind
-	// them as database vars so the query engine can resolve them.
+// bindCollections binds collections named in from-clauses — which refer
+// to shell variables — as database vars so the query engine can resolve
+// them.
+func (sh *shell) bindCollections(q *query.Query) error {
 	for _, r := range q.Ranges {
 		if r.Collection == "" {
 			continue
@@ -409,6 +414,52 @@ func (sh *shell) cmdSelect(line string) error {
 				return err
 			}
 		}
+	}
+	return nil
+}
+
+// cmdExplain reports the strategy and cost-model prediction for a
+// select query; with the analyze keyword it also runs the query and
+// reports predicted versus measured access counts.
+func (sh *shell) cmdExplain(rest string) error {
+	analyze := false
+	if f := strings.Fields(rest); len(f) > 0 && strings.EqualFold(f[0], "analyze") {
+		analyze = true
+		rest = strings.TrimSpace(rest[len(f[0]):])
+	}
+	q, err := query.Parse(rest)
+	if err != nil {
+		return err
+	}
+	if err := sh.bindCollections(q); err != nil {
+		return err
+	}
+	eng := query.New(sh.base, sh.manager)
+	if analyze {
+		a, err := eng.ExplainAnalyze(context.Background(), q)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(sh.out, a.String())
+		return nil
+	}
+	x, err := eng.Explain(q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(sh.out, x.String())
+	return nil
+}
+
+// cmdSelect evaluates a select-from-where query in the paper's notation,
+// routing predicates through declared indexes when possible.
+func (sh *shell) cmdSelect(line string) error {
+	q, err := query.Parse(line)
+	if err != nil {
+		return err
+	}
+	if err := sh.bindCollections(q); err != nil {
+		return err
 	}
 	eng := query.New(sh.base, sh.manager)
 	res, err := eng.Run(q)

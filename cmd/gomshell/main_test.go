@@ -173,3 +173,39 @@ func TestShellSaveLoad(t *testing.T) {
 		t.Error("load of missing file accepted")
 	}
 }
+
+func TestShellExplainAndMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	sh := newTestShell(&buf)
+	out := runScript(t, sh, &buf,
+		`type CITY is [Name: STRING];`,
+		`type PERSON is [Name: STRING, Lives: CITY];`,
+		`type PEOPLE is {PERSON};`,
+		`new PEOPLE as $Everyone`,
+		`new CITY as $c`,
+		`set $c.Name = "Karlsruhe"`,
+		`new PERSON as $p`,
+		`set $p.Name = "Alfons"`,
+		`set $p.Lives = $c`,
+		`insert $p into $Everyone`,
+		`index full binary on PERSON.Lives.Name`,
+		`\explain select p.Name from p in Everyone where p.Lives.Name = "Karlsruhe"`,
+		`\explain analyze select p.Name from p in Everyone where p.Lives.Name = "Karlsruhe"`,
+		`\metrics`,
+	)
+	for _, want := range []string{
+		"strategy: asr",
+		"predicted",
+		"index pages: predicted",
+		"rows: 1",
+		"# TYPE query_runs_total counter",
+		`query_runs_total{strategy="asr"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if err := sh.exec(`\explain nonsense`); err == nil {
+		t.Error("explain of unparsable query accepted")
+	}
+}

@@ -80,15 +80,35 @@ type IndexStats struct {
 }
 
 // Stats returns a snapshot of the index's counters. Safe for concurrent
-// use.
+// use, and self-consistent even while maintenance is failing: the
+// maintenance writer increments nRollbacks before nRetries (a retry is
+// only decided after its attempt rolled back) and sets the quarantine
+// flag only after the final rollback, so loading in the opposite order
+// — quarantined first, then retries, then rollbacks — guarantees every
+// snapshot satisfies
+//
+//	Quarantined ⇒ Rollbacks ≥ 1
+//	Retries ≤ Rollbacks
 func (ix *Index) Stats() IndexStats {
+	quarantined := ix.quarantined.Load()
+	retries := ix.nRetries.Load()
+	rollbacks := ix.nRollbacks.Load()
 	return IndexStats{
 		Queries:     ix.nQueries.Load(),
 		RowsScanned: ix.nRowsScanned.Load(),
-		Retries:     ix.nRetries.Load(),
-		Rollbacks:   ix.nRollbacks.Load(),
-		Quarantined: ix.quarantined.Load(),
+		Retries:     retries,
+		Rollbacks:   rollbacks,
+		Quarantined: quarantined,
 	}
+}
+
+// addRowsScanned bumps the scoped counter and its registry mirror.
+func (ix *Index) addRowsScanned(n uint64) {
+	if n == 0 {
+		return
+	}
+	ix.nRowsScanned.Add(n)
+	telIxRowsScanned.Add(n)
 }
 
 // Quarantined reports whether the index is quarantined (stale after an
@@ -108,6 +128,7 @@ func (ix *Index) quarantine(err error) {
 	ix.quarErr = err
 	ix.quarMu.Unlock()
 	ix.quarantined.Store(true)
+	telMaintQuarantines.Inc()
 }
 
 // clearQuarantine lifts the quarantine (Repair succeeded).
@@ -118,10 +139,14 @@ func (ix *Index) clearQuarantine() {
 	ix.quarantined.Store(false)
 }
 
-// ResetStats zeroes the read counters.
+// ResetStats zeroes every activity counter — the read counters and the
+// maintenance fault counters. The quarantine flag is state, not a
+// counter, and is only cleared by Repair.
 func (ix *Index) ResetStats() {
 	ix.nQueries.Store(0)
 	ix.nRowsScanned.Store(0)
+	ix.nRetries.Store(0)
+	ix.nRollbacks.Store(0)
 }
 
 // Build materializes the access support relation for path over ob in the
@@ -333,6 +358,7 @@ func (ix *Index) queryForward(ctx context.Context, i, j, workers int, start []go
 		return nil, fmt.Errorf("asr: index on %s: pages released", ix.path)
 	}
 	ix.nQueries.Add(1)
+	telIxQueries.Inc()
 	ci := ix.path.ObjectColumn(i)
 	cj := ix.path.ObjectColumn(j)
 	cur := newValueSet(start...)
@@ -368,7 +394,7 @@ func (ix *Index) queryForward(ctx context.Context, i, j, workers int, start []go
 				}
 				return true
 			})
-			ix.nRowsScanned.Add(scanned)
+			ix.addRowsScanned(scanned)
 			if err == nil {
 				err = ctx.Err()
 			}
@@ -420,6 +446,7 @@ func (ix *Index) queryBackward(ctx context.Context, i, j, workers int, end []gom
 		return nil, fmt.Errorf("asr: index on %s: pages released", ix.path)
 	}
 	ix.nQueries.Add(1)
+	telIxQueries.Inc()
 	ci := ix.path.ObjectColumn(i)
 	cj := ix.path.ObjectColumn(j)
 	cur := newValueSet(end...)
@@ -455,7 +482,7 @@ func (ix *Index) queryBackward(ctx context.Context, i, j, workers int, end []gom
 				}
 				return true
 			})
-			ix.nRowsScanned.Add(scanned)
+			ix.addRowsScanned(scanned)
 			if err == nil {
 				err = ctx.Err()
 			}
@@ -485,12 +512,12 @@ func (ix *Index) probeAll(ctx context.Context, vals []gom.Value, workers int, lo
 		var scanned uint64
 		for _, v := range vals {
 			if err := ctx.Err(); err != nil {
-				ix.nRowsScanned.Add(scanned)
+				ix.addRowsScanned(scanned)
 				return nil, err
 			}
 			rows, err := lookup(v)
 			if err != nil {
-				ix.nRowsScanned.Add(scanned)
+				ix.addRowsScanned(scanned)
 				return nil, err
 			}
 			scanned += uint64(len(rows))
@@ -498,7 +525,7 @@ func (ix *Index) probeAll(ctx context.Context, vals []gom.Value, workers int, lo
 				next.add(r[off])
 			}
 		}
-		ix.nRowsScanned.Add(scanned)
+		ix.addRowsScanned(scanned)
 		return next, nil
 	}
 	var (
@@ -530,13 +557,13 @@ func (ix *Index) probeAll(ctx context.Context, vals []gom.Value, workers int, lo
 			var scanned uint64
 			for _, v := range chunk {
 				if err := ctx.Err(); err != nil {
-					ix.nRowsScanned.Add(scanned)
+					ix.addRowsScanned(scanned)
 					fail(err)
 					return
 				}
 				rows, err := lookup(v)
 				if err != nil {
-					ix.nRowsScanned.Add(scanned)
+					ix.addRowsScanned(scanned)
 					fail(err)
 					return
 				}
@@ -545,7 +572,7 @@ func (ix *Index) probeAll(ctx context.Context, vals []gom.Value, workers int, lo
 					local.add(r[off])
 				}
 			}
-			ix.nRowsScanned.Add(scanned)
+			ix.addRowsScanned(scanned)
 			mergeMu.Lock()
 			next.merge(local)
 			mergeMu.Unlock()

@@ -330,6 +330,7 @@ func (ix *Index) applyChanges(changes []edgeChange, retries int, backoff time.Du
 			break
 		}
 		ix.nRetries.Add(1)
+		telMaintRetries.Inc()
 		time.Sleep(backoff << uint(attempt))
 	}
 
@@ -412,6 +413,7 @@ func (ix *Index) applyDiffTxn(removes, adds []relation.Tuple) (err error) {
 	// the page restore, and the tree-mark rewind must be invisible to
 	// concurrent readers (who lock the partition, not the index).
 	ix.nRollbacks.Add(1)
+	telMaintRollbacks.Inc()
 	for _, p := range order {
 		p.mu.Lock()
 	}

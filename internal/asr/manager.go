@@ -58,6 +58,11 @@ func NewManager(ob *gom.ObjectBase, pool *storage.BufferPool) *Manager {
 	return &Manager{ob: ob, pool: pool}
 }
 
+// Pool returns the buffer pool the managed indexes allocate from —
+// the pool whose page traffic an index-backed query shows up on, which
+// is what query.Engine.ExplainAnalyze measures against the cost model.
+func (m *Manager) Pool() *storage.BufferPool { return m.pool }
+
 // SetHook installs a query-event callback (nil to remove). The hook may
 // be called from any goroutine issuing queries.
 func (m *Manager) SetHook(fn func(QueryEvent)) {
@@ -232,16 +237,24 @@ func (m *Manager) QueryForwardCtx(ctx context.Context, path *gom.PathExpression,
 func (m *Manager) queryForward(ctx context.Context, path *gom.PathExpression, i, j, workers int, start []gom.Value) ([]gom.Value, error) {
 	m.fireHook(QueryEvent{Path: path.String(), Forward: true, I: i, J: j})
 	m.nQueries.Add(1)
+	telQueries.Inc()
 	e, degraded := m.findEntry(path, i, j)
 	if e != nil {
 		m.nIndexHits.Add(1)
+		telIndexHits.Inc()
 		e.hits.Add(1)
 		return e.ix.QueryForwardCtx(ctx, i, j, workers, start...)
 	}
+	// Increment order matters for torn-free Stats snapshots: the
+	// category counter is bumped before the degraded counter, and Stats
+	// loads them in the opposite order, so every snapshot satisfies
+	// Degraded ≤ Traversals + ExhaustiveSearches.
+	m.nTraversals.Add(1)
+	telTraversals.Inc()
 	if degraded {
 		m.nDegraded.Add(1)
+		telDegraded.Inc()
 	}
-	m.nTraversals.Add(1)
 	if workers <= 1 || len(start) < 2 {
 		return m.traverseForward(ctx, path, i, j, start)
 	}
@@ -320,18 +333,23 @@ func (m *Manager) QueryBackwardCtx(ctx context.Context, path *gom.PathExpression
 func (m *Manager) queryBackward(ctx context.Context, path *gom.PathExpression, i, j, workers int, end []gom.Value) ([]gom.Value, error) {
 	m.fireHook(QueryEvent{Path: path.String(), Forward: false, I: i, J: j})
 	m.nQueries.Add(1)
+	telQueries.Inc()
 	e, degraded := m.findEntry(path, i, j)
 	if e != nil {
 		m.nIndexHits.Add(1)
+		telIndexHits.Inc()
 		e.hits.Add(1)
 		return e.ix.QueryBackwardCtx(ctx, i, j, workers, end...)
 	}
+	// Exhaustive search: traverse forward from every t_i instance and
+	// keep the anchors whose closure hits an end value. The category
+	// counter precedes the degraded counter (see queryForward).
+	m.nExhaustive.Add(1)
+	telExhaustive.Inc()
 	if degraded {
 		m.nDegraded.Add(1)
+		telDegraded.Inc()
 	}
-	// Exhaustive search: traverse forward from every t_i instance and
-	// keep the anchors whose closure hits an end value.
-	m.nExhaustive.Add(1)
 	targets := newValueSet(end...)
 	anchors := m.ob.Extent(path.Step(i+1).Domain, true)
 	result := newValueSet()
@@ -500,29 +518,43 @@ func (s ManagerStats) String() string {
 }
 
 // Stats returns a snapshot of routing counters and per-index activity.
-// Safe for concurrent use; the snapshot is internally consistent only
-// when the manager is quiescent.
+// Safe for concurrent use, and every snapshot is self-consistent even
+// while queries and maintenance are in flight: counters are loaded in
+// the reverse of the writers' increment order, so the invariants
+//
+//	IndexHits + Traversals + ExhaustiveSearches ≤ Queries
+//	DegradedQueries ≤ Traversals + ExhaustiveSearches
+//	Quarantined ⇒ !MaintenanceOK and Rollbacks ≥ 1 (per index)
+//
+// hold in every snapshot, and successive snapshots are monotonic.
 func (m *Manager) Stats() ManagerStats {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	st := ManagerStats{
-		Queries:            m.nQueries.Load(),
-		IndexHits:          m.nIndexHits.Load(),
-		Traversals:         m.nTraversals.Load(),
-		ExhaustiveSearches: m.nExhaustive.Load(),
-		DegradedQueries:    m.nDegraded.Load(),
-	}
+	var st ManagerStats
+	// Writers bump the category counter before nDegraded, so loading
+	// nDegraded first can only under-count it relative to the categories.
+	st.DegradedQueries = m.nDegraded.Load()
+	st.IndexHits = m.nIndexHits.Load()
+	st.Traversals = m.nTraversals.Load()
+	st.ExhaustiveSearches = m.nExhaustive.Load()
+	// nQueries is bumped before any category counter, so it is loaded
+	// last: the categories can never sum past it.
+	st.Queries = m.nQueries.Load()
 	for _, e := range m.entries {
 		ixStats := e.ix.Stats()
 		st.Indexes = append(st.Indexes, ManagedIndexStats{
-			Path:          e.ix.path.String(),
-			Ext:           e.ix.ext.String(),
-			Dec:           e.ix.dec.String(),
-			Rows:          totalRows(e.ix),
-			Hits:          e.hits.Load(),
-			Queries:       ixStats.Queries,
-			RowsScanned:   ixStats.RowsScanned,
-			MaintenanceOK: e.maintainer.Err() == nil,
+			Path:        e.ix.path.String(),
+			Ext:         e.ix.ext.String(),
+			Dec:         e.ix.dec.String(),
+			Rows:        totalRows(e.ix),
+			Hits:        e.hits.Load(),
+			Queries:     ixStats.Queries,
+			RowsScanned: ixStats.RowsScanned,
+			// Derived from the same index snapshot so a quarantined
+			// index is never reported maintenance-OK, even in the window
+			// between the quarantine flag and the maintainer retaining
+			// the error.
+			MaintenanceOK: e.maintainer.Err() == nil && !ixStats.Quarantined,
 			Quarantined:   ixStats.Quarantined,
 			Retries:       ixStats.Retries,
 			Rollbacks:     ixStats.Rollbacks,

@@ -1,0 +1,23 @@
+package asr
+
+import "asr/internal/telemetry"
+
+// Registry mirrors of the manager's routing counters, the per-index
+// read counters and the maintenance fault counters, aggregated across
+// every manager and index in the process. The IndexStats/ManagerStats
+// snapshots remain the scoped (resettable) view; these series are
+// process-cumulative.
+var (
+	telQueries    = telemetry.Default().Counter("asr_queries_total")
+	telIndexHits  = telemetry.Default().Counter("asr_index_hits_total")
+	telTraversals = telemetry.Default().Counter("asr_traversals_total")
+	telExhaustive = telemetry.Default().Counter("asr_exhaustive_total")
+	telDegraded   = telemetry.Default().Counter("asr_degraded_total")
+
+	telIxQueries     = telemetry.Default().Counter("asr_index_queries_total")
+	telIxRowsScanned = telemetry.Default().Counter("asr_index_rows_scanned_total")
+
+	telMaintRetries     = telemetry.Default().Counter("asr_maint_retries_total")
+	telMaintRollbacks   = telemetry.Default().Counter("asr_maint_rollbacks_total")
+	telMaintQuarantines = telemetry.Default().Counter("asr_maint_quarantines_total")
+)

@@ -161,6 +161,7 @@ func readNode(fr *storage.Frame) (*node, error) {
 }
 
 func writeNode(fr *storage.Frame, n *node) {
+	telNodeWrites.Inc()
 	data := fr.Data()
 	for i := range data {
 		data[i] = 0
@@ -195,6 +196,7 @@ func writeNode(fr *storage.Frame, n *node) {
 
 // load fetches and decodes a node, returning the pinned frame.
 func (t *Tree) load(pid storage.PageID) (*storage.Frame, *node, error) {
+	telNodeReads.Inc()
 	fr, err := t.pool.Get(pid)
 	if err != nil {
 		return nil, nil, err
@@ -296,6 +298,7 @@ func (t *Tree) insert(pid storage.PageID, key, val []byte) (bool, *splitResult, 
 // splitLeaf moves the upper half of a leaf to a fresh page; the
 // separator is the first key of the right node.
 func (t *Tree) splitLeaf(fr *storage.Frame, n *node) (*splitResult, error) {
+	telSplits.Inc()
 	mid := splitPoint(n)
 	rightFr, err := t.pool.GetNew()
 	if err != nil {
@@ -319,6 +322,7 @@ func (t *Tree) splitLeaf(fr *storage.Frame, n *node) (*splitResult, error) {
 // splitInternal promotes the middle key and moves the upper half of an
 // internal node to a fresh page.
 func (t *Tree) splitInternal(fr *storage.Frame, n *node) (*splitResult, error) {
+	telSplits.Inc()
 	mid := splitPoint(n)
 	if mid >= len(n.keys) {
 		mid = len(n.keys) - 1

@@ -1,0 +1,13 @@
+package btree
+
+import "asr/internal/telemetry"
+
+// Registry mirrors of B⁺-tree activity, aggregated across every tree in
+// the process. Node reads are logical (the buffer pool may satisfy them
+// without I/O); node writes count serializations of a node into its
+// page; splits count leaf and internal splits together.
+var (
+	telNodeReads  = telemetry.Default().Counter("btree_node_reads_total")
+	telNodeWrites = telemetry.Default().Counter("btree_node_writes_total")
+	telSplits     = telemetry.Default().Counter("btree_splits_total")
+)

@@ -8,6 +8,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -15,6 +16,7 @@ import (
 	"asr/internal/gendb"
 	"asr/internal/gom"
 	"asr/internal/storage"
+	"asr/internal/telemetry"
 )
 
 // Measurement reports the page traffic of one evaluated operation.
@@ -38,7 +40,9 @@ func New(place *gendb.Placement) *Engine { return &Engine{place: place} }
 // only when nothing else touches the pool, so an Engine is a
 // single-threaded measurement harness: unlike the asr and query layers
 // it must not be shared between goroutines.
-func (e *Engine) measure(pool *storage.BufferPool, op func() error) (Measurement, error) {
+func (e *Engine) measure(name string, pool *storage.BufferPool, op func() error) (Measurement, error) {
+	_, sp := telemetry.StartSpan(context.Background(), name)
+	defer sp.End()
 	if err := pool.DropClean(); err != nil {
 		return Measurement{}, err
 	}
@@ -47,7 +51,10 @@ func (e *Engine) measure(pool *storage.BufferPool, op func() error) (Measurement
 		return Measurement{}, err
 	}
 	st := pool.Stats()
-	return Measurement{DistinctPages: st.Misses, LogicalAccesses: st.LogicalAccesses}, nil
+	m := Measurement{DistinctPages: st.Misses, LogicalAccesses: st.LogicalAccesses}
+	sp.SetAttr("distinct_pages", m.DistinctPages)
+	sp.SetAttr("logical_accesses", m.LogicalAccesses)
+	return m, nil
 }
 
 // ForwardNoASR evaluates Q_{i,j}(fw) from one anchor object by object
@@ -55,7 +62,7 @@ func (e *Engine) measure(pool *storage.BufferPool, op func() error) (Measurement
 // it, level by level (eq. 31's algorithm).
 func (e *Engine) ForwardNoASR(start gom.OID, i, j int) ([]gom.OID, Measurement, error) {
 	var result []gom.OID
-	m, err := e.measure(e.place.Pool, func() error {
+	m, err := e.measure("engine.forward_noasr", e.place.Pool, func() error {
 		frontier := map[gom.OID]bool{start: true}
 		for lvl := i; lvl < j; lvl++ {
 			next := map[gom.OID]bool{}
@@ -83,7 +90,7 @@ func (e *Engine) ForwardNoASR(start gom.OID, i, j int) ([]gom.OID, Measurement, 
 // (eq. 32's algorithm).
 func (e *Engine) BackwardNoASR(target gom.OID, i, j int) ([]gom.OID, Measurement, error) {
 	var result []gom.OID
-	m, err := e.measure(e.place.Pool, func() error {
+	m, err := e.measure("engine.backward_noasr", e.place.Pool, func() error {
 		// Frontier maps a currently-reached object to the set of level-i
 		// anchors that reach it.
 		frontier := map[gom.OID]map[gom.OID]bool{}
@@ -127,7 +134,7 @@ func (e *Engine) BackwardNoASR(target gom.OID, i, j int) ([]gom.OID, Measurement
 // measuring the index's page traffic on the index's own pool.
 func (e *Engine) ForwardASR(ix *asr.Index, start gom.OID, i, j int) ([]gom.OID, Measurement, error) {
 	var result []gom.OID
-	m, err := e.measure(ix.Pool(), func() error {
+	m, err := e.measure("engine.forward_asr", ix.Pool(), func() error {
 		vals, err := ix.QueryForward(i, j, gom.Ref(start))
 		if err != nil {
 			return err
@@ -141,7 +148,7 @@ func (e *Engine) ForwardASR(ix *asr.Index, start gom.OID, i, j int) ([]gom.OID, 
 // BackwardASR evaluates Q_{i,j}(bw) through an access support relation.
 func (e *Engine) BackwardASR(ix *asr.Index, target gom.OID, i, j int) ([]gom.OID, Measurement, error) {
 	var result []gom.OID
-	m, err := e.measure(ix.Pool(), func() error {
+	m, err := e.measure("engine.backward_asr", ix.Pool(), func() error {
 		vals, err := ix.QueryBackward(i, j, gom.Ref(target))
 		if err != nil {
 			return err

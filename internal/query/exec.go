@@ -6,9 +6,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"asr/internal/asr"
 	"asr/internal/gom"
+	"asr/internal/telemetry"
 )
 
 // Engine evaluates parsed queries against an object base. With a
@@ -158,8 +161,18 @@ func (r *resolved) composedPath(idx int, extra []string) (*gom.PathExpression, b
 	return p, true
 }
 
+// runStats accumulates one evaluation's measured work. objectReads
+// counts the object-base fetches made while walking path expressions
+// (one per frontier object — the analog of a record read); usedASR
+// records the strategy choice. It is written by the planning phase and
+// the evaluation workers, read after they join.
+type runStats struct {
+	objectReads atomic.Uint64
+	usedASR     bool
+}
+
 // Run evaluates the query.
-func (e *Engine) Run(q *Query) (*Result, error) { return e.run(context.Background(), q, 1) }
+func (e *Engine) Run(q *Query) (*Result, error) { return e.run(context.Background(), q, 1, nil) }
 
 // RunParallel evaluates the query with the outer collection's surviving
 // anchors fanned across up to workers goroutines. The resolution step,
@@ -170,18 +183,26 @@ func (e *Engine) Run(q *Query) (*Result, error) { return e.run(context.Backgroun
 // the same Values as Run(q) for every query and worker count (the Plan
 // additionally records the fan-out). workers ≤ 1 degenerates to Run.
 func (e *Engine) RunParallel(q *Query, workers int) (*Result, error) {
-	return e.run(context.Background(), q, workers)
+	return e.run(context.Background(), q, workers, nil)
 }
 
 // RunCtx is RunParallel honoring ctx: cancellation or deadline expiry
 // aborts the index pre-filter, every evaluation worker, and the index-
 // backed projection probes, returning ctx's error.
 func (e *Engine) RunCtx(ctx context.Context, q *Query, workers int) (*Result, error) {
-	return e.run(ctx, q, workers)
+	return e.run(ctx, q, workers, nil)
 }
 
-func (e *Engine) run(ctx context.Context, q *Query, workers int) (*Result, error) {
+func (e *Engine) run(ctx context.Context, q *Query, workers int, st *runStats) (*Result, error) {
+	if st == nil {
+		st = &runStats{}
+	}
+	started := time.Now()
+	ctx, root := telemetry.StartSpan(ctx, "query.run")
+	defer root.End()
+	_, rsp := telemetry.StartSpan(ctx, "query.resolve")
 	r, err := e.resolve(q)
+	rsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -207,8 +228,12 @@ func (e *Engine) run(ctx context.Context, q *Query, workers int) (*Result, error
 				continue
 			}
 			if ix := e.mgr.FindIndex(composed, 0, composed.Len()); ix != nil {
-				sat, err := e.mgr.QueryBackwardCtx(ctx, composed, 0, composed.Len(), 1, q.Where[pi].Literal)
+				pctx, psp := telemetry.StartSpan(ctx, "query.prefilter")
+				psp.SetAttr("path", composed.String())
+				psp.SetAttr("anchors_before", len(anchors))
+				sat, err := e.mgr.QueryBackwardCtx(pctx, composed, 0, composed.Len(), 1, q.Where[pi].Literal)
 				if err != nil {
+					psp.End()
 					return nil, err
 				}
 				keep := map[gom.OID]bool{}
@@ -222,6 +247,9 @@ func (e *Engine) run(ctx context.Context, q *Query, workers int) (*Result, error
 					}
 				}
 				anchors = filtered
+				st.usedASR = true
+				psp.SetAttr("anchors_after", len(anchors))
+				psp.End()
 				planNotes = append(planNotes,
 					fmt.Sprintf("predicate %s = %s via ASR on %s (%d/%d anchors remain)",
 						pred.Path, gom.ValueString(pred.Literal), composed, len(anchors), setObj.Len()))
@@ -238,6 +266,7 @@ func (e *Engine) run(ctx context.Context, q *Query, workers int) (*Result, error
 			if ix := e.mgr.FindIndex(composed, 0, composed.Len()); ix != nil {
 				projIx = ix
 				projComposed = composed
+				st.usedASR = true
 				planNotes = append(planNotes,
 					fmt.Sprintf("projection %s via ASR on %s", q.Projection, composed))
 			}
@@ -252,6 +281,11 @@ func (e *Engine) run(ctx context.Context, q *Query, workers int) (*Result, error
 	// sequential path (one chunk: everything) and the parallel path (one
 	// chunk per worker) go through it, so they agree by construction.
 	evalAnchors := func(chunk []gom.OID) (map[string]gom.Value, error) {
+		// Object reads accumulate in a chunk-local counter and flush to
+		// the shared stats once per chunk: workers never contend on the
+		// atomic inside the traversal loop.
+		var reads uint64
+		defer func() { st.objectReads.Add(reads) }()
 		out := map[string]gom.Value{}
 		bindings := make([]gom.OID, len(r.ranges))
 		var loop func(depth int) error
@@ -259,7 +293,7 @@ func (e *Engine) run(ctx context.Context, q *Query, workers int) (*Result, error
 			if depth == len(r.ranges) {
 				for pi := range q.Where {
 					v := bindings[r.byVar[q.Where[pi].Path.Var]]
-					if !e.pathHasValue(v, r.predPaths[pi], q.Where[pi].Literal) {
+					if !e.pathHasValue(&reads, v, r.predPaths[pi], q.Where[pi].Literal) {
 						return nil
 					}
 				}
@@ -283,7 +317,7 @@ func (e *Engine) run(ctx context.Context, q *Query, workers int) (*Result, error
 					// quarantined index (asr.ErrQuarantined): traversal reads
 					// the object base directly, so the result stays correct.
 				}
-				for _, v := range e.evalPath(projVar, r.projPath) {
+				for _, v := range e.evalPath(&reads, projVar, r.projPath) {
 					out[gom.ValueString(v)] = v
 				}
 				return nil
@@ -299,7 +333,7 @@ func (e *Engine) run(ctx context.Context, q *Query, workers int) (*Result, error
 				}
 				members = so.ElementOIDs()
 			} else {
-				for _, v := range e.evalPath(bindings[br.parentIdx], br.path) {
+				for _, v := range e.evalPath(&reads, bindings[br.parentIdx], br.path) {
 					if ref, ok := v.(gom.Ref); ok {
 						members = append(members, ref.OID())
 					}
@@ -324,6 +358,10 @@ func (e *Engine) run(ctx context.Context, q *Query, workers int) (*Result, error
 		return out, nil
 	}
 
+	_, xsp := telemetry.StartSpan(ctx, "query.execute")
+	xsp.SetAttr("anchors", len(anchors))
+	xsp.SetAttr("workers", workers)
+	defer xsp.End()
 	var out map[string]gom.Value
 	if workers <= 1 || len(anchors) < 2 {
 		out, err = evalAnchors(anchors)
@@ -378,6 +416,8 @@ func (e *Engine) run(ctx context.Context, q *Query, workers int) (*Result, error
 		}
 	}
 
+	xsp.End()
+
 	keys := make([]string, 0, len(out))
 	for k := range out {
 		keys = append(keys, k)
@@ -387,6 +427,17 @@ func (e *Engine) run(ctx context.Context, q *Query, workers int) (*Result, error
 	for _, k := range keys {
 		res.Values = append(res.Values, out[k])
 	}
+
+	strategy, runs, secs := "traversal", telRunsTraversal, telSecsTraversal
+	if st.usedASR {
+		strategy, runs, secs = "asr", telRunsASR, telSecsASR
+	}
+	runs.Inc()
+	secs.Observe(time.Since(started).Seconds())
+	telObjectReads.Add(st.objectReads.Load())
+	root.SetAttr("strategy", strategy)
+	root.SetAttr("rows", len(res.Values))
+	root.SetAttr("object_reads", st.objectReads.Load())
 	return res, nil
 }
 
@@ -411,8 +462,11 @@ func min(a, b int) int {
 }
 
 // evalPath traverses a resolved path from one object, returning all
-// reachable final values (objects or atomic values).
-func (e *Engine) evalPath(start gom.OID, path *gom.PathExpression) []gom.Value {
+// reachable final values (objects or atomic values). Each frontier
+// object fetched from the object base counts one read into reads — the
+// record-access unit the cost model's eq. (31) predicts. The counter is
+// goroutine-local; callers flush it into runStats when their chunk ends.
+func (e *Engine) evalPath(reads *uint64, start gom.OID, path *gom.PathExpression) []gom.Value {
 	cur := []gom.Value{gom.Ref(start)}
 	for s := 1; s <= path.Len(); s++ {
 		step := path.Step(s)
@@ -434,6 +488,7 @@ func (e *Engine) evalPath(start gom.OID, path *gom.PathExpression) []gom.Value {
 			if !ok {
 				continue
 			}
+			*reads++
 			av, _ := o.Attr(step.Attr)
 			if av == nil {
 				continue
@@ -471,8 +526,8 @@ func (e *Engine) evalPath(start gom.OID, path *gom.PathExpression) []gom.Value {
 
 // pathHasValue reports whether any value reachable over path from the
 // object equals want (exists semantics over set-valued steps).
-func (e *Engine) pathHasValue(start gom.OID, path *gom.PathExpression, want gom.Value) bool {
-	for _, v := range e.evalPath(start, path) {
+func (e *Engine) pathHasValue(reads *uint64, start gom.OID, path *gom.PathExpression, want gom.Value) bool {
+	for _, v := range e.evalPath(reads, start, path) {
 		if gom.ValuesEqual(v, want) {
 			return true
 		}

@@ -1,12 +1,14 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
 	"unicode"
 
 	"asr/internal/gom"
+	"asr/internal/telemetry"
 )
 
 // Parse parses a select-from-where query in the paper's notation.
@@ -14,6 +16,9 @@ import (
 // literals use double quotes; numeric literals with a '.' parse as
 // DECIMAL, others as INTEGER; true/false as BOOL.
 func Parse(src string) (*Query, error) {
+	telParses.Inc()
+	_, sp := telemetry.StartSpan(context.Background(), "query.parse")
+	defer sp.End()
 	p := &qparser{lex: newQLexer(src)}
 	p.advance()
 	q, err := p.parseQuery()

@@ -1,0 +1,18 @@
+package query
+
+import "asr/internal/telemetry"
+
+// Registry instruments for the query engine, labelled by execution
+// strategy: "asr" when at least one predicate or the projection went
+// through an access support relation, "traversal" for a pure
+// nested-loop evaluation. Object reads count the object-base fetches
+// the evaluator performs while walking paths — the unit eq. (31)
+// predicts when objects are page-sized (see Engine.ExplainAnalyze).
+var (
+	telRunsASR       = telemetry.Default().Counter(`query_runs_total{strategy="asr"}`)
+	telRunsTraversal = telemetry.Default().Counter(`query_runs_total{strategy="traversal"}`)
+	telSecsASR       = telemetry.Default().Histogram(`query_seconds{strategy="asr"}`, telemetry.LatencyBuckets)
+	telSecsTraversal = telemetry.Default().Histogram(`query_seconds{strategy="traversal"}`, telemetry.LatencyBuckets)
+	telObjectReads   = telemetry.Default().Counter("query_object_reads_total")
+	telParses        = telemetry.Default().Counter("query_parses_total")
+)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ReplacementPolicy selects the buffer pool's victim strategy.
@@ -107,13 +108,13 @@ type BufferPool struct {
 	hand     int
 	undo     *UndoTxn // active undo transaction, nil outside maintenance
 
-	nLogical        atomic.Uint64
-	nHits           atomic.Uint64
-	nMisses         atomic.Uint64
-	nEvictions      atomic.Uint64
-	nWriteBacks     atomic.Uint64
-	nWriteBackErrs  atomic.Uint64
-	nPins           atomic.Uint64
+	nLogical       atomic.Uint64
+	nHits          atomic.Uint64
+	nMisses        atomic.Uint64
+	nEvictions     atomic.Uint64
+	nWriteBacks    atomic.Uint64
+	nWriteBackErrs atomic.Uint64
+	nPins          atomic.Uint64
 }
 
 // NewBufferPool creates a pool over a page device with the given frame
@@ -170,7 +171,9 @@ func (b *BufferPool) Get(id PageID) (*Frame, error) {
 	b.nLogical.Add(1)
 	if f, ok := b.frames[id]; ok {
 		b.nHits.Add(1)
+		telPoolHits.Inc()
 		b.nPins.Add(1)
+		telPoolPins.Inc()
 		f.pins++
 		f.refBit = true
 		if b.policy == LRU && f.lruElem != nil {
@@ -180,17 +183,21 @@ func (b *BufferPool) Get(id PageID) (*Frame, error) {
 		return &Frame{pool: b, f: f}, nil
 	}
 	b.nMisses.Add(1)
+	telPoolMisses.Inc()
 	if b.capacity > 0 && len(b.frames) >= b.capacity {
 		if err := b.evictOne(); err != nil {
 			return nil, err
 		}
 	}
 	f := &frame{id: id, data: make([]byte, b.dev.PageSize()), pins: 1, refBit: true}
+	readStart := time.Now()
 	if err := b.dev.Read(id, f.data); err != nil {
 		return nil, err
 	}
+	telPoolReadSeconds.Observe(time.Since(readStart).Seconds())
 	b.captureLocked(f)
 	b.nPins.Add(1)
+	telPoolPins.Inc()
 	b.frames[id] = f
 	switch b.policy {
 	case LRU, FIFO:
@@ -209,6 +216,7 @@ func (b *BufferPool) GetNew() (*Frame, error) {
 	id := b.dev.Allocate()
 	b.nLogical.Add(1)
 	b.nMisses.Add(1)
+	telPoolMisses.Inc()
 	if b.capacity > 0 && len(b.frames) >= b.capacity {
 		if err := b.evictOne(); err != nil {
 			return nil, err
@@ -219,6 +227,7 @@ func (b *BufferPool) GetNew() (*Frame, error) {
 		b.undo.fresh[id] = true
 	}
 	b.nPins.Add(1)
+	telPoolPins.Inc()
 	b.frames[id] = f
 	switch b.policy {
 	case LRU, FIFO:
@@ -248,12 +257,15 @@ func (b *BufferPool) evictOne() error {
 			// The victim stays resident and dirty — nothing is lost, the
 			// caller sees the device error and the counter records it.
 			b.nWriteBackErrs.Add(1)
+			telPoolWriteBackErrs.Inc()
 			return fmt.Errorf("storage: write-back of %v failed: %w", victim.id, err)
 		}
 		b.nWriteBacks.Add(1)
+		telPoolWriteBacks.Inc()
 	}
 	b.dropFrame(victim)
 	b.nEvictions.Add(1)
+	telPoolEvictions.Inc()
 	return nil
 }
 
@@ -343,11 +355,13 @@ func (b *BufferPool) flushAllLocked() error {
 		}
 		if err := b.dev.Write(f.id, f.data); err != nil {
 			b.nWriteBackErrs.Add(1)
+			telPoolWriteBackErrs.Inc()
 			errs = append(errs, fmt.Errorf("storage: flush of %v failed: %w", f.id, err))
 			continue
 		}
 		f.dirty = false
 		b.nWriteBacks.Add(1)
+		telPoolWriteBacks.Inc()
 	}
 	return errors.Join(errs...)
 }

@@ -165,6 +165,7 @@ func (d *Disk) Read(id PageID, buf []byte) error {
 	}
 	copy(buf, p)
 	d.stats.Reads++
+	telDiskReads.Inc()
 	return nil
 }
 
@@ -181,5 +182,6 @@ func (d *Disk) Write(id PageID, buf []byte) error {
 	}
 	copy(p, buf)
 	d.stats.Writes++
+	telDiskWrites.Inc()
 	return nil
 }

@@ -1,0 +1,21 @@
+package storage
+
+import "asr/internal/telemetry"
+
+// Registry mirrors of the storage layer's activity counters. The
+// bespoke BufferStats/DiskStats snapshots stay the tool for scoped
+// measurements (they can be reset per experiment); the registry series
+// are process-cumulative and aggregate across every pool and disk, the
+// Prometheus convention. Instruments are resolved once at init so the
+// hot paths pay a single atomic add each.
+var (
+	telPoolPins          = telemetry.Default().Counter("storage_pool_pins_total")
+	telPoolHits          = telemetry.Default().Counter("storage_pool_hits_total")
+	telPoolMisses        = telemetry.Default().Counter("storage_pool_misses_total")
+	telPoolEvictions     = telemetry.Default().Counter("storage_pool_evictions_total")
+	telPoolWriteBacks    = telemetry.Default().Counter("storage_pool_writebacks_total")
+	telPoolWriteBackErrs = telemetry.Default().Counter("storage_pool_writeback_errors_total")
+	telPoolReadSeconds   = telemetry.Default().Histogram("storage_pool_read_seconds", telemetry.LatencyBuckets)
+	telDiskReads         = telemetry.Default().Counter("storage_disk_reads_total")
+	telDiskWrites        = telemetry.Default().Counter("storage_disk_writes_total")
+)
