@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke vet repro ci
+.PHONY: all build test race bench bench-smoke bench-compare vet repro ci
 
 all: build test
 
@@ -23,9 +23,24 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Smoke-test the instrumented path end to end: one tiny asrbench
-# experiment (EXPLAIN ANALYZE calibration) with a telemetry snapshot.
+# experiment (EXPLAIN ANALYZE calibration) with a telemetry snapshot,
+# then the perf snapshot + diff.
 bench-smoke:
 	$(GO) run ./cmd/asrbench -experiment explain-calib -metrics
+	$(MAKE) bench-compare
+
+# Refresh the machine-readable perf snapshot (BENCH_4.json) and, when a
+# previous snapshot exists, print a per-metric wall-time diff against
+# it. The diff is informational — wall times on shared runners are
+# noisy; the speedup columns inside the snapshot are the target.
+bench-compare:
+	@if [ -f BENCH_4.json ]; then \
+		cp BENCH_4.json BENCH_4.prev.json; \
+		$(GO) run ./cmd/asrbench -snapshot BENCH_4.json -compare BENCH_4.prev.json; \
+		rm -f BENCH_4.prev.json; \
+	else \
+		$(GO) run ./cmd/asrbench -snapshot BENCH_4.json; \
+	fi
 
 vet:
 	$(GO) vet ./internal/telemetry/

@@ -279,4 +279,98 @@ func BenchmarkQueryParallel(b *testing.B) {
 			}
 		})
 	}
+
+	// The shard effect in isolation: the same indexed 8-worker query
+	// against a single-stripe pool and an 8-stripe pool. Index probes
+	// pin pages through the pool, so the shard mutexes are the only
+	// difference between the two runs.
+	for _, shards := range []int{1, 8} {
+		pool := storage.NewBufferPoolShards(storage.NewDisk(0), 0, storage.LRU, shards)
+		smgr := asr.NewManager(db.Base, pool)
+		if _, err := smgr.CreateIndex(db.Path, asr.Canonical, asr.NoDecomposition(db.Path.Arity()-1)); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("indexed/w8/shards%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := smgr.QueryBackwardParallel(db.Path, 0, span, 8, target); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkASRBuild compares the bottom-up bulk loader (asr.Build) with
+// the incremental top-down reference build (asr.BuildIncremental) over
+// the same ≥10k-row extension — the tentpole build-path optimization.
+// The acceptance bar is bulk ≥ 2× faster.
+func BenchmarkASRBuild(b *testing.B) {
+	db, err := gendb.Generate(gendb.Spec{
+		N:    3,
+		C:    []int{2000, 5000, 10000, 20000},
+		D:    []int{1800, 4000, 8000},
+		Fan:  []int{3, 2, 2},
+		Seed: 99,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec := asr.NoDecomposition(db.Path.Arity() - 1)
+	probe, err := asr.Build(db.Base, db.Path, asr.Full, dec, storage.NewBufferPool(storage.NewDisk(0), 0, storage.LRU))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := probe.TotalRows()[0]
+	if rows < 10000 {
+		b.Fatalf("partition holds %d rows, benchmark needs ≥ 10000", rows)
+	}
+
+	b.Run("bulk", func(b *testing.B) {
+		b.ReportMetric(float64(rows), "rows")
+		for i := 0; i < b.N; i++ {
+			pool := storage.NewBufferPool(storage.NewDisk(0), 0, storage.LRU)
+			if _, err := asr.Build(db.Base, db.Path, asr.Full, dec, pool); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportMetric(float64(rows), "rows")
+		for i := 0; i < b.N; i++ {
+			pool := storage.NewBufferPool(storage.NewDisk(0), 0, storage.LRU)
+			if _, err := asr.BuildIncremental(db.Base, db.Path, asr.Full, dec, pool); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBatchProbe measures sorted batch probes (LookupForwardBatch,
+// one leaf-cursor walk over sorted keys) against the per-value descents
+// they replaced, on a wide random frontier.
+func BenchmarkBatchProbe(b *testing.B) {
+	db, _ := newBenchDB(b)
+	ix := newBenchIndex(b, db, asr.Full)
+	part := ix.Partitions()[0].Part
+	vals := make([]gom.Value, 0, len(db.Extents[0]))
+	for _, id := range db.Extents[0] {
+		vals = append(vals, gom.Ref(id))
+	}
+
+	b.Run("single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, v := range vals {
+				if _, err := part.LookupForward(v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := part.LookupForwardBatch(vals); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -8,6 +8,8 @@
 //	asrbench -experiment fig6      # run one experiment
 //	asrbench -all                  # run everything
 //	asrbench -experiment fig6 -csv # machine-readable output
+//	asrbench -snapshot BENCH_4.json                         # perf snapshot
+//	asrbench -snapshot BENCH_4.json -compare BENCH_4.prev.json
 package main
 
 import (
@@ -26,10 +28,26 @@ func main() {
 		all     = flag.Bool("all", false, "run every experiment")
 		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		metrics = flag.Bool("metrics", false, "emit a telemetry snapshot (Prometheus text) after each experiment")
+		snap    = flag.String("snapshot", "", "run the perf experiment and write a machine-readable snapshot to this file")
+		compare = flag.String("compare", "", "with -snapshot: diff the fresh snapshot against this previous snapshot file")
 	)
 	flag.Parse()
 
 	switch {
+	case *snap != "":
+		cur, err := takeSnapshot()
+		if err != nil {
+			fail(err)
+		}
+		if err := writeSnapshot(cur, *snap); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (%d metrics)\n", *snap, len(cur.Metrics))
+		if *compare != "" {
+			if err := compareSnapshots(*compare, cur); err != nil {
+				fail(err)
+			}
+		}
 	case *list:
 		fmt.Printf("%-14s %-12s %s\n", "id", "paper ref", "title")
 		for _, e := range bench.All() {

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"asr/internal/bench"
+)
+
+// Snapshot is the machine-readable form of the perf experiment: one
+// metric per table row, wall times in nanoseconds. Written by
+// `asrbench -snapshot BENCH_4.json`, diffed by -compare / `make
+// bench-compare`.
+type Snapshot struct {
+	Schema     int              `json:"schema"`
+	Experiment string           `json:"experiment"`
+	Metrics    []SnapshotMetric `json:"metrics"`
+}
+
+// SnapshotMetric is one measured variant.
+type SnapshotMetric struct {
+	Section string  `json:"section"`
+	Variant string  `json:"variant"`
+	WallNS  int64   `json:"wall_ns"`
+	Speedup float64 `json:"speedup"`
+}
+
+// key identifies a metric across snapshots.
+func (m SnapshotMetric) key() string { return m.Section + "/" + m.Variant }
+
+// takeSnapshot runs the perf experiment and converts its table into a
+// snapshot.
+func takeSnapshot() (*Snapshot, error) {
+	e, ok := bench.Lookup("perf")
+	if !ok {
+		return nil, fmt.Errorf("perf experiment not registered")
+	}
+	tab, err := e.Run()
+	if err != nil {
+		return nil, err
+	}
+	snap := &Snapshot{Schema: 1, Experiment: e.ID}
+	for _, row := range tab.Rows {
+		if len(row) < 4 {
+			return nil, fmt.Errorf("perf row %v: want 4 cells", row)
+		}
+		wall, err := time.ParseDuration(row[2])
+		if err != nil {
+			return nil, fmt.Errorf("perf row %v: wall time: %w", row, err)
+		}
+		sp, err := strconv.ParseFloat(strings.TrimSuffix(row[3], "x"), 64)
+		if err != nil {
+			return nil, fmt.Errorf("perf row %v: speedup: %w", row, err)
+		}
+		snap.Metrics = append(snap.Metrics, SnapshotMetric{
+			Section: row[0],
+			Variant: row[1],
+			WallNS:  wall.Nanoseconds(),
+			Speedup: sp,
+		})
+	}
+	return snap, nil
+}
+
+// writeSnapshot marshals the snapshot to path.
+func writeSnapshot(snap *Snapshot, path string) error {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// loadSnapshot reads a snapshot file.
+func loadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &snap, nil
+}
+
+// compareSnapshots prints a per-metric diff of cur against the snapshot
+// at oldPath. Wall times on shared machines are noisy; the comparison
+// is informational and never fails the run — it exists so regressions
+// are visible in CI logs, not to gate on them.
+func compareSnapshots(oldPath string, cur *Snapshot) error {
+	old, err := loadSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	prev := map[string]SnapshotMetric{}
+	for _, m := range old.Metrics {
+		prev[m.key()] = m
+	}
+	fmt.Printf("%-50s %12s %12s %8s\n", "metric (vs "+oldPath+")", "old", "new", "delta")
+	for _, m := range cur.Metrics {
+		p, ok := prev[m.key()]
+		if !ok {
+			fmt.Printf("%-50s %12s %12s %8s\n", m.key(), "-", fmtNS(m.WallNS), "new")
+			continue
+		}
+		delta := "n/a"
+		if p.WallNS > 0 {
+			delta = fmt.Sprintf("%+.0f%%", 100*float64(m.WallNS-p.WallNS)/float64(p.WallNS))
+		}
+		fmt.Printf("%-50s %12s %12s %8s\n", m.key(), fmtNS(p.WallNS), fmtNS(m.WallNS), delta)
+		delete(prev, m.key())
+	}
+	for k, p := range prev {
+		fmt.Printf("%-50s %12s %12s %8s\n", k, fmtNS(p.WallNS), "-", "gone")
+	}
+	return nil
+}
+
+func fmtNS(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

@@ -147,6 +147,8 @@ func (sh *shell) exec(line string) error {
 	case `\metrics`:
 		_, err := telemetry.Default().WriteTo(sh.out)
 		return err
+	case `\pool`:
+		return sh.cmdPool()
 	case `\explain`:
 		return sh.cmdExplain(strings.TrimSpace(strings.TrimPrefix(line, `\explain`)))
 	default:
@@ -170,6 +172,7 @@ func (sh *shell) help() {
   \explain [analyze] select ...    strategy + cost-model prediction; with
                                    analyze, run it and report predicted vs actual
   \metrics                         dump the telemetry registry (Prometheus text)
+  \pool                            buffer-pool shard layout and per-shard stats
   save FILE / load FILE            dump or restore the object base (JSON)
   quit
 `)
@@ -448,6 +451,24 @@ func (sh *shell) cmdExplain(rest string) error {
 		return err
 	}
 	fmt.Fprint(sh.out, x.String())
+	return nil
+}
+
+// cmdPool prints the buffer pool's shard layout and per-shard counters,
+// plus the aggregate — the interactive view of what ShardStats exposes
+// to telemetry.
+func (sh *shell) cmdPool() error {
+	pool := sh.manager.Pool()
+	fmt.Fprintf(sh.out, "shards: %d  resident pages: %d\n", pool.NumShards(), pool.Resident())
+	fmt.Fprintf(sh.out, "%-6s %9s %9s %9s %9s %9s %9s\n",
+		"shard", "accesses", "hits", "misses", "evicts", "wbacks", "pins")
+	for i, s := range pool.ShardStats() {
+		fmt.Fprintf(sh.out, "%-6d %9d %9d %9d %9d %9d %9d\n",
+			i, s.LogicalAccesses, s.Hits, s.Misses, s.Evictions, s.WriteBacks, s.Pins)
+	}
+	t := pool.Stats()
+	fmt.Fprintf(sh.out, "%-6s %9d %9d %9d %9d %9d %9d\n",
+		"total", t.LogicalAccesses, t.Hits, t.Misses, t.Evictions, t.WriteBacks, t.Pins)
 	return nil
 }
 

@@ -151,8 +151,47 @@ func (ix *Index) ResetStats() {
 
 // Build materializes the access support relation for path over ob in the
 // given extension and decomposition, storing partitions on pool's pages.
+// Partition trees are bulk-loaded bottom-up from the sorted row set —
+// O(rows) sequential page writes per tree instead of a random top-down
+// insert per row.
 func Build(ob *gom.ObjectBase, path *gom.PathExpression, ext Extension, dec Decomposition, pool *storage.BufferPool) (*Index, error) {
 	return build(ob, path, ext, dec, pool, nil)
+}
+
+// BuildIncremental materializes the same index as Build but inserts
+// every projected row top-down, one key at a time — the pre-bulk-load
+// reference path. It exists for equivalence tests and as the baseline
+// side of the build benchmarks; production callers should use Build.
+func BuildIncremental(ob *gom.ObjectBase, path *gom.PathExpression, ext Extension, dec Decomposition, pool *storage.BufferPool) (*Index, error) {
+	m := path.Arity() - 1
+	if err := dec.Validate(m); err != nil {
+		return nil, err
+	}
+	g, err := newPathGraph(ob, path)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{ob: ob, path: path, ext: ext, dec: dec, graph: g, pool: pool}
+	rows := g.allRows(ext)
+	for p := 0; p < dec.NumPartitions(); p++ {
+		lo, hi := dec.Partition(p)
+		part, err := NewPartition(pool, fmt.Sprintf("E_%s^%d,%d", ext, lo, hi), hi-lo+1)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rows {
+			proj := row[lo : hi+1]
+			if proj.IsAllNull() {
+				continue
+			}
+			if err := part.AddProjected(proj.Clone()); err != nil {
+				return nil, err
+			}
+		}
+		part.acquire()
+		ix.parts = append(ix.parts, PlacedPartition{Lo: lo, Hi: hi, Part: part})
+	}
+	return ix, nil
 }
 
 // build optionally accepts preset partitions keyed by partition index —
@@ -377,7 +416,7 @@ func (ix *Index) queryForward(ctx context.Context, i, j, workers int, start []go
 		}
 		var next *valueSet
 		if col == pp.Lo {
-			next, err = ix.probeAll(ctx, cur.values(), workers, pp.Part.LookupForward, target-pp.Lo)
+			next, err = ix.probeAll(ctx, cur.values(), workers, pp.Part.LookupForwardBatch, target-pp.Lo)
 			if err != nil {
 				return nil, err
 			}
@@ -465,7 +504,7 @@ func (ix *Index) queryBackward(ctx context.Context, i, j, workers int, end []gom
 		}
 		var next *valueSet
 		if col == pp.Hi {
-			next, err = ix.probeAll(ctx, cur.values(), workers, pp.Part.LookupBackward, target-pp.Lo)
+			next, err = ix.probeAll(ctx, cur.values(), workers, pp.Part.LookupBackwardBatch, target-pp.Lo)
 			if err != nil {
 				return nil, err
 			}
@@ -496,33 +535,45 @@ func (ix *Index) queryBackward(ctx context.Context, i, j, workers int, end []gom
 	return cur.values(), nil
 }
 
-// probeAll runs one clustered probe per frontier value — sequentially,
-// or chunked across up to workers goroutines when the frontier is wide
-// enough to pay for the fan-out — and merges the projected column off of
-// every matching row into one deduplicated set. The merge is
-// order-insensitive, so the parallel result equals the sequential one.
-// Cancellation of ctx stops every worker between probes; a panicking
-// worker is recovered into an error instead of crashing the process.
-func (ix *Index) probeAll(ctx context.Context, vals []gom.Value, workers int, lookup func(gom.Value) ([]relation.Tuple, error), off int) (*valueSet, error) {
+// probeBatchSize is how many frontier values each sorted batch probe
+// carries; it also bounds the stretch between context checks. Within a
+// batch the partition sorts the encoded probe keys so the B⁺-tree walk
+// is near-sequential (btree.ScanPrefixes).
+const probeBatchSize = 256
+
+// probeAll resolves the clustered probes for a whole frontier —
+// sequentially, or chunked across up to workers goroutines when the
+// frontier is wide enough to pay for the fan-out — and merges the
+// projected column off of every matching row into one deduplicated
+// set. Probes go to the partition in sorted sub-batches of
+// probeBatchSize (LookupForwardBatch/LookupBackwardBatch), which turns
+// random per-value descents into near-sequential leaf walks. The merge
+// is order-insensitive, so the parallel result equals the sequential
+// one. Cancellation of ctx stops every worker between sub-batches; a
+// panicking worker is recovered into an error instead of crashing the
+// process.
+func (ix *Index) probeAll(ctx context.Context, vals []gom.Value, workers int, lookup func([]gom.Value) ([][]relation.Tuple, error), off int) (*valueSet, error) {
 	next := newValueSet()
 	if workers > len(vals) {
 		workers = len(vals)
 	}
 	if workers <= 1 {
 		var scanned uint64
-		for _, v := range vals {
+		for lo := 0; lo < len(vals); lo += probeBatchSize {
 			if err := ctx.Err(); err != nil {
 				ix.addRowsScanned(scanned)
 				return nil, err
 			}
-			rows, err := lookup(v)
+			rowsets, err := lookup(vals[lo:min(lo+probeBatchSize, len(vals))])
 			if err != nil {
 				ix.addRowsScanned(scanned)
 				return nil, err
 			}
-			scanned += uint64(len(rows))
-			for _, r := range rows {
-				next.add(r[off])
+			for _, rows := range rowsets {
+				scanned += uint64(len(rows))
+				for _, r := range rows {
+					next.add(r[off])
+				}
 			}
 		}
 		ix.addRowsScanned(scanned)
@@ -555,21 +606,23 @@ func (ix *Index) probeAll(ctx context.Context, vals []gom.Value, workers int, lo
 			}()
 			local := newValueSet()
 			var scanned uint64
-			for _, v := range chunk {
+			for lo := 0; lo < len(chunk); lo += probeBatchSize {
 				if err := ctx.Err(); err != nil {
 					ix.addRowsScanned(scanned)
 					fail(err)
 					return
 				}
-				rows, err := lookup(v)
+				rowsets, err := lookup(chunk[lo:min(lo+probeBatchSize, len(chunk))])
 				if err != nil {
 					ix.addRowsScanned(scanned)
 					fail(err)
 					return
 				}
-				scanned += uint64(len(rows))
-				for _, r := range rows {
-					local.add(r[off])
+				for _, rows := range rowsets {
+					scanned += uint64(len(rows))
+					for _, r := range rows {
+						local.add(r[off])
+					}
 				}
 			}
 			ix.addRowsScanned(scanned)
@@ -595,13 +648,6 @@ func chunkBounds(n, parts, w int) (int, int) {
 		hi++
 	}
 	return lo, hi
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // OIDsOf filters reference values down to their OIDs, in sorted order —

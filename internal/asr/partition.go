@@ -437,6 +437,53 @@ func (p *Partition) LookupBackward(v gom.Value) ([]relation.Tuple, error) {
 	return out, err
 }
 
+// LookupForwardBatch resolves many first-column probes in one pass
+// over the forward tree. The probes are sorted by encoded key inside
+// btree.ScanPrefixes, so adjacent probes reuse the current leaf instead
+// of each descending from the root — the sorted-batch fast path for
+// wide query frontiers. Results align with vals; a value with no
+// stored rows yields a nil slice. Row order within each slice matches
+// LookupForward exactly.
+func (p *Partition) LookupForwardBatch(vals []gom.Value) ([][]relation.Tuple, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return lookupBatch(p.fwd, vals, p.arity, 0)
+}
+
+// LookupBackwardBatch is LookupForwardBatch over the backward tree,
+// probing last-column values; see LookupBackward.
+func (p *Partition) LookupBackwardBatch(vals []gom.Value) ([][]relation.Tuple, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return lookupBatch(p.bwd, vals, p.arity, p.arity-1)
+}
+
+func lookupBatch(tr *btree.Tree, vals []gom.Value, arity, rot int) ([][]relation.Tuple, error) {
+	prefixes := make([][]byte, len(vals))
+	for i, v := range vals {
+		pf, err := encodePrefix(v)
+		if err != nil {
+			return nil, err
+		}
+		prefixes[i] = pf
+	}
+	out := make([][]relation.Tuple, len(vals))
+	var derr error
+	err := tr.ScanPrefixes(prefixes, func(i int, k, _ []byte) bool {
+		t, err := decodeTuple(k, arity, rot)
+		if err != nil {
+			derr = err
+			return false
+		}
+		out[i] = append(out[i], t)
+		return true
+	})
+	if err == nil {
+		err = derr
+	}
+	return out, err
+}
+
 // ScanAll iterates every stored row (forward-clustered order); fn
 // returning false stops early.
 func (p *Partition) ScanAll(fn func(relation.Tuple) bool) error {

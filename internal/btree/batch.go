@@ -1,0 +1,167 @@
+package btree
+
+import (
+	"bytes"
+	"sort"
+
+	"asr/internal/storage"
+)
+
+// maxBatchHops bounds how many leaf-chain hops a batch scan takes to
+// reach the next probe before giving up and re-descending from the
+// root. Sorted probes over a clustered tree usually land on the same
+// or the next leaf; widely spaced probes fall back to an ordinary
+// O(height) descent.
+const maxBatchHops = 4
+
+// VisitIndexed is called with the index of the matching prefix and each
+// matching entry; returning false stops the whole scan. Key and value
+// slices are copies owned by the callee.
+type VisitIndexed func(i int, key, val []byte) bool
+
+// ScanPrefixes visits, for every prefix, each entry whose key starts
+// with that prefix — the batch form of ScanPrefix. Prefixes are probed
+// in sorted byte order regardless of input order (the index i passed to
+// fn identifies the caller's prefix); entries within one prefix arrive
+// in key order, exactly as ScanPrefix would deliver them. Duplicate and
+// overlapping prefixes are allowed; each input index receives its full
+// match set.
+//
+// The scan keeps its current leaf pinned between probes: an adjacent
+// sorted probe that lands on the same or a nearby leaf is resolved by
+// at most maxBatchHops leaf-chain hops instead of a root-to-leaf
+// descent. Sorting a batch of random probes thus turns O(batch·height)
+// page pins into a near-sequential walk of the touched leaves.
+func (t *Tree) ScanPrefixes(prefixes [][]byte, fn VisitIndexed) error {
+	if len(prefixes) == 0 || t.root.IsNil() {
+		return nil
+	}
+	order := make([]int, len(prefixes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return bytes.Compare(prefixes[order[a]], prefixes[order[b]]) < 0
+	})
+
+	// Cursor: the currently pinned leaf, or fr == nil between leaves.
+	// passed is the largest key in any leaf the cursor has moved beyond
+	// — keys ≤ passed live strictly before the current leaf.
+	var (
+		fr     *storage.Frame
+		n      *node
+		passed []byte
+	)
+	release := func() {
+		if fr != nil {
+			fr.Unpin()
+			fr, n = nil, nil
+		}
+	}
+	defer release()
+
+	// descend repositions the cursor at the leaf that would contain the
+	// first key ≥ start, mirroring scanFrom's descent.
+	descend := func(start []byte) error {
+		release()
+		passed = nil
+		pid := t.root
+		for {
+			f, nd, err := t.load(pid)
+			if err != nil {
+				return err
+			}
+			if nd.isLeaf() {
+				fr, n = f, nd
+				return nil
+			}
+			pos, _ := findKey(nd.keys, start)
+			if pos < len(nd.keys) && bytes.Equal(nd.keys[pos], start) {
+				pos++
+			}
+			next := nd.children[pos]
+			f.Unpin()
+			pid = next
+		}
+	}
+	// advance moves the cursor to the next leaf in the chain, leaving
+	// fr == nil at the end of the chain.
+	advance := func() error {
+		if len(n.keys) > 0 {
+			passed = append(passed[:0], n.keys[len(n.keys)-1]...)
+		}
+		next := n.next
+		release()
+		if next.IsNil() {
+			return nil
+		}
+		f, nd, err := t.load(next)
+		if err != nil {
+			return err
+		}
+		fr, n = f, nd
+		return nil
+	}
+
+	for _, oi := range order {
+		p := prefixes[oi]
+		// A key matching p compares ≥ p, so matches can hide behind the
+		// cursor only when p ≤ passed (duplicate or overlapping
+		// prefixes whose earlier matches advanced the cursor past a
+		// leaf). Everything else is at or ahead of the current leaf.
+		if fr != nil && passed != nil && bytes.Compare(p, passed) <= 0 {
+			if err := descend(p); err != nil {
+				return err
+			}
+		}
+		// Hop forward while this leaf cannot contain a key ≥ p; bail
+		// into a root descent if the probe is far away.
+		for hops := 0; fr != nil; hops++ {
+			if len(n.keys) > 0 && bytes.Compare(n.keys[len(n.keys)-1], p) >= 0 {
+				break
+			}
+			if n.next.IsNil() {
+				break // off the end of the chain: no match for p
+			}
+			if hops >= maxBatchHops {
+				if err := descend(p); err != nil {
+					return err
+				}
+				break
+			}
+			if err := advance(); err != nil {
+				return err
+			}
+		}
+		if fr == nil {
+			if err := descend(p); err != nil {
+				return err
+			}
+		}
+
+		// Emit matches, following the leaf chain while the prefix
+		// holds (matches may span leaves; deletion leaves empty leaves
+		// in the chain). The cursor ends on the leaf holding the first
+		// key past the matches — where the next sorted probe starts.
+		done := false
+		for !done && fr != nil {
+			pos, _ := findKey(n.keys, p)
+			for ; pos < len(n.keys); pos++ {
+				if !bytes.HasPrefix(n.keys[pos], p) {
+					done = true
+					break
+				}
+				if !fn(oi, append([]byte(nil), n.keys[pos]...), append([]byte(nil), n.vals[pos]...)) {
+					return nil
+				}
+			}
+			if done {
+				break
+			}
+			if err := advance(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

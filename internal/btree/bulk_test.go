@@ -3,6 +3,7 @@ package btree
 import (
 	"bytes"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"asr/internal/storage"
@@ -121,5 +122,73 @@ func TestBulkLoadPageEfficiency(t *testing.T) {
 	if bulkP.Stats().LogicalAccesses >= incrP.Stats().LogicalAccesses {
 		t.Errorf("bulk logical accesses %d not below incremental %d",
 			bulkP.Stats().LogicalAccesses, incrP.Stats().LogicalAccesses)
+	}
+}
+
+// TestBulkLoadEqualsInsertRandomRows is the property test over random
+// (not sequential) row sets: sorting a random batch and BulkLoading it
+// must produce exactly the tree contents, entry order, count, and
+// height invariants of inserting the same rows one at a time in random
+// order.
+func TestBulkLoadEqualsInsertRandomRows(t *testing.T) {
+	for _, seed := range []int64{3, 17, 271} {
+		rng := rand.New(rand.NewSource(seed))
+		n := 500 + rng.Intn(5000)
+		rows := map[string][]byte{}
+		for len(rows) < n {
+			k := make([]byte, 3+rng.Intn(18))
+			rng.Read(k)
+			v := make([]byte, rng.Intn(12))
+			rng.Read(v)
+			rows[string(k)] = v
+		}
+		entries := make([]KV, 0, n)
+		inserted := make([]KV, 0, n)
+		for k, v := range rows {
+			kv := KV{Key: []byte(k), Val: v}
+			entries = append(entries, kv)
+			inserted = append(inserted, kv)
+		}
+		sort.Slice(entries, func(i, j int) bool { return bytes.Compare(entries[i].Key, entries[j].Key) < 0 })
+		rng.Shuffle(len(inserted), func(i, j int) { inserted[i], inserted[j] = inserted[j], inserted[i] })
+
+		bulk, err := BulkLoad(bulkPool(512), "bulk", entries)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		incr, err := New(bulkPool(512), "incr")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range inserted {
+			if _, err := incr.Insert(e.Key, e.Val); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+		if bulk.Len() != incr.Len() || bulk.Len() != n {
+			t.Fatalf("seed %d: Len bulk=%d incr=%d want %d", seed, bulk.Len(), incr.Len(), n)
+		}
+		if err := bulk.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: bulk: %v", seed, err)
+		}
+		if err := incr.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: incr: %v", seed, err)
+		}
+		// A bulk-loaded tree is at least as shallow as the incrementally
+		// grown one — it packs pages tighter.
+		if bulk.Height() > incr.Height() {
+			t.Errorf("seed %d: bulk height %d exceeds incremental %d", seed, bulk.Height(), incr.Height())
+		}
+		var got, want [][2][]byte
+		bulk.Scan(func(k, v []byte) bool { got = append(got, [2][]byte{k, v}); return true })
+		incr.Scan(func(k, v []byte) bool { want = append(want, [2][]byte{k, v}); return true })
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d vs %d scanned entries", seed, len(got), len(want))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i][0], want[i][0]) || !bytes.Equal(got[i][1], want[i][1]) {
+				t.Fatalf("seed %d: entry %d diverges", seed, i)
+			}
+		}
 	}
 }

@@ -3,6 +3,7 @@ package gom
 import (
 	"fmt"
 	"strconv"
+	"unicode/utf8"
 )
 
 // Value is the interface satisfied by everything that may be stored in an
@@ -148,4 +149,35 @@ func ValueString(v Value) string {
 		return "NULL"
 	}
 	return v.String()
+}
+
+// AppendValueString appends ValueString(v) to dst and returns the
+// extended slice — the allocation-free form used by hot paths (tuple
+// hash keys in joins) that would otherwise build one string per value
+// per row. The rendering is byte-identical to ValueString.
+func AppendValueString(dst []byte, v Value) []byte {
+	switch w := v.(type) {
+	case nil:
+		return append(dst, "NULL"...)
+	case String:
+		return strconv.AppendQuote(dst, string(w))
+	case Integer:
+		return strconv.AppendInt(dst, int64(w), 10)
+	case Decimal:
+		return strconv.AppendFloat(dst, float64(w), 'g', -1, 64)
+	case Bool:
+		return strconv.AppendBool(dst, bool(w))
+	case Char:
+		dst = append(dst, '\'')
+		dst = utf8.AppendRune(dst, rune(w))
+		return append(dst, '\'')
+	case Ref:
+		if OID(w) == NilOID {
+			return append(dst, "NULL"...)
+		}
+		dst = append(dst, 'i')
+		return strconv.AppendUint(dst, uint64(w), 10)
+	default:
+		return append(dst, ValueString(v)...)
+	}
 }

@@ -454,13 +454,6 @@ func chunkBounds(n, parts, w int) (int, int) {
 	return lo, hi
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // evalPath traverses a resolved path from one object, returning all
 // reachable final values (objects or atomic values). Each frontier
 // object fetched from the object base counts one read into reads — the

@@ -2,6 +2,8 @@ package relation
 
 import (
 	"fmt"
+
+	"asr/internal/gom"
 )
 
 // JoinKind selects one of the four join operators of §3: the natural
@@ -46,48 +48,68 @@ func Join(kind JoinKind, name string, l, r *Relation) (*Relation, error) {
 	}
 	cols := append(l.Columns(), r.Columns()[1:]...)
 	out := New(name, cols...)
+	out.rows = make(map[string]Tuple, l.Cardinality())
 
-	// Hash r by its first column.
-	index := make(map[string][]Tuple, r.Cardinality())
-	for _, rt := range r.Tuples() {
+	// Hash r by its first column. Tuples are tracked by position, and
+	// hash keys go through one reused scratch buffer with the
+	// map[string(scratch)] lookup fast path, so the probe side of the
+	// join allocates nothing per row.
+	rts := r.Tuples()
+	index := make(map[string][]int, len(rts))
+	var scratch []byte
+	for i, rt := range rts {
 		if rt[0] == nil {
 			continue // NULL never matches
 		}
-		k := rt[0].String()
-		index[k] = append(index[k], rt)
+		scratch = gom.AppendValueString(scratch[:0], rt[0])
+		if is, ok := index[string(scratch)]; ok {
+			index[string(scratch)] = append(is, i)
+		} else {
+			index[string(scratch)] = []int{i}
+		}
 	}
-	matchedRight := make(map[string]bool)
+	matchedRight := make([]bool, len(rts))
+
+	// insert applies set semantics; the key string is only materialized
+	// for rows not already present.
+	insert := func(row Tuple) {
+		scratch = row.AppendKey(scratch[:0])
+		if _, ok := out.rows[string(scratch)]; !ok {
+			out.rows[string(scratch)] = row
+		}
+	}
 
 	for _, lt := range l.Tuples() {
-		var matches []Tuple
+		var matches []int
 		if last := lt[len(lt)-1]; last != nil {
-			matches = index[last.String()]
+			scratch = gom.AppendValueString(scratch[:0], last)
+			matches = index[string(scratch)]
 		}
 		if len(matches) == 0 {
 			if kind == FullOuterJoin || kind == LeftOuterJoin {
 				row := make(Tuple, len(cols))
 				copy(row, lt)
-				out.rows[row.Key()] = row
+				insert(row)
 			}
 			continue
 		}
-		for _, rt := range matches {
+		for _, ri := range matches {
 			row := make(Tuple, 0, len(cols))
 			row = append(row, lt...)
-			row = append(row, rt[1:]...)
-			out.rows[row.Key()] = row
-			matchedRight[rt.Key()] = true
+			row = append(row, rts[ri][1:]...)
+			insert(row)
+			matchedRight[ri] = true
 		}
 	}
 
 	if kind == FullOuterJoin || kind == RightOuterJoin {
-		for _, rt := range r.Tuples() {
-			if matchedRight[rt.Key()] {
+		for ri, rt := range rts {
+			if matchedRight[ri] {
 				continue
 			}
 			row := make(Tuple, len(cols))
 			copy(row[l.Arity()-1:], rt)
-			out.rows[row.Key()] = row
+			insert(row)
 		}
 	}
 	return out, nil

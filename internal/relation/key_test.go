@@ -1,0 +1,59 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+
+	"asr/internal/gom"
+)
+
+// randomValue draws from every value kind, including NULL, the nil
+// reference, and strings needing quote-escaping.
+func randomValue(rng *rand.Rand) gom.Value {
+	switch rng.Intn(8) {
+	case 0:
+		return nil
+	case 1:
+		return gom.Ref(gom.NilOID)
+	case 2:
+		return gom.Ref(gom.OID(rng.Uint64() % 1e6))
+	case 3:
+		s := []string{"Door", "a\"b\\c", "NULL", "", "päth\n"}[rng.Intn(5)]
+		return gom.String(s)
+	case 4:
+		return gom.Integer(rng.Int63() - rng.Int63())
+	case 5:
+		return gom.Decimal(rng.NormFloat64() * 1e3)
+	case 6:
+		return gom.Bool(rng.Intn(2) == 0)
+	default:
+		return gom.Char([]rune{'a', 'Ω', '\x00', '⨝'}[rng.Intn(4)])
+	}
+}
+
+// The append forms must render byte-identically to the string forms —
+// stored tree keys and map keys built either way have to collide.
+func TestAppendValueStringMatchesValueString(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 2000; i++ {
+		v := randomValue(rng)
+		if got, want := string(gom.AppendValueString(nil, v)), gom.ValueString(v); got != want {
+			t.Fatalf("AppendValueString(%#v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestAppendKeyMatchesKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	scratch := make([]byte, 0, 64)
+	for i := 0; i < 500; i++ {
+		tup := make(Tuple, 1+rng.Intn(6))
+		for c := range tup {
+			tup[c] = randomValue(rng)
+		}
+		scratch = tup.AppendKey(scratch[:0])
+		if string(scratch) != tup.Key() {
+			t.Fatalf("AppendKey(%v) = %q, Key = %q", tup, scratch, tup.Key())
+		}
+	}
+}

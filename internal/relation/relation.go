@@ -20,14 +20,21 @@ type Tuple []gom.Value
 
 // Key returns a canonical string key for set semantics and sorting.
 func (t Tuple) Key() string {
-	var b strings.Builder
+	return string(t.AppendKey(nil))
+}
+
+// AppendKey appends the canonical key to dst and returns the extended
+// slice — the scratch-buffer form for hot paths (joins, set inserts)
+// that key maps via the compiler's map[string(…)] fast path instead of
+// materializing one string per row. Byte-identical to Key.
+func (t Tuple) AppendKey(dst []byte) []byte {
 	for i, v := range t {
 		if i > 0 {
-			b.WriteByte('\x00')
+			dst = append(dst, '\x00')
 		}
-		b.WriteString(gom.ValueString(v))
+		dst = gom.AppendValueString(dst, v)
 	}
-	return b.String()
+	return dst
 }
 
 // Equal reports column-wise equality (NULL equals NULL).

@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,6 +51,17 @@ type BufferStats struct {
 	Pins            uint64
 }
 
+// add accumulates other into s (used to aggregate per-shard stats).
+func (s *BufferStats) add(o BufferStats) {
+	s.LogicalAccesses += o.LogicalAccesses
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.WriteBacks += o.WriteBacks
+	s.WriteBackErrors += o.WriteBackErrors
+	s.Pins += o.Pins
+}
+
 type frame struct {
 	id      PageID
 	data    []byte
@@ -79,34 +92,59 @@ func (fr *Frame) Data() []byte { return fr.f.data }
 // MarkDirty records that the page must be written back on eviction or
 // flush. Safe for concurrent use.
 func (fr *Frame) MarkDirty() {
-	fr.pool.mu.Lock()
+	s := fr.pool.shardOf(fr.f.id)
+	s.mu.Lock()
 	fr.f.dirty = true
-	fr.pool.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // Unpin releases the caller's pin. Safe for concurrent use.
-func (fr *Frame) Unpin() { fr.pool.unpin(fr.f) }
+func (fr *Frame) Unpin() {
+	s := fr.pool.shardOf(fr.f.id)
+	s.mu.Lock()
+	if fr.f.pins > 0 {
+		fr.f.pins--
+	}
+	s.mu.Unlock()
+}
 
-// BufferPool caches disk pages with pin/unpin semantics and a pluggable
-// replacement policy. A capacity of 0 means unbounded (every page stays
-// resident; physical reads then count each page once).
-//
-// A BufferPool is safe for concurrent use: the frame table, replacement
-// structures and pin counts are guarded by one mutex, and the activity
-// counters are atomics, so Stats never blocks page traffic. The
-// measurement helpers ResetStats and DropClean change global state and
-// are meant for single-threaded experiment harnesses, not for use while
-// other goroutines hold pins.
-type BufferPool struct {
+// shard is one lock stripe of the pool: its own frame table, replacement
+// structures and capacity slice, guarded by one mutex. Pages are
+// distributed over shards by a page-id hash, so pins of unrelated pages
+// — parallel query workers descending different subtrees, a concurrent
+// index build — proceed without contending on a single pool mutex.
+type shard struct {
+	pool     *BufferPool
 	mu       sync.Mutex
-	dev      Device
-	capacity int
-	policy   ReplacementPolicy
+	capacity int // frames this shard may hold; 0 = unbounded
 	frames   map[PageID]*frame
 	queue    *list.List // LRU order (front = coldest) or FIFO arrival order
 	clock    []*frame   // Clock policy ring
 	hand     int
-	undo     *UndoTxn // active undo transaction, nil outside maintenance
+	stats    BufferStats // per-shard counters, guarded by mu
+}
+
+// BufferPool caches disk pages with pin/unpin semantics and a pluggable
+// replacement policy, striped over N independently locked shards (page-
+// id hash). A capacity of 0 means unbounded (every page stays resident;
+// physical reads then count each page once); a positive capacity is
+// divided across the shards, each running its own eviction list, so
+// global replacement order is approximate — per-shard exact.
+//
+// A BufferPool is safe for concurrent use: each shard's frame table,
+// replacement structures and pin counts are guarded by that shard's
+// mutex, and the pool-wide activity counters are atomics, so Stats never
+// blocks page traffic. The measurement helpers ResetStats and DropClean
+// change global state and are meant for single-threaded experiment
+// harnesses, not for use while other goroutines hold pins.
+type BufferPool struct {
+	dev      Device
+	capacity int
+	policy   ReplacementPolicy
+	shards   []*shard
+	shift    uint // 64 - log2(len(shards)), for the Fibonacci hash
+
+	undo atomic.Pointer[UndoTxn] // active undo transaction, nil outside maintenance
 
 	nLogical       atomic.Uint64
 	nHits          atomic.Uint64
@@ -117,23 +155,110 @@ type BufferPool struct {
 	nPins          atomic.Uint64
 }
 
+// maxShards caps the automatic stripe count; minShardFrames is the
+// smallest per-shard capacity automatic sharding will accept — below
+// it, striping a bounded pool would distort eviction behaviour more
+// than the saved contention is worth, so small pools stay single-shard
+// (and keep the exact replacement semantics the eviction tests assert).
+const (
+	maxShards      = 16
+	minShardFrames = 8
+)
+
+// autoShards picks the stripe count for NewBufferPool: the next power of
+// two ≥ GOMAXPROCS, capped at maxShards, and reduced until every shard
+// of a bounded pool holds at least minShardFrames frames.
+func autoShards(capacity int) int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	n = 1 << bits.Len(uint(n-1)) // next power of two (1 → 1)
+	if n > maxShards {
+		n = maxShards
+	}
+	if capacity > 0 {
+		for n > 1 && capacity/n < minShardFrames {
+			n >>= 1
+		}
+	}
+	return n
+}
+
 // NewBufferPool creates a pool over a page device with the given frame
-// capacity and policy.
+// capacity and policy. The shard count is chosen automatically (one
+// stripe per core up to 16, single-shard for small bounded pools); use
+// NewBufferPoolShards to fix it.
 func NewBufferPool(dev Device, capacity int, policy ReplacementPolicy) *BufferPool {
-	return &BufferPool{
+	return NewBufferPoolShards(dev, capacity, policy, 0)
+}
+
+// NewBufferPoolShards creates a pool with an explicit shard count
+// (rounded up to a power of two, capped at the capacity when bounded;
+// ≤ 0 selects automatically).
+func NewBufferPoolShards(dev Device, capacity int, policy ReplacementPolicy, shards int) *BufferPool {
+	if shards <= 0 {
+		shards = autoShards(capacity)
+	}
+	if capacity > 0 && shards > capacity {
+		shards = capacity
+	}
+	shards = 1 << bits.Len(uint(shards-1)) // power of two for the hash
+	b := &BufferPool{
 		dev:      dev,
 		capacity: capacity,
 		policy:   policy,
-		frames:   make(map[PageID]*frame),
-		queue:    list.New(),
+		shards:   make([]*shard, shards),
+		shift:    uint(64 - bits.TrailingZeros(uint(shards))),
 	}
+	if shards == 1 {
+		b.shift = 64
+	}
+	base, rem := 0, 0
+	if capacity > 0 {
+		base, rem = capacity/shards, capacity%shards
+	}
+	for i := range b.shards {
+		cap := 0
+		if capacity > 0 {
+			cap = base
+			if i < rem {
+				cap++
+			}
+		}
+		b.shards[i] = &shard{
+			pool:     b,
+			capacity: cap,
+			frames:   make(map[PageID]*frame),
+			queue:    list.New(),
+		}
+	}
+	return b
+}
+
+// shardOf maps a page id to its stripe by Fibonacci hashing — page ids
+// are sequential, so plain modulo would stripe adjacent pages of one
+// tree level perfectly but correlate with allocation patterns; the
+// multiplicative hash spreads any id distribution evenly.
+func (b *BufferPool) shardOf(id PageID) *shard {
+	if len(b.shards) == 1 {
+		return b.shards[0]
+	}
+	return b.shards[(uint64(id)*0x9E3779B97F4A7C15)>>b.shift]
 }
 
 // Disk returns the underlying page device.
 func (b *BufferPool) Disk() Device { return b.dev }
 
-// Stats returns a snapshot of the counters. Safe for concurrent use;
-// the snapshot is internally consistent only when the pool is quiescent.
+// NumShards returns the number of lock stripes.
+func (b *BufferPool) NumShards() int { return len(b.shards) }
+
+// Stats returns a snapshot of the pool-wide counters. Safe for
+// concurrent use; the snapshot is internally consistent only when the
+// pool is quiescent.
 func (b *BufferPool) Stats() BufferStats {
 	return BufferStats{
 		LogicalAccesses: b.nLogical.Load(),
@@ -146,6 +271,18 @@ func (b *BufferPool) Stats() BufferStats {
 	}
 }
 
+// ShardStats returns one counter snapshot per shard, in stripe order.
+// The per-shard counters sum to Stats() when the pool is quiescent.
+func (b *BufferPool) ShardStats() []BufferStats {
+	out := make([]BufferStats, len(b.shards))
+	for i, s := range b.shards {
+		s.mu.Lock()
+		out[i] = s.stats
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // ResetStats zeroes the counters (resident pages stay resident).
 func (b *BufferPool) ResetStats() {
 	b.nLogical.Store(0)
@@ -155,37 +292,60 @@ func (b *BufferPool) ResetStats() {
 	b.nWriteBacks.Store(0)
 	b.nWriteBackErrs.Store(0)
 	b.nPins.Store(0)
+	for _, s := range b.shards {
+		s.mu.Lock()
+		s.stats = BufferStats{}
+		s.mu.Unlock()
+	}
 }
 
 // Resident returns the number of buffered pages.
 func (b *BufferPool) Resident() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return len(b.frames)
+	n := 0
+	for _, s := range b.shards {
+		s.mu.Lock()
+		n += len(s.frames)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// capture records the page's pre-image into the active undo
+// transaction, if any. Called with the owning shard's mutex held,
+// before the frame is returned to the caller.
+func (b *BufferPool) capture(f *frame) {
+	if t := b.undo.Load(); t != nil {
+		t.capture(f.id, f.data)
+	}
 }
 
 // Get pins the page into the pool, fetching it from disk on a miss.
 func (b *BufferPool) Get(id PageID) (*Frame, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	s := b.shardOf(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	b.nLogical.Add(1)
-	if f, ok := b.frames[id]; ok {
+	s.stats.LogicalAccesses++
+	if f, ok := s.frames[id]; ok {
 		b.nHits.Add(1)
+		s.stats.Hits++
 		telPoolHits.Inc()
 		b.nPins.Add(1)
+		s.stats.Pins++
 		telPoolPins.Inc()
 		f.pins++
 		f.refBit = true
 		if b.policy == LRU && f.lruElem != nil {
-			b.queue.MoveToBack(f.lruElem)
+			s.queue.MoveToBack(f.lruElem)
 		}
-		b.captureLocked(f)
+		b.capture(f)
 		return &Frame{pool: b, f: f}, nil
 	}
 	b.nMisses.Add(1)
+	s.stats.Misses++
 	telPoolMisses.Inc()
-	if b.capacity > 0 && len(b.frames) >= b.capacity {
-		if err := b.evictOne(); err != nil {
+	if s.capacity > 0 && len(s.frames) >= s.capacity {
+		if err := s.evictOne(); err != nil {
 			return nil, err
 		}
 	}
@@ -195,60 +355,59 @@ func (b *BufferPool) Get(id PageID) (*Frame, error) {
 		return nil, err
 	}
 	telPoolReadSeconds.Observe(time.Since(readStart).Seconds())
-	b.captureLocked(f)
+	b.capture(f)
 	b.nPins.Add(1)
+	s.stats.Pins++
 	telPoolPins.Inc()
-	b.frames[id] = f
-	switch b.policy {
-	case LRU, FIFO:
-		f.lruElem = b.queue.PushBack(f)
-	case Clock:
-		b.clock = append(b.clock, f)
-	}
+	s.frames[id] = f
+	s.admit(f)
 	return &Frame{pool: b, f: f}, nil
 }
 
 // GetNew allocates a fresh page on disk and pins it without a read. The
 // initial fetch is still one logical access (the page must be formatted).
 func (b *BufferPool) GetNew() (*Frame, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	id := b.dev.Allocate()
+	s := b.shardOf(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	b.nLogical.Add(1)
+	s.stats.LogicalAccesses++
 	b.nMisses.Add(1)
+	s.stats.Misses++
 	telPoolMisses.Inc()
-	if b.capacity > 0 && len(b.frames) >= b.capacity {
-		if err := b.evictOne(); err != nil {
+	if s.capacity > 0 && len(s.frames) >= s.capacity {
+		if err := s.evictOne(); err != nil {
 			return nil, err
 		}
 	}
 	f := &frame{id: id, data: make([]byte, b.dev.PageSize()), pins: 1, dirty: true, refBit: true}
-	if b.undo != nil {
-		b.undo.fresh[id] = true
+	if t := b.undo.Load(); t != nil {
+		t.addFresh(id)
 	}
 	b.nPins.Add(1)
+	s.stats.Pins++
 	telPoolPins.Inc()
-	b.frames[id] = f
-	switch b.policy {
-	case LRU, FIFO:
-		f.lruElem = b.queue.PushBack(f)
-	case Clock:
-		b.clock = append(b.clock, f)
-	}
+	s.frames[id] = f
+	s.admit(f)
 	return &Frame{pool: b, f: f}, nil
 }
 
-func (b *BufferPool) unpin(f *frame) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if f.pins > 0 {
-		f.pins--
+// admit enrolls a new frame in the shard's replacement structure; must
+// be called with s.mu held.
+func (s *shard) admit(f *frame) {
+	switch s.pool.policy {
+	case LRU, FIFO:
+		f.lruElem = s.queue.PushBack(f)
+	case Clock:
+		s.clock = append(s.clock, f)
 	}
 }
 
-// evictOne must be called with b.mu held.
-func (b *BufferPool) evictOne() error {
-	victim, err := b.pickVictim()
+// evictOne must be called with s.mu held.
+func (s *shard) evictOne() error {
+	b := s.pool
+	victim, err := s.pickVictim()
 	if err != nil {
 		return err
 	}
@@ -257,23 +416,26 @@ func (b *BufferPool) evictOne() error {
 			// The victim stays resident and dirty — nothing is lost, the
 			// caller sees the device error and the counter records it.
 			b.nWriteBackErrs.Add(1)
+			s.stats.WriteBackErrors++
 			telPoolWriteBackErrs.Inc()
 			return fmt.Errorf("storage: write-back of %v failed: %w", victim.id, err)
 		}
 		b.nWriteBacks.Add(1)
+		s.stats.WriteBacks++
 		telPoolWriteBacks.Inc()
 	}
-	b.dropFrame(victim)
+	s.dropFrame(victim)
 	b.nEvictions.Add(1)
+	s.stats.Evictions++
 	telPoolEvictions.Inc()
 	return nil
 }
 
-// pickVictim must be called with b.mu held.
-func (b *BufferPool) pickVictim() (*frame, error) {
-	switch b.policy {
+// pickVictim must be called with s.mu held.
+func (s *shard) pickVictim() (*frame, error) {
+	switch s.pool.policy {
 	case LRU, FIFO:
-		for e := b.queue.Front(); e != nil; e = e.Next() {
+		for e := s.queue.Front(); e != nil; e = e.Next() {
 			f := e.Value.(*frame)
 			if f.pins == 0 {
 				return f, nil
@@ -281,12 +443,12 @@ func (b *BufferPool) pickVictim() (*frame, error) {
 		}
 	case Clock:
 		// Two sweeps: clear reference bits on the first pass.
-		for sweep := 0; sweep < 2*len(b.clock); sweep++ {
-			if len(b.clock) == 0 {
+		for sweep := 0; sweep < 2*len(s.clock); sweep++ {
+			if len(s.clock) == 0 {
 				break
 			}
-			f := b.clock[b.hand%len(b.clock)]
-			b.hand = (b.hand + 1) % len(b.clock)
+			f := s.clock[s.hand%len(s.clock)]
+			s.hand = (s.hand + 1) % len(s.clock)
 			if f.pins > 0 {
 				continue
 			}
@@ -297,21 +459,21 @@ func (b *BufferPool) pickVictim() (*frame, error) {
 			return f, nil
 		}
 	}
-	return nil, fmt.Errorf("storage: buffer pool exhausted: all %d frames pinned", len(b.frames))
+	return nil, fmt.Errorf("storage: buffer pool shard exhausted: all %d frames pinned", len(s.frames))
 }
 
-// dropFrame must be called with b.mu held.
-func (b *BufferPool) dropFrame(f *frame) {
-	delete(b.frames, f.id)
+// dropFrame must be called with s.mu held.
+func (s *shard) dropFrame(f *frame) {
+	delete(s.frames, f.id)
 	if f.lruElem != nil {
-		b.queue.Remove(f.lruElem)
+		s.queue.Remove(f.lruElem)
 		f.lruElem = nil
 	}
-	for i, cf := range b.clock {
+	for i, cf := range s.clock {
 		if cf == f {
-			b.clock = append(b.clock[:i], b.clock[i+1:]...)
-			if b.hand > i {
-				b.hand--
+			s.clock = append(s.clock[:i], s.clock[i+1:]...)
+			if s.hand > i {
+				s.hand--
 			}
 			break
 		}
@@ -322,45 +484,56 @@ func (b *BufferPool) dropFrame(f *frame) {
 // when the page is being freed. Discarding a pinned page is an error;
 // a non-resident page is a no-op.
 func (b *BufferPool) Discard(id PageID) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	f, ok := b.frames[id]
+	s := b.shardOf(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.frames[id]
 	if !ok {
 		return nil
 	}
 	if f.pins > 0 {
 		return fmt.Errorf("storage: Discard(%v): page pinned", id)
 	}
-	b.dropFrame(f)
+	s.dropFrame(f)
 	return nil
 }
 
 // FlushAll writes every dirty resident page back to disk; pages remain
 // resident.
 func (b *BufferPool) FlushAll() error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.flushAllLocked()
+	var errs []error
+	for _, s := range b.shards {
+		s.mu.Lock()
+		err := s.flushLocked()
+		s.mu.Unlock()
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
 }
 
-// flushAllLocked must be called with b.mu held. Every dirty frame is
+// flushLocked must be called with s.mu held. Every dirty frame is
 // attempted: a failed write-back leaves its frame dirty (so the data is
 // retried on the next flush or eviction) and does not stop the
 // remaining frames from flushing; all failures are joined and counted.
-func (b *BufferPool) flushAllLocked() error {
+func (s *shard) flushLocked() error {
+	b := s.pool
 	var errs []error
-	for _, f := range b.frames {
+	for _, f := range s.frames {
 		if !f.dirty {
 			continue
 		}
 		if err := b.dev.Write(f.id, f.data); err != nil {
 			b.nWriteBackErrs.Add(1)
+			s.stats.WriteBackErrors++
 			telPoolWriteBackErrs.Inc()
 			errs = append(errs, fmt.Errorf("storage: flush of %v failed: %w", f.id, err))
 			continue
 		}
 		f.dirty = false
 		b.nWriteBacks.Add(1)
+		s.stats.WriteBacks++
 		telPoolWriteBacks.Inc()
 	}
 	return errors.Join(errs...)
@@ -369,19 +542,23 @@ func (b *BufferPool) flushAllLocked() error {
 // DropClean empties the pool after flushing, simulating a cold cache for
 // a fresh measurement run.
 func (b *BufferPool) DropClean() error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if err := b.flushAllLocked(); err != nil {
-		return err
-	}
-	for _, f := range b.frames {
-		if f.pins > 0 {
-			return fmt.Errorf("storage: DropClean: page %v still pinned", f.id)
+	for _, s := range b.shards {
+		s.mu.Lock()
+		if err := s.flushLocked(); err != nil {
+			s.mu.Unlock()
+			return err
 		}
+		for _, f := range s.frames {
+			if f.pins > 0 {
+				s.mu.Unlock()
+				return fmt.Errorf("storage: DropClean: page %v still pinned", f.id)
+			}
+		}
+		s.frames = make(map[PageID]*frame)
+		s.queue.Init()
+		s.clock = nil
+		s.hand = 0
+		s.mu.Unlock()
 	}
-	b.frames = make(map[PageID]*frame)
-	b.queue.Init()
-	b.clock = nil
-	b.hand = 0
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // UndoTxn makes a span of page mutations atomic at the storage level.
@@ -24,9 +25,14 @@ import (
 // Get/GetNew while the transaction is active (true for all B⁺-tree and
 // segment mutators); and concurrent readers may pin pages freely — an
 // unchanged captured page is left untouched by Rollback, so reader-
-// pinned pages are never written under a reader.
+// pinned pages are never written under a reader. With the sharded pool,
+// Rollback restores pages shard by shard; callers mutating shared
+// structures (B⁺-tree pages of a shared partition) must hold those
+// structures' write locks across Rollback so concurrent readers never
+// observe the restore mid-flight — the same contract as before.
 type UndoTxn struct {
 	pool  *BufferPool
+	mu    sync.Mutex        // guards pre, fresh, done (captures may race across shards)
 	pre   map[PageID][]byte // first-pin pre-images
 	fresh map[PageID]bool   // pages allocated during the txn
 	done  bool
@@ -35,39 +41,49 @@ type UndoTxn struct {
 // BeginUndo starts an undo transaction; it fails when one is already
 // active.
 func (b *BufferPool) BeginUndo() (*UndoTxn, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.undo != nil {
+	t := &UndoTxn{pool: b, pre: map[PageID][]byte{}, fresh: map[PageID]bool{}}
+	if !b.undo.CompareAndSwap(nil, t) {
 		return nil, fmt.Errorf("storage: an undo transaction is already active")
 	}
-	t := &UndoTxn{pool: b, pre: map[PageID][]byte{}, fresh: map[PageID]bool{}}
-	b.undo = t
 	return t, nil
 }
 
-// captureLocked records the frame's pre-image if an undo transaction is
-// active and the page has not been captured yet; must be called with
-// b.mu held, before the frame is returned to the caller.
-func (b *BufferPool) captureLocked(f *frame) {
-	t := b.undo
-	if t == nil || t.fresh[f.id] {
+// capture records the page's pre-image if it has not been captured yet.
+// Called by the pool on every pin while the transaction is active; may
+// be invoked from any shard concurrently, hence the internal mutex. A
+// capture arriving after the transaction finished (a reader that loaded
+// the pointer just before Commit/Rollback cleared it) is a no-op.
+func (t *UndoTxn) capture(id PageID, data []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done || t.fresh[id] {
 		return
 	}
-	if _, ok := t.pre[f.id]; ok {
+	if _, ok := t.pre[id]; ok {
 		return
 	}
-	t.pre[f.id] = append([]byte(nil), f.data...)
+	t.pre[id] = append([]byte(nil), data...)
+}
+
+// addFresh records a page allocated during the transaction.
+func (t *UndoTxn) addFresh(id PageID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.done {
+		t.fresh[id] = true
+	}
 }
 
 // Commit ends the transaction keeping all mutations.
 func (t *UndoTxn) Commit() {
-	b := t.pool
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if !t.done {
-		t.done = true
-		b.undo = nil
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return
 	}
+	t.done = true
+	t.mu.Unlock()
+	t.pool.undo.CompareAndSwap(t, nil)
 }
 
 // Rollback ends the transaction restoring every captured page to its
@@ -76,49 +92,55 @@ func (t *UndoTxn) Commit() {
 // partition) must hold those structures' write locks across Rollback so
 // concurrent readers never observe the restore mid-flight.
 func (t *UndoTxn) Rollback() error {
-	b := t.pool
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	t.mu.Lock()
 	if t.done {
+		t.mu.Unlock()
 		return fmt.Errorf("storage: undo transaction already finished")
 	}
 	t.done = true
-	b.undo = nil
+	pre, fresh := t.pre, t.fresh
+	t.mu.Unlock()
+	b := t.pool
+	b.undo.CompareAndSwap(t, nil)
+
 	var errs []error
-	for id := range t.fresh {
-		if f, ok := b.frames[id]; ok {
+	for id := range fresh {
+		s := b.shardOf(id)
+		s.mu.Lock()
+		if f, ok := s.frames[id]; ok {
 			if f.pins > 0 {
+				s.mu.Unlock()
 				errs = append(errs, fmt.Errorf("storage: rollback: fresh page %v still pinned", id))
 				continue
 			}
-			b.dropFrame(f)
+			s.dropFrame(f)
 		}
+		s.mu.Unlock()
 		if err := b.dev.Free(id); err != nil {
 			errs = append(errs, err)
 		}
 	}
-	for id, pre := range t.pre {
-		if f, ok := b.frames[id]; ok {
+	for id, pre := range pre {
+		s := b.shardOf(id)
+		s.mu.Lock()
+		if f, ok := s.frames[id]; ok {
 			// Unchanged pages (captured by concurrent reader pins) are left
 			// alone, so their bytes are never written under a reader.
 			if !bytes.Equal(f.data, pre) {
 				copy(f.data, pre)
 				f.dirty = true
 			}
+			s.mu.Unlock()
 			continue
 		}
 		// The page was evicted — possibly with its post-image written back.
 		// Reinstate the pre-image as a resident dirty frame; it reaches the
-		// device on a later write-back. The pool may transiently exceed its
+		// device on a later write-back. The shard may transiently exceed its
 		// capacity here, which the next eviction corrects.
 		nf := &frame{id: id, data: append([]byte(nil), pre...), dirty: true, refBit: true}
-		b.frames[id] = nf
-		switch b.policy {
-		case LRU, FIFO:
-			nf.lruElem = b.queue.PushBack(nf)
-		case Clock:
-			b.clock = append(b.clock, nf)
-		}
+		s.frames[id] = nf
+		s.admit(nf)
+		s.mu.Unlock()
 	}
 	return errors.Join(errs...)
 }
