@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-compare vet repro ci
+.PHONY: all build test race bench bench-smoke bench-compare vet repro ci crash-matrix
 
 all: build test
 
 # What CI runs (.github/workflows/ci.yml): build, vet, tests, race
-# suite, bench smoke.
-ci: build vet test race bench-smoke
+# suite, crash matrix, bench smoke.
+ci: build vet test race crash-matrix bench-smoke
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,14 @@ bench-compare:
 	else \
 		$(GO) run ./cmd/asrbench -snapshot BENCH_4.json; \
 	fi
+
+# Durability suite under the race detector: crash the page file and WAL
+# at every admitted physical write (storage level) and across the
+# managed-index mutation schedule (asr level), and fuzz the WAL record
+# codec briefly. Deterministic seeds — failures reproduce exactly.
+crash-matrix:
+	$(GO) test -race -count=1 -run 'Crash|Recover|SaveOpen|OpenFrom|Torn|WAL' ./internal/storage/ ./internal/asr/
+	$(GO) test -run=FuzzWALRecordDecode -fuzz=FuzzWALRecordDecode -fuzztime=10s ./internal/storage/
 
 vet:
 	$(GO) vet ./internal/telemetry/

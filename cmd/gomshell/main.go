@@ -40,6 +40,13 @@ type shell struct {
 	vars    map[string]gom.OID
 	pending strings.Builder // accumulated type declarations
 	out     *bufio.Writer
+
+	// Durable session state (\save / \open): when dbPath is non-empty
+	// the manager's pool is backed by a checksummed page file and WAL
+	// at dbPath+".pages" / dbPath+".pages.wal".
+	dbPath string
+	fdisk  *storage.FileDisk
+	wal    *storage.WAL
 }
 
 func main() {
@@ -80,9 +87,24 @@ func isTerminal() bool {
 }
 
 func (sh *shell) reset() {
+	sh.closeDurable()
 	sh.schema = gom.NewSchema()
 	sh.base = gom.NewObjectBase(sh.schema)
 	sh.manager = asr.NewManager(sh.base, storage.NewBufferPool(storage.NewDisk(0), 0, storage.LRU))
+}
+
+// closeDurable releases the file-backed storage of a \save / \open
+// session, returning the shell to in-memory semantics.
+func (sh *shell) closeDurable() {
+	if sh.wal != nil {
+		sh.wal.Close()
+		sh.wal = nil
+	}
+	if sh.fdisk != nil {
+		sh.fdisk.Close()
+		sh.fdisk = nil
+	}
+	sh.dbPath = ""
 }
 
 func (sh *shell) exec(line string) error {
@@ -111,6 +133,7 @@ func (sh *shell) exec(line string) error {
 		if sh.base.Count() > 0 {
 			return fmt.Errorf("declare all types before creating objects")
 		}
+		sh.closeDurable()
 		sh.schema = schema
 		sh.base = gom.NewObjectBase(schema)
 		sh.manager = asr.NewManager(sh.base, storage.NewBufferPool(storage.NewDisk(0), 0, storage.LRU))
@@ -144,6 +167,12 @@ func (sh *shell) exec(line string) error {
 		return sh.cmdSave(fields[1:])
 	case "load":
 		return sh.cmdLoad(fields[1:])
+	case `\save`:
+		return sh.cmdSaveBase(fields[1:])
+	case `\open`:
+		return sh.cmdOpenBase(fields[1:])
+	case `\checkpoint`:
+		return sh.cmdCheckpoint()
 	case `\metrics`:
 		_, err := telemetry.Default().WriteTo(sh.out)
 		return err
@@ -174,6 +203,12 @@ func (sh *shell) help() {
   \metrics                         dump the telemetry registry (Prometheus text)
   \pool                            buffer-pool shard layout and per-shard stats
   save FILE / load FILE            dump or restore the object base (JSON)
+  \save BASE                       persist the whole session durably: objects to
+                                   BASE.gom, index pages to BASE.pages (+ WAL),
+                                   index topology to BASE.manifest
+  \open BASE                       crash-recover BASE.pages via the WAL and
+                                   reopen the session (objects, indexes, vars)
+  \checkpoint                      flush dirty pages, sync, truncate the WAL
   quit
 `)
 }
@@ -326,18 +361,9 @@ func (sh *shell) cmdIndex(args []string) error {
 	if len(args) != 4 || args[2] != "on" {
 		return fmt.Errorf("usage: index EXT DEC on TYPE.A.B...")
 	}
-	var ext asr.Extension
-	switch args[0] {
-	case "can":
-		ext = asr.Canonical
-	case "full":
-		ext = asr.Full
-	case "left":
-		ext = asr.LeftComplete
-	case "right":
-		ext = asr.RightComplete
-	default:
-		return fmt.Errorf("extension %q, want can|full|left|right", args[0])
+	ext, err := asr.ParseExtension(args[0])
+	if err != nil {
+		return err
 	}
 	path, err := sh.resolvePathArg(args[3])
 	if err != nil {
@@ -535,6 +561,7 @@ func (sh *shell) cmdLoad(args []string) error {
 	if err != nil {
 		return err
 	}
+	sh.closeDurable()
 	sh.base = ob
 	sh.schema = ob.Schema()
 	sh.manager = asr.NewManager(ob, storage.NewBufferPool(storage.NewDisk(0), 0, storage.LRU))
@@ -546,5 +573,163 @@ func (sh *shell) cmdLoad(args []string) error {
 	}
 	sh.pending.Reset()
 	fmt.Fprintf(sh.out, "loaded %d objects from %s (re-declare indexes with 'index')\n", ob.Count(), args[0])
+	return nil
+}
+
+// cmdSaveBase persists the whole session durably under BASE: the object
+// base to BASE.gom, the index pages to a checksummed page file
+// BASE.pages with write-ahead log BASE.pages.wal, and the index
+// topology to BASE.manifest. A session not already backed by BASE is
+// migrated first: a fresh page file is created and every index is
+// rebuilt onto it, after which the session keeps running file-backed —
+// later maintenance is WAL-logged and survives a crash (see \open).
+func (sh *shell) cmdSaveBase(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf(`usage: \save BASE`)
+	}
+	base := args[0]
+	if sh.dbPath != base {
+		if err := sh.migrateTo(base); err != nil {
+			return err
+		}
+	}
+	if err := sh.manager.SaveTo(base + ".manifest"); err != nil {
+		return err
+	}
+	f, err := os.Create(base + ".gom")
+	if err != nil {
+		return err
+	}
+	if err := dump.Save(sh.base, f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(sh.out, "saved %d objects and %d indexes to %s.{gom,pages,manifest}\n",
+		sh.base.Count(), len(sh.manager.Indexes()), base)
+	return nil
+}
+
+// migrateTo moves the session onto a file-backed pool at base,
+// rebuilding every index there (same path, extension, decomposition).
+func (sh *shell) migrateTo(base string) error {
+	// \save overwrites: start the page file and its log from scratch.
+	os.Remove(base + ".pages")
+	os.Remove(base + ".pages.wal")
+	fd, err := storage.OpenFileDisk(base+".pages", 0)
+	if err != nil {
+		return err
+	}
+	wal, err := storage.OpenWAL(base + ".pages.wal")
+	if err != nil {
+		fd.Close()
+		return err
+	}
+	pool := storage.NewBufferPool(fd, 0, storage.LRU)
+	pool.AttachWAL(wal)
+	old := sh.manager
+	mgr := asr.NewManager(sh.base, pool)
+	for _, ix := range old.Indexes() {
+		if _, err := mgr.CreateIndex(ix.Path(), ix.Extension(), ix.Decomposition()); err != nil {
+			for _, nix := range mgr.Indexes() {
+				mgr.DropIndex(nix)
+			}
+			wal.Close()
+			fd.Close()
+			return err
+		}
+	}
+	for _, ix := range old.Indexes() {
+		if err := old.DropIndex(ix); err != nil {
+			return err
+		}
+	}
+	sh.closeDurable()
+	sh.manager = mgr
+	sh.dbPath, sh.fdisk, sh.wal = base, fd, wal
+	return nil
+}
+
+// cmdOpenBase reopens a session saved with \save: the page file is
+// crash-recovered through its WAL (committed maintenance transactions
+// are redone, incomplete ones discarded), the object base is loaded
+// from BASE.gom, and the indexes are reconstructed from BASE.manifest
+// without rebuilding their trees.
+func (sh *shell) cmdOpenBase(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf(`usage: \open BASE`)
+	}
+	base := args[0]
+	fd, wal, info, err := storage.Recover(base + ".pages")
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(base + ".gom")
+	if err != nil {
+		wal.Close()
+		fd.Close()
+		return err
+	}
+	ob, err := dump.Load(f)
+	f.Close()
+	if err != nil {
+		wal.Close()
+		fd.Close()
+		return err
+	}
+	pool := storage.NewBufferPool(fd, 0, storage.LRU)
+	pool.AttachWAL(wal)
+	mgr, err := asr.OpenFrom(ob, pool, base+".manifest")
+	if err != nil {
+		wal.Close()
+		fd.Close()
+		return err
+	}
+	sh.closeDurable()
+	sh.base, sh.schema, sh.manager = ob, ob.Schema(), mgr
+	sh.vars = map[string]gom.OID{}
+	for _, name := range ob.VarNames() {
+		if id, ok := ob.Var(name); ok {
+			sh.vars[name] = id
+		}
+	}
+	sh.pending.Reset()
+	sh.dbPath, sh.fdisk, sh.wal = base, fd, wal
+	fmt.Fprintf(sh.out, "opened %s: %d objects, %d indexes (recovery: %d txns committed, %d discarded, %d pages redone)\n",
+		base, ob.Count(), len(mgr.Indexes()), info.CommittedTxns, info.DiscardedTxns, info.RedonePages)
+	if info.WALTailDamaged {
+		fmt.Fprintln(sh.out, "note: WAL tail was torn; incomplete transactions discarded")
+	}
+	if n := len(info.QuarantinedPages); n > 0 {
+		fmt.Fprintf(sh.out, "warning: %d pages still corrupt after redo; affected indexes are quarantined (run Repair)\n", n)
+	}
+	quarantined := 0
+	for _, ix := range mgr.Indexes() {
+		if ix.Quarantined() {
+			quarantined++
+		}
+	}
+	if quarantined > 0 {
+		fmt.Fprintf(sh.out, "warning: %d indexes quarantined; queries fall back until repaired\n", quarantined)
+	}
+	return nil
+}
+
+// cmdCheckpoint flushes every dirty page to the device, syncs it, and —
+// in a durable session with no transaction in flight — truncates the
+// WAL, bounding the work a future \open has to redo.
+func (sh *shell) cmdCheckpoint() error {
+	if err := sh.manager.Pool().Checkpoint(); err != nil {
+		return err
+	}
+	if sh.wal == nil {
+		fmt.Fprintln(sh.out, "checkpoint complete (in-memory pool, no WAL)")
+		return nil
+	}
+	st := sh.wal.Stats()
+	fmt.Fprintf(sh.out, "checkpoint complete: wal records=%d commits=%d syncs=%d truncations=%d\n",
+		st.Records, st.Commits, st.Syncs, st.Truncations)
 	return nil
 }

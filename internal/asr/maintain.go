@@ -1,6 +1,7 @@
 package asr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -44,12 +45,28 @@ type Maintainer struct {
 	errs    []error
 	retries int
 	backoff time.Duration
+	ctx     context.Context
 }
 
 // NewMaintainer creates a maintainer for the index with the default
 // retry policy (2 retries, 200µs initial backoff).
 func NewMaintainer(ix *Index) *Maintainer {
-	return &Maintainer{ix: ix, retries: 2, backoff: 200 * time.Microsecond}
+	return &Maintainer{ix: ix, retries: 2, backoff: 200 * time.Microsecond, ctx: context.Background()}
+}
+
+// SetContext bounds the retry/backoff loop: a cancelled context stops
+// further attempts between retries (the update is then a terminal
+// failure and the index quarantines, exactly as if the retries were
+// exhausted — a skipped update would silently drift otherwise). Pass
+// context.Background() to remove a bound. Call from the same goroutine
+// that drives the object-base updates.
+func (m *Maintainer) SetContext(ctx context.Context) {
+	m.errMu.Lock()
+	defer m.errMu.Unlock()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m.ctx = ctx
 }
 
 // SetRetryPolicy configures how transient maintenance faults are
@@ -93,10 +110,10 @@ func (m *Maintainer) fail(err error) {
 }
 
 // retryPolicy snapshots the current policy. Safe for concurrent use.
-func (m *Maintainer) retryPolicy() (int, time.Duration) {
+func (m *Maintainer) retryPolicy() (int, time.Duration, context.Context) {
 	m.errMu.Lock()
 	defer m.errMu.Unlock()
-	return m.retries, m.backoff
+	return m.retries, m.backoff, m.ctx
 }
 
 // apply runs one update's edge changes through the index with the
@@ -109,8 +126,8 @@ func (m *Maintainer) apply(changes []edgeChange) {
 	if m.ix.Quarantined() {
 		return
 	}
-	retries, backoff := m.retryPolicy()
-	m.fail(m.ix.applyChanges(changes, retries, backoff))
+	retries, backoff, ctx := m.retryPolicy()
+	m.fail(m.ix.applyChanges(ctx, changes, retries, backoff))
 }
 
 // edgeChange is one path-graph edge addition or removal at column col
@@ -257,7 +274,10 @@ func (m *Maintainer) isSetColumn(c int) bool {
 // the index is quarantined: its stored rows are consistent with the
 // pre-update object base, which no longer exists, so only Repair can
 // bring it back.
-func (ix *Index) applyChanges(changes []edgeChange, retries int, backoff time.Duration) error {
+func (ix *Index) applyChanges(ctx context.Context, changes []edgeChange, retries int, backoff time.Duration) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(changes) == 0 {
 		return nil
 	}
@@ -329,9 +349,20 @@ func (ix *Index) applyChanges(changes []edgeChange, retries int, backoff time.Du
 		if attempt >= retries {
 			break
 		}
-		ix.nRetries.Add(1)
-		telMaintRetries.Inc()
-		time.Sleep(backoff << uint(attempt))
+		// Honor cancellation between attempts: a cancelled context must
+		// not sleep through its backoff, and the update must not be
+		// retried under it — it becomes a terminal failure below.
+		timer := time.NewTimer(backoff << uint(attempt))
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			attempts = append(attempts, fmt.Errorf("retry abandoned: %w", ctx.Err()))
+		case <-timer.C:
+			ix.nRetries.Add(1)
+			telMaintRetries.Inc()
+			continue
+		}
+		break
 	}
 
 	// Terminal failure: every attempt rolled the partitions back to the
@@ -405,8 +436,13 @@ func (ix *Index) applyDiffTxn(removes, adds []relation.Tuple) (err error) {
 		}
 	}
 	if err == nil {
-		txn.Commit()
-		return nil
+		// Commit logs the transaction's page images and commit marker to
+		// the WAL (group commit) before finishing; a logging failure
+		// leaves the transaction active and is handled exactly like an
+		// apply-time fault — full rollback, then retry or quarantine.
+		if err = txn.Commit(); err == nil {
+			return nil
+		}
 	}
 
 	// Roll back. Lock every touched partition first: the journal revert,

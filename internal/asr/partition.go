@@ -2,6 +2,7 @@ package asr
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
@@ -40,11 +41,152 @@ type Partition struct {
 	mu       sync.RWMutex
 	name     string
 	arity    int
-	fwd      *btree.Tree // clustered on column 0 of the projection
-	bwd      *btree.Tree // clustered on the last column
+	pool     *storage.BufferPool
+	meta     storage.PageID // durable root-catalog page, see syncMetaLocked
+	metaSeen [6]uint64      // last state written to the meta page
+	fwd      *btree.Tree    // clustered on column 0 of the projection
+	bwd      *btree.Tree    // clustered on the last column
 	refcnt   map[string]int
 	rowByKey map[string]relation.Tuple
 	owners   int // indexes this partition is placed in (§5.4 sharing)
+}
+
+// Durable partition state. Each partition owns one meta page recording
+// both trees' root/height/count, rewritten (inside the maintenance
+// undo transaction, so the WAL covers root splits) whenever they
+// change. The manifest a Manager.SaveTo writes references this stable
+// page id, never a tree root directly — roots move, the meta page does
+// not. Reference counts are not in the meta page: they live as the
+// forward tree's values (4-byte big-endian counts), so OpenFrom can
+// rebuild the in-memory row maps with one clustered scan.
+const (
+	partMetaMagic = 0x41535250 // "ASRP"
+)
+
+// refcntVal encodes a row's reference count as the forward tree value.
+func refcntVal(cnt int) []byte {
+	var b [4]byte
+	b[0] = byte(cnt >> 24)
+	b[1] = byte(cnt >> 16)
+	b[2] = byte(cnt >> 8)
+	b[3] = byte(cnt)
+	return b[:]
+}
+
+// decodeRefcnt is the inverse of refcntVal.
+func decodeRefcnt(v []byte) (int, error) {
+	if len(v) != 4 {
+		return 0, fmt.Errorf("asr: reference-count value is %d bytes, want 4", len(v))
+	}
+	return int(v[0])<<24 | int(v[1])<<16 | int(v[2])<<8 | int(v[3]), nil
+}
+
+// MetaPage returns the id of the partition's durable meta page
+// (NilPage for partitions created before a pool was recorded — not
+// produced by any current constructor).
+func (p *Partition) MetaPage() storage.PageID {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.meta
+}
+
+// metaState renders the tree metadata the meta page persists.
+func (p *Partition) metaState() [6]uint64 {
+	return [6]uint64{
+		uint64(p.fwd.Root()), uint64(p.fwd.Height()), uint64(p.fwd.Len()),
+		uint64(p.bwd.Root()), uint64(p.bwd.Height()), uint64(p.bwd.Len()),
+	}
+}
+
+// syncMetaLocked rewrites the meta page when the tree metadata moved;
+// must be called with p.mu held (or before the partition is shared).
+// The write goes through the pool, so an active undo transaction
+// captures it and a WAL commit logs it with the data pages it
+// describes.
+func (p *Partition) syncMetaLocked() error {
+	if p.meta.IsNil() {
+		return nil
+	}
+	st := p.metaState()
+	if st == p.metaSeen {
+		return nil
+	}
+	fr, err := p.pool.Get(p.meta)
+	if err != nil {
+		return fmt.Errorf("asr: partition %s: meta page: %w", p.name, err)
+	}
+	buf := fr.Data()
+	binary.BigEndian.PutUint32(buf[0:], partMetaMagic)
+	binary.BigEndian.PutUint32(buf[4:], uint32(p.arity))
+	for i, v := range st {
+		binary.BigEndian.PutUint64(buf[8+8*i:], v)
+	}
+	fr.MarkDirty()
+	fr.Unpin()
+	p.metaSeen = st
+	return nil
+}
+
+// openPartition reattaches a partition persisted earlier: tree roots
+// from the meta page, row maps rebuilt by scanning the forward tree's
+// reference-count values. On a scan error (for example a corrupt page
+// that recovery could not heal) the partially loaded partition is
+// returned WITH the error, so the caller can wire it up and quarantine
+// the owning index for Repair.
+func openPartition(pool *storage.BufferPool, name string, arity int, meta storage.PageID) (*Partition, error) {
+	fr, err := pool.Get(meta)
+	if err != nil {
+		return nil, fmt.Errorf("asr: partition %s: meta page %v: %w", name, meta, err)
+	}
+	buf := fr.Data()
+	if binary.BigEndian.Uint32(buf[0:]) != partMetaMagic {
+		fr.Unpin()
+		return nil, fmt.Errorf("asr: partition %s: page %v is not a partition meta page", name, meta)
+	}
+	if got := int(binary.BigEndian.Uint32(buf[4:])); got != arity {
+		fr.Unpin()
+		return nil, fmt.Errorf("asr: partition %s: meta arity %d, manifest says %d", name, got, arity)
+	}
+	var st [6]uint64
+	for i := range st {
+		st[i] = binary.BigEndian.Uint64(buf[8+8*i:])
+	}
+	fr.Unpin()
+	p := &Partition{
+		name:     name,
+		arity:    arity,
+		pool:     pool,
+		meta:     meta,
+		metaSeen: st,
+		fwd:      btree.Open(pool, name+".fwd", storage.PageID(st[0]), int(st[1]), int(st[2])),
+		bwd:      btree.Open(pool, name+".bwd", storage.PageID(st[3]), int(st[4]), int(st[5])),
+		refcnt:   map[string]int{},
+		rowByKey: map[string]relation.Tuple{},
+	}
+	var derr error
+	err = p.fwd.Scan(func(k, v []byte) bool {
+		t, terr := decodeTuple(k, arity, 0)
+		if terr != nil {
+			derr = terr
+			return false
+		}
+		cnt, terr := decodeRefcnt(v)
+		if terr != nil {
+			derr = terr
+			return false
+		}
+		key := t.Key()
+		p.refcnt[key] = cnt
+		p.rowByKey[key] = t
+		return true
+	})
+	if err == nil {
+		err = derr
+	}
+	if err != nil {
+		return p, fmt.Errorf("asr: partition %s: loading rows: %w", name, err)
+	}
+	return p, nil
 }
 
 // NewPartition creates an empty stored partition of the given arity
@@ -52,6 +194,10 @@ type Partition struct {
 func NewPartition(pool *storage.BufferPool, name string, arity int) (*Partition, error) {
 	if arity < 2 {
 		return nil, fmt.Errorf("asr: partition %s: arity %d, want ≥ 2", name, arity)
+	}
+	meta, err := allocMetaPage(pool)
+	if err != nil {
+		return nil, err
 	}
 	fwd, err := btree.New(pool, name+".fwd")
 	if err != nil {
@@ -61,14 +207,33 @@ func NewPartition(pool *storage.BufferPool, name string, arity int) (*Partition,
 	if err != nil {
 		return nil, err
 	}
-	return &Partition{
+	p := &Partition{
 		name:     name,
 		arity:    arity,
+		pool:     pool,
+		meta:     meta,
 		fwd:      fwd,
 		bwd:      bwd,
 		refcnt:   map[string]int{},
 		rowByKey: map[string]relation.Tuple{},
-	}, nil
+	}
+	if err := p.syncMetaLocked(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// allocMetaPage reserves the partition's durable meta page — before
+// the trees, so the catalog page gets the lowest (and therefore most
+// stable across rebuilds) id of the partition's pages.
+func allocMetaPage(pool *storage.BufferPool) (storage.PageID, error) {
+	fr, err := pool.GetNew()
+	if err != nil {
+		return storage.NilPage, err
+	}
+	id := fr.ID()
+	fr.Unpin()
+	return id, nil
 }
 
 // NewPartitionBulk creates a partition holding the given reference-
@@ -79,9 +244,15 @@ func NewPartitionBulk(pool *storage.BufferPool, name string, arity int, rows map
 	if arity < 2 {
 		return nil, fmt.Errorf("asr: partition %s: arity %d, want ≥ 2", name, arity)
 	}
+	meta, err := allocMetaPage(pool)
+	if err != nil {
+		return nil, err
+	}
 	p := &Partition{
 		name:     name,
 		arity:    arity,
+		pool:     pool,
+		meta:     meta,
 		refcnt:   make(map[string]int, len(rows)),
 		rowByKey: make(map[string]relation.Tuple, len(rows)),
 	}
@@ -105,16 +276,18 @@ func NewPartitionBulk(pool *storage.BufferPool, name string, arity int, rows map
 		if err != nil {
 			return nil, err
 		}
-		fwdEntries = append(fwdEntries, btree.KV{Key: fk})
+		fwdEntries = append(fwdEntries, btree.KV{Key: fk, Val: refcntVal(cnt)})
 		bwdEntries = append(bwdEntries, btree.KV{Key: bk})
 	}
 	sortKVs(fwdEntries)
 	sortKVs(bwdEntries)
-	var err error
 	if p.fwd, err = btree.BulkLoad(pool, name+".fwd", fwdEntries); err != nil {
 		return nil, err
 	}
 	if p.bwd, err = btree.BulkLoad(pool, name+".bwd", bwdEntries); err != nil {
+		return nil, err
+	}
+	if err := p.syncMetaLocked(); err != nil {
 		return nil, err
 	}
 	return p, nil
@@ -157,6 +330,15 @@ func (p *Partition) release() error {
 	if err := p.bwd.Drop(); err != nil {
 		return err
 	}
+	if !p.meta.IsNil() {
+		if err := p.pool.Discard(p.meta); err != nil {
+			return err
+		}
+		if err := p.pool.Disk().Free(p.meta); err != nil {
+			return err
+		}
+		p.meta = storage.NilPage
+	}
 	p.refcnt = map[string]int{}
 	p.rowByKey = map[string]relation.Tuple{}
 	return nil
@@ -175,6 +357,20 @@ func (p *Partition) refcounts() map[string]int {
 		out[k] = v
 	}
 	return out
+}
+
+// checkPhysical walks both trees page by page, validating structural
+// invariants along the way. It is how Verify notices damage the
+// in-memory refcount diff cannot see: a partition page that fails its
+// device checksum (storage.ErrCorruptPage) or a structurally mangled
+// node surfaces here as the walk reads it.
+func (p *Partition) checkPhysical() error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if err := p.fwd.CheckInvariants(); err != nil {
+		return err
+	}
+	return p.bwd.CheckInvariants()
 }
 
 // Rows returns the number of distinct stored rows.
@@ -204,11 +400,28 @@ func (p *Partition) AddProjected(row relation.Tuple) error {
 	}
 	k := row.Key()
 	p.refcnt[k]++
-	if p.refcnt[k] > 1 {
-		return nil
+	if cnt := p.refcnt[k]; cnt > 1 {
+		// The row is already stored; only its persisted reference count
+		// (the forward tree's value) changes.
+		return p.storeRefcnt(row, cnt)
 	}
 	p.rowByKey[k] = row.Clone()
-	return p.insertRow(row)
+	if err := p.insertRow(row); err != nil {
+		return err
+	}
+	return p.syncMetaLocked()
+}
+
+// storeRefcnt rewrites the row's forward-tree value in place (same
+// length, so no node ever splits on this path); must be called with
+// p.mu held.
+func (p *Partition) storeRefcnt(row relation.Tuple, cnt int) error {
+	fk, err := encodeTuple(row, 0)
+	if err != nil {
+		return err
+	}
+	_, err = p.fwd.Insert(fk, refcntVal(cnt))
+	return err
 }
 
 // RemoveProjected decrements the reference count of a projected row,
@@ -226,11 +439,14 @@ func (p *Partition) RemoveProjected(row relation.Tuple) error {
 	}
 	if cnt > 1 {
 		p.refcnt[k] = cnt - 1
-		return nil
+		return p.storeRefcnt(row, cnt-1)
 	}
 	delete(p.refcnt, k)
 	delete(p.rowByKey, k)
-	return p.deleteRow(row)
+	if err := p.deleteRow(row); err != nil {
+		return err
+	}
+	return p.syncMetaLocked()
 }
 
 // partUndo captures the logical pre-state of one projected row in one
@@ -288,10 +504,15 @@ func (p *Partition) marks() treeMarks {
 	return treeMarks{p: p, fwd: p.fwd.Mark(), bwd: p.bwd.Mark()}
 }
 
-// restoreLocked rewinds both trees; the caller must hold p.mu.
+// restoreLocked rewinds both trees; the caller must hold p.mu. The
+// meta-page cache is poisoned: the undo transaction restored the
+// page's bytes behind syncMetaLocked's back, and a retry could rebuild
+// an identical-looking tree state out of recycled page ids — the next
+// sync must write unconditionally.
 func (m treeMarks) restoreLocked() {
 	m.p.fwd.Restore(m.fwd)
 	m.p.bwd.Restore(m.bwd)
+	m.p.metaSeen = [6]uint64{}
 }
 
 // reloadBulk replaces the partition's stored rows wholesale: both
@@ -325,7 +546,7 @@ func (p *Partition) reloadBulk(pool *storage.BufferPool, rows map[string]relatio
 		if err != nil {
 			return err
 		}
-		fwdEntries = append(fwdEntries, btree.KV{Key: fk})
+		fwdEntries = append(fwdEntries, btree.KV{Key: fk, Val: refcntVal(cnt)})
 		bwdEntries = append(bwdEntries, btree.KV{Key: bk})
 	}
 	sortKVs(fwdEntries)
@@ -343,14 +564,42 @@ func (p *Partition) reloadBulk(pool *storage.BufferPool, rows map[string]relatio
 	if err != nil {
 		return errors.Join(err, txn.Rollback())
 	}
-	txn.Commit()
-
+	// Point the meta page at the new trees inside the transaction, so
+	// the WAL commit that covers their pages covers the catalog too —
+	// and so a rollback restores the old roots.
 	oldFwd, oldBwd := p.fwd, p.bwd
+	oldSeen := p.metaSeen
 	p.fwd, p.bwd = newFwd, newBwd
+	err = p.syncMetaLocked()
+	if err == nil {
+		// Commit may fail when the WAL cannot make the reload durable;
+		// the transaction is then still active and rollback restores the
+		// pages and the meta page alike.
+		err = txn.Commit()
+	}
+	if err != nil {
+		err = errors.Join(err, txn.Rollback())
+		p.fwd, p.bwd = oldFwd, oldBwd
+		p.metaSeen = oldSeen
+		return err
+	}
 	p.refcnt, p.rowByKey = newRefcnt, newRows
 	// Reclaim the old trees last: a failure here leaks pages but leaves
-	// the partition fully consistent on the new trees.
-	return errors.Join(oldFwd.Drop(), oldBwd.Drop())
+	// the partition fully consistent on the new trees. A corrupt page
+	// in an old tree (the very reason Repair reloads) must not fail the
+	// reload, so those leaks are accepted.
+	return errors.Join(dropTolerant(oldFwd), dropTolerant(oldBwd))
+}
+
+// dropTolerant reclaims a tree's pages, swallowing corruption (and
+// post-crash) errors: the pages leak, which is recorded nowhere but
+// harms nothing — the tree is unreachable.
+func dropTolerant(t *btree.Tree) error {
+	err := t.Drop()
+	if err == nil || errors.Is(err, storage.ErrCorruptPage) || errors.Is(err, storage.ErrCrashed) {
+		return nil
+	}
+	return err
 }
 
 func (p *Partition) insertRow(row relation.Tuple) error {
@@ -362,7 +611,7 @@ func (p *Partition) insertRow(row relation.Tuple) error {
 	if err != nil {
 		return err
 	}
-	if _, err := p.fwd.Insert(fk, nil); err != nil {
+	if _, err := p.fwd.Insert(fk, refcntVal(1)); err != nil {
 		return err
 	}
 	_, err = p.bwd.Insert(bk, nil)

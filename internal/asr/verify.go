@@ -112,6 +112,17 @@ func (ix *Index) Verify() (VerifyReport, error) {
 			rep.SkippedShared = append(rep.SkippedShared, pp.Part.Name())
 			continue
 		}
+		// Physical pass first: walk the stored trees so on-disk damage
+		// (a page failing its checksum, a mangled node) surfaces even
+		// when the in-memory refcounts still look right. A failure
+		// quarantines the index — queries route around it (degraded
+		// plans) until Repair rebuilds the partition.
+		if perr := pp.Part.checkPhysical(); perr != nil {
+			perr = fmt.Errorf("asr: index on %s: partition %s failed physical verification: %w",
+				ix.path, pp.Part.Name(), perr)
+			ix.quarantine(perr)
+			return rep, perr
+		}
 		rep.Partitions = append(rep.Partitions, diffPartition(pp.Part, want[i]))
 	}
 	sort.Strings(rep.SkippedShared)
@@ -170,11 +181,16 @@ func (ix *Index) Repair() (VerifyReport, error) {
 	var rep VerifyReport
 	for i, pp := range ix.parts {
 		d := diffPartition(pp.Part, want[i])
-		if d.Drifted() && pp.Part.Owners() > 1 {
+		// A physically damaged partition must be rebuilt even when its
+		// in-memory refcounts still match: the stored trees are what a
+		// restart would reload. reloadBulk tolerates corrupt old pages
+		// when freeing them, so the rebuild heals checksum failures.
+		damaged := pp.Part.checkPhysical() != nil
+		if (d.Drifted() || damaged) && pp.Part.Owners() > 1 {
 			return rep, fmt.Errorf("asr: repair of index on %s: partition %s is shared and drifted; drop and rebuild the sharing indexes",
 				ix.path, pp.Part.Name())
 		}
-		if d.Drifted() {
+		if d.Drifted() || damaged {
 			if err := pp.Part.reloadBulk(ix.pool, rows[i], want[i]); err != nil {
 				return rep, fmt.Errorf("asr: repair of index on %s: %w", ix.path, err)
 			}

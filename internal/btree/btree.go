@@ -61,6 +61,22 @@ func New(pool *storage.BufferPool, name string) (*Tree, error) {
 	return t, nil
 }
 
+// Open reattaches a tree persisted earlier: root page, height and
+// entry count come from durable metadata (an asr partition's meta
+// page), the pages themselves from pool's device. No pages are read —
+// the first lookup validates the root the usual way.
+func Open(pool *storage.BufferPool, name string, root storage.PageID, height, count int) *Tree {
+	return &Tree{
+		pool:    pool,
+		name:    name,
+		root:    root,
+		height:  height,
+		count:   count,
+		maxKey:  pool.Disk().PageSize() / 4,
+		maxItem: pool.Disk().PageSize() - headerSize - entryOverheadLeaf,
+	}
+}
+
 // Name returns the tree name.
 func (t *Tree) Name() string { return t.name }
 

@@ -67,6 +67,7 @@ type frame struct {
 	data    []byte
 	pins    int
 	dirty   bool
+	lsn     uint64        // LSN of the commit covering the dirty bytes
 	refBit  bool          // Clock
 	lruElem *list.Element // LRU / FIFO queue element
 }
@@ -145,6 +146,7 @@ type BufferPool struct {
 	shift    uint // 64 - log2(len(shards)), for the Fibonacci hash
 
 	undo atomic.Pointer[UndoTxn] // active undo transaction, nil outside maintenance
+	wal  atomic.Pointer[WAL]     // write-ahead log; nil for purely in-memory pools
 
 	nLogical       atomic.Uint64
 	nHits          atomic.Uint64
@@ -252,6 +254,54 @@ func (b *BufferPool) shardOf(id PageID) *shard {
 
 // Disk returns the underlying page device.
 func (b *BufferPool) Disk() Device { return b.dev }
+
+// AttachWAL couples the pool to a write-ahead log. From then on the
+// pool is no-steal (pages dirtied by the active undo transaction are
+// never flushed or evicted before the transaction commits) and every
+// write-back first syncs the log up to the frame's LSN — the WAL rule.
+func (b *BufferPool) AttachWAL(w *WAL) { b.wal.Store(w) }
+
+// WAL returns the attached log, nil when the pool is purely in-memory.
+func (b *BufferPool) WAL() *WAL { return b.wal.Load() }
+
+// heldByTxn reports whether a dirty frame belongs to the active undo
+// transaction of a WAL-backed pool — such frames hold uncommitted
+// bytes and must not reach the device (no-steal), or a crash would
+// leave effects of a discarded transaction in the data file.
+func (b *BufferPool) heldByTxn(id PageID) bool {
+	if b.wal.Load() == nil {
+		return false
+	}
+	t := b.undo.Load()
+	return t != nil && t.touches(id)
+}
+
+// writeBack pushes one frame to the device honouring the WAL rule:
+// log first (sync up to the frame's commit LSN), data page second,
+// stamping the LSN into the stored page header when the device
+// supports it. Must be called with the owning shard's mutex held.
+func (b *BufferPool) writeBack(f *frame) error {
+	if w := b.wal.Load(); w != nil && f.lsn > 0 {
+		if err := w.Sync(f.lsn); err != nil {
+			return err
+		}
+	}
+	if lw, ok := b.dev.(LSNWriter); ok {
+		return lw.WriteLSN(f.id, f.data, f.lsn)
+	}
+	return b.dev.Write(f.id, f.data)
+}
+
+// setLSN stamps a commit LSN onto a resident frame (no-op when the
+// page is not resident). Called by UndoTxn.Commit after logging.
+func (b *BufferPool) setLSN(id PageID, lsn uint64) {
+	s := b.shardOf(id)
+	s.mu.Lock()
+	if f, ok := s.frames[id]; ok {
+		f.lsn = lsn
+	}
+	s.mu.Unlock()
+}
 
 // NumShards returns the number of lock stripes.
 func (b *BufferPool) NumShards() int { return len(b.shards) }
@@ -412,7 +462,7 @@ func (s *shard) evictOne() error {
 		return err
 	}
 	if victim.dirty {
-		if err := b.dev.Write(victim.id, victim.data); err != nil {
+		if err := b.writeBack(victim); err != nil {
 			// The victim stays resident and dirty — nothing is lost, the
 			// caller sees the device error and the counter records it.
 			b.nWriteBackErrs.Add(1)
@@ -433,11 +483,12 @@ func (s *shard) evictOne() error {
 
 // pickVictim must be called with s.mu held.
 func (s *shard) pickVictim() (*frame, error) {
-	switch s.pool.policy {
+	b := s.pool
+	switch b.policy {
 	case LRU, FIFO:
 		for e := s.queue.Front(); e != nil; e = e.Next() {
 			f := e.Value.(*frame)
-			if f.pins == 0 {
+			if f.pins == 0 && !(f.dirty && b.heldByTxn(f.id)) {
 				return f, nil
 			}
 		}
@@ -449,7 +500,7 @@ func (s *shard) pickVictim() (*frame, error) {
 			}
 			f := s.clock[s.hand%len(s.clock)]
 			s.hand = (s.hand + 1) % len(s.clock)
-			if f.pins > 0 {
+			if f.pins > 0 || (f.dirty && b.heldByTxn(f.id)) {
 				continue
 			}
 			if f.refBit {
@@ -459,7 +510,7 @@ func (s *shard) pickVictim() (*frame, error) {
 			return f, nil
 		}
 	}
-	return nil, fmt.Errorf("storage: buffer pool shard exhausted: all %d frames pinned", len(s.frames))
+	return nil, fmt.Errorf("storage: buffer pool shard exhausted: all %d frames pinned or transaction-held", len(s.frames))
 }
 
 // dropFrame must be called with s.mu held.
@@ -524,7 +575,12 @@ func (s *shard) flushLocked() error {
 		if !f.dirty {
 			continue
 		}
-		if err := b.dev.Write(f.id, f.data); err != nil {
+		if b.heldByTxn(f.id) {
+			// No-steal: uncommitted transaction-held bytes stay in memory
+			// until the transaction's WAL commit covers them.
+			continue
+		}
+		if err := b.writeBack(f); err != nil {
 			b.nWriteBackErrs.Add(1)
 			s.stats.WriteBackErrors++
 			telPoolWriteBackErrs.Inc()
@@ -539,20 +595,36 @@ func (s *shard) flushLocked() error {
 	return errors.Join(errs...)
 }
 
-// DropClean empties the pool after flushing, simulating a cold cache for
-// a fresh measurement run.
+// DropClean empties the pool after flushing, simulating a cold cache
+// for a fresh measurement run. Every shard is attempted; failures
+// (write-backs the device rejected, pages still pinned — those shards
+// are left intact) are joined rather than stopping at the first, so
+// one sick shard does not hide the others' state. Refused while a
+// WAL-backed undo transaction is active: its frames may not be
+// flushed, and dropping them would lose uncommitted data.
 func (b *BufferPool) DropClean() error {
+	if b.wal.Load() != nil && b.undo.Load() != nil {
+		return fmt.Errorf("storage: DropClean: undo transaction active")
+	}
+	var errs []error
 	for _, s := range b.shards {
 		s.mu.Lock()
 		if err := s.flushLocked(); err != nil {
 			s.mu.Unlock()
-			return err
+			errs = append(errs, err)
+			continue
 		}
+		pinned := false
 		for _, f := range s.frames {
 			if f.pins > 0 {
-				s.mu.Unlock()
-				return fmt.Errorf("storage: DropClean: page %v still pinned", f.id)
+				errs = append(errs, fmt.Errorf("storage: DropClean: page %v still pinned", f.id))
+				pinned = true
+				break
 			}
+		}
+		if pinned {
+			s.mu.Unlock()
+			continue
 		}
 		s.frames = make(map[PageID]*frame)
 		s.queue.Init()
@@ -560,5 +632,44 @@ func (b *BufferPool) DropClean() error {
 		s.hand = 0
 		s.mu.Unlock()
 	}
+	return errors.Join(errs...)
+}
+
+// Checkpoint makes the current committed state durable and truncates
+// the log: flush every dirty frame (WAL-first per frame), sync the
+// device (superblock + fsync for a FileDisk), then reset the WAL —
+// after which recovery starts from the data file alone. Nothing is
+// truncated if any earlier step failed; the joined errors are
+// returned and the log keeps its records.
+//
+// Safe to call with an undo transaction active: its frames are
+// skipped (no-steal) and stay covered by the log they will commit to.
+func (b *BufferPool) Checkpoint() error {
+	var errs []error
+	if err := b.FlushAll(); err != nil {
+		errs = append(errs, err)
+	}
+	if s, ok := b.dev.(Syncer); ok {
+		if err := s.Sync(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
+	w := b.wal.Load()
+	if w == nil {
+		return nil
+	}
+	// With an active transaction the log still covers its eventual
+	// commit; truncating would orphan those images.
+	if b.undo.Load() != nil {
+		telCheckpoints.Inc()
+		return nil
+	}
+	if err := w.Reset(); err != nil {
+		return err
+	}
+	telCheckpoints.Inc()
 	return nil
 }

@@ -70,6 +70,20 @@ type Device interface {
 	ResetStats()
 }
 
+// LSNWriter is implemented by devices that stamp a log sequence number
+// into the stored page header (FileDisk). The buffer pool uses it to
+// persist each frame's commit LSN so Recover can compare stored pages
+// against logged images.
+type LSNWriter interface {
+	WriteLSN(id PageID, buf []byte, lsn uint64) error
+}
+
+// Syncer is implemented by devices with a durability barrier (FileDisk
+// fsync). Checkpoint calls it after flushing dirty frames.
+type Syncer interface {
+	Sync() error
+}
+
 // Disk is a simulated secondary-storage device holding fixed-size pages.
 // All traffic is counted in Stats; the buffer pool sits on top and only
 // touches the disk on misses and write-backs.

@@ -12,6 +12,72 @@ import (
 // with errors.Is.
 var ErrInjectedFault = errors.New("injected fault")
 
+// ErrCrashed is wrapped by every operation attempted after a scheduled
+// Crashpoint has fired: the simulated process is dead, the file is
+// frozen exactly as the interrupted write left it.
+var ErrCrashed = errors.New("simulated crash")
+
+// Crashpoint schedules a simulated process kill mid-write. The At-th
+// admitted write (1-based) is truncated to Torn×size bytes — a torn
+// page when it lands mid-page — and every later write, read and sync
+// fails with ErrCrashed. At ≤ 0 never crashes and just counts writes,
+// which is how a reference run measures the write-schedule length that
+// randomized crash tests then sample.
+//
+// One Crashpoint may be shared by several files (the page file and its
+// WAL): the counter spans them in arrival order, so a crash can land on
+// either.
+type Crashpoint struct {
+	mu      sync.Mutex
+	at      int64
+	torn    float64
+	writes  int64
+	crashed bool
+}
+
+// NewCrashpoint schedules a crash on the at-th write (at ≤ 0: never),
+// persisting torn (clamped to [0,1]) of that write's bytes.
+func NewCrashpoint(at int64, torn float64) *Crashpoint {
+	if torn < 0 {
+		torn = 0
+	}
+	if torn > 1 {
+		torn = 1
+	}
+	return &Crashpoint{at: at, torn: torn}
+}
+
+// Crashed reports whether the crashpoint has fired.
+func (c *Crashpoint) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// Writes returns the number of write operations observed so far.
+func (c *Crashpoint) Writes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writes
+}
+
+// admit gates one physical write of n bytes: it returns how many bytes
+// may reach the file and ErrCrashed when the crash fires on (or fired
+// before) this write.
+func (c *Crashpoint) admit(n int) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return 0, ErrCrashed
+	}
+	c.writes++
+	if c.at <= 0 || c.writes < c.at {
+		return n, nil
+	}
+	c.crashed = true
+	return int(c.torn * float64(n)), ErrCrashed
+}
+
 // FaultOp selects which device operation a scheduled fault intercepts.
 type FaultOp int
 
@@ -69,6 +135,21 @@ type FaultInjector struct {
 	pRead, pWrite float64
 	faults        []*Fault
 	stats         FaultStats
+	cp            *Crashpoint // only when the inner device is not crashable itself
+}
+
+// ScheduleCrashpoint arms a crashpoint. When the wrapped device manages
+// its own crash simulation (FileDisk), the crashpoint is installed
+// there so physical torn writes land in the real file; otherwise the
+// injector gates its own Read/Write calls.
+func (f *FaultInjector) ScheduleCrashpoint(cp *Crashpoint) {
+	if c, ok := f.dev.(interface{ SetCrashpoint(*Crashpoint) }); ok {
+		c.SetCrashpoint(cp)
+		return
+	}
+	f.mu.Lock()
+	f.cp = cp
+	f.mu.Unlock()
 }
 
 // NewFaultInjector wraps dev; seed drives the probabilistic mode.
@@ -161,6 +242,10 @@ func (f *FaultInjector) ResetStats() { f.dev.ResetStats() }
 // read fault fires.
 func (f *FaultInjector) Read(id PageID, buf []byte) error {
 	f.mu.Lock()
+	if f.cp != nil && f.cp.Crashed() {
+		f.mu.Unlock()
+		return fmt.Errorf("storage: Read(%v): %w", id, ErrCrashed)
+	}
 	ft, prob := f.fire(OpRead, id)
 	if ft != nil || prob {
 		f.stats.ReadFaults++
@@ -179,11 +264,35 @@ func (f *FaultInjector) Read(id PageID, buf []byte) error {
 // write fault fires. A torn fault persists a prefix of buf before
 // reporting the failure.
 func (f *FaultInjector) Write(id PageID, buf []byte) error {
+	return f.WriteLSN(id, buf, 0)
+}
+
+// WriteLSN implements LSNWriter, forwarding the LSN to the inner device
+// when it supports LSN-stamped writes (dropping it otherwise) and
+// applying the same fault schedule as Write. A crashpoint gated here
+// (simulated inner device) persists the torn prefix at the payload
+// level; a FileDisk inner device handles its own crashpoint and tears
+// the physical record instead.
+func (f *FaultInjector) WriteLSN(id PageID, buf []byte, lsn uint64) error {
 	f.mu.Lock()
+	if f.cp != nil {
+		allowed, cerr := f.cp.admit(len(buf))
+		if cerr != nil {
+			f.mu.Unlock()
+			if allowed > 0 {
+				cur := make([]byte, f.dev.PageSize())
+				if err := f.dev.Read(id, cur); err == nil {
+					copy(cur[:allowed], buf[:allowed])
+					_ = f.innerWrite(id, cur, lsn)
+				}
+			}
+			return fmt.Errorf("storage: Write(%v): %w", id, cerr)
+		}
+	}
 	ft, prob := f.fire(OpWrite, id)
 	if ft == nil && !prob {
 		f.mu.Unlock()
-		return f.dev.Write(id, buf)
+		return f.innerWrite(id, buf, lsn)
 	}
 	f.stats.WriteFaults++
 	kind := "transient"
@@ -207,9 +316,27 @@ func (f *FaultInjector) Write(id PageID, buf []byte) error {
 				n = len(buf)
 			}
 			copy(cur[:n], buf[:n])
-			_ = f.dev.Write(id, cur)
+			_ = f.innerWrite(id, cur, lsn)
 		}
 		return fmt.Errorf("storage: Write(%v): torn after %d%%: %s %w", id, int(torn*100), kind, ErrInjectedFault)
 	}
 	return fmt.Errorf("storage: Write(%v): %s %w", id, kind, ErrInjectedFault)
+}
+
+// innerWrite forwards a write to the wrapped device, keeping the LSN
+// when the device understands it.
+func (f *FaultInjector) innerWrite(id PageID, buf []byte, lsn uint64) error {
+	if lw, ok := f.dev.(LSNWriter); ok {
+		return lw.WriteLSN(id, buf, lsn)
+	}
+	return f.dev.Write(id, buf)
+}
+
+// Sync forwards to the wrapped device when it is durable; syncing a
+// purely simulated device is a no-op.
+func (f *FaultInjector) Sync() error {
+	if s, ok := f.dev.(Syncer); ok {
+		return s.Sync()
+	}
+	return nil
 }

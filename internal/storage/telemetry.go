@@ -18,4 +18,18 @@ var (
 	telPoolReadSeconds   = telemetry.Default().Histogram("storage_pool_read_seconds", telemetry.LatencyBuckets)
 	telDiskReads         = telemetry.Default().Counter("storage_disk_reads_total")
 	telDiskWrites        = telemetry.Default().Counter("storage_disk_writes_total")
+
+	// Durability instruments: WAL traffic, group-commit batch sizes
+	// (commit markers per fsync), checkpoints, and what recovery did.
+	telWALRecords          = telemetry.Default().Counter("storage_wal_records_total")
+	telWALCommits          = telemetry.Default().Counter("storage_wal_commits_total")
+	telWALSyncs            = telemetry.Default().Counter("storage_wal_syncs_total")
+	telWALTruncations      = telemetry.Default().Counter("storage_wal_truncations_total")
+	telWALBatch            = telemetry.Default().Histogram("storage_wal_group_commit_batch", []float64{1, 2, 4, 8, 16, 32, 64, 128})
+	telCheckpoints         = telemetry.Default().Counter("storage_checkpoints_total")
+	telChecksumFailures    = telemetry.Default().Counter("storage_page_checksum_failures_total")
+	telRecoveryRedone      = telemetry.Default().Counter("storage_recovery_pages_redone_total")
+	telRecoveryCommitted   = telemetry.Default().Counter("storage_recovery_committed_txns_total")
+	telRecoveryDiscarded   = telemetry.Default().Counter("storage_recovery_discarded_txns_total")
+	telRecoveryQuarantined = telemetry.Default().Counter("storage_recovery_quarantined_pages_total")
 )

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -74,16 +75,94 @@ func (t *UndoTxn) addFresh(id PageID) {
 	}
 }
 
-// Commit ends the transaction keeping all mutations.
-func (t *UndoTxn) Commit() {
+// touches reports whether the active transaction captured or allocated
+// the page. Used by the pool's no-steal victim selection.
+func (t *UndoTxn) touches(id PageID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return false
+	}
+	if _, ok := t.pre[id]; ok {
+		return true
+	}
+	return t.fresh[id]
+}
+
+// touchedPages returns the sorted ids the transaction captured or
+// allocated.
+func (t *UndoTxn) touchedPages() []PageID {
+	t.mu.Lock()
+	ids := make([]PageID, 0, len(t.pre)+len(t.fresh))
+	for id := range t.pre {
+		ids = append(ids, id)
+	}
+	for id := range t.fresh {
+		if _, ok := t.pre[id]; !ok {
+			ids = append(ids, id)
+		}
+	}
+	t.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Commit ends the transaction keeping all mutations. When the pool has
+// a WAL attached, the post-image of every page the transaction dirtied
+// is logged and the commit marker made durable (group commit) BEFORE
+// the transaction is marked done — on any logging error the
+// transaction is still active, so the caller can Rollback exactly as
+// for an apply-time failure, and recovery discards the unfinished
+// transaction's records. Committing with no WAL is infallible, as
+// before.
+func (t *UndoTxn) Commit() error {
+	b := t.pool
+	if w := b.wal.Load(); w != nil {
+		t.mu.Lock()
+		done := t.done
+		t.mu.Unlock()
+		if !done {
+			if err := t.logTo(w); err != nil {
+				return err
+			}
+		}
+	}
 	t.mu.Lock()
 	if t.done {
 		t.mu.Unlock()
-		return
+		return nil
 	}
 	t.done = true
 	t.mu.Unlock()
 	t.pool.undo.CompareAndSwap(t, nil)
+	return nil
+}
+
+// logTo writes the transaction's page images and commit marker. Frames
+// are read under their shard mutex but appended outside it, keeping
+// the lock order shard.mu → wal.mu one-way.
+func (t *UndoTxn) logTo(w *WAL) error {
+	b := t.pool
+	txn := w.Begin()
+	for _, id := range t.touchedPages() {
+		s := b.shardOf(id)
+		s.mu.Lock()
+		f, ok := s.frames[id]
+		if !ok || !f.dirty {
+			// Freed during the transaction, or never modified: nothing to
+			// redo.
+			s.mu.Unlock()
+			continue
+		}
+		data := append([]byte(nil), f.data...)
+		s.mu.Unlock()
+		lsn, err := w.AppendPageImage(txn, id, data)
+		if err != nil {
+			return err
+		}
+		b.setLSN(id, lsn)
+	}
+	return w.Commit(txn)
 }
 
 // Rollback ends the transaction restoring every captured page to its

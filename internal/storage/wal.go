@@ -1,0 +1,394 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+)
+
+// WAL record kinds.
+const (
+	RecPageImage byte = 1 // full physical page image
+	RecCommit    byte = 2 // transaction commit marker
+)
+
+// WAL record framing:
+//
+//	len u32 | crc u32 | body
+//	body = lsn u64 | txn u64 | kind u8 | page u64 | payload
+//
+// len counts body bytes, crc is CRC32C over body. Scanning stops at
+// the first record that is short or fails its checksum — exactly the
+// torn tail a crash mid-append leaves — and everything before it is
+// trusted.
+const (
+	walFrameSize  = 8             // len + crc
+	walBodyHeader = 8 + 8 + 1 + 8 // lsn + txn + kind + page
+	maxWALRecord  = 1 << 24       // sanity cap against garbage length fields
+)
+
+// Errors the record codec reports. ErrWALTruncated means the bytes end
+// mid-record (a torn tail); ErrWALCorrupt means framing or checksum is
+// wrong.
+var (
+	ErrWALTruncated = errors.New("wal: truncated record")
+	ErrWALCorrupt   = errors.New("wal: corrupt record")
+)
+
+// WALRecord is one decoded log record.
+type WALRecord struct {
+	LSN  uint64
+	Txn  uint64
+	Kind byte
+	Page PageID
+	Data []byte // page payload for RecPageImage, nil for RecCommit
+}
+
+// EncodeWALRecord renders a record in the on-disk framing.
+func EncodeWALRecord(rec WALRecord) []byte {
+	body := make([]byte, walBodyHeader+len(rec.Data))
+	binary.LittleEndian.PutUint64(body[0:], rec.LSN)
+	binary.LittleEndian.PutUint64(body[8:], rec.Txn)
+	body[16] = rec.Kind
+	binary.LittleEndian.PutUint64(body[17:], uint64(rec.Page))
+	copy(body[walBodyHeader:], rec.Data)
+	out := make([]byte, walFrameSize+len(body))
+	binary.LittleEndian.PutUint32(out[0:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(out[4:], crc32.Checksum(body, castagnoli))
+	copy(out[walFrameSize:], body)
+	return out
+}
+
+// DecodeWALRecord parses one record from the front of b, returning the
+// record and how many bytes it consumed. ErrWALTruncated means b ends
+// mid-record; ErrWALCorrupt means the framing or checksum is invalid.
+// It never panics on arbitrary input (fuzzed).
+func DecodeWALRecord(b []byte) (WALRecord, int, error) {
+	if len(b) < walFrameSize {
+		return WALRecord{}, 0, ErrWALTruncated
+	}
+	ln := binary.LittleEndian.Uint32(b[0:])
+	if ln < walBodyHeader || ln > maxWALRecord {
+		return WALRecord{}, 0, fmt.Errorf("%w: body length %d", ErrWALCorrupt, ln)
+	}
+	if len(b) < walFrameSize+int(ln) {
+		return WALRecord{}, 0, ErrWALTruncated
+	}
+	body := b[walFrameSize : walFrameSize+int(ln)]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(b[4:]) {
+		return WALRecord{}, 0, fmt.Errorf("%w: checksum mismatch", ErrWALCorrupt)
+	}
+	rec := WALRecord{
+		LSN:  binary.LittleEndian.Uint64(body[0:]),
+		Txn:  binary.LittleEndian.Uint64(body[8:]),
+		Kind: body[16],
+		Page: PageID(binary.LittleEndian.Uint64(body[17:])),
+	}
+	switch rec.Kind {
+	case RecPageImage:
+		rec.Data = append([]byte(nil), body[walBodyHeader:]...)
+	case RecCommit:
+		if ln != walBodyHeader {
+			return WALRecord{}, 0, fmt.Errorf("%w: commit with payload", ErrWALCorrupt)
+		}
+	default:
+		return WALRecord{}, 0, fmt.Errorf("%w: unknown kind %d", ErrWALCorrupt, rec.Kind)
+	}
+	return rec, walFrameSize + int(ln), nil
+}
+
+// scanWALBytes decodes records until the bytes run out or a torn/
+// corrupt tail stops the scan; tailDamaged reports whether trailing
+// bytes were discarded. validLen is the byte length of the trusted
+// prefix.
+func scanWALBytes(b []byte) (recs []WALRecord, validLen int64, tailDamaged bool) {
+	off := 0
+	for off < len(b) {
+		rec, n, err := DecodeWALRecord(b[off:])
+		if err != nil {
+			return recs, int64(off), true
+		}
+		recs = append(recs, rec)
+		off += n
+	}
+	return recs, int64(off), false
+}
+
+// WALStats counts log activity. Commits counts commit records appended
+// (durability is decided by the sync that follows); Syncs counts
+// physical fsync batches, so Commits/Syncs is the group-commit ratio.
+type WALStats struct {
+	Records     uint64
+	Commits     uint64
+	Syncs       uint64
+	Truncations uint64
+	AppendedLSN uint64
+	SyncedLSN   uint64
+}
+
+// WAL is a physical write-ahead log: page-image records grouped into
+// transactions, committed by a commit marker made durable with fsync.
+// Concurrent committers are batched: whoever finds the log un-synced
+// flushes everything appended so far with one write+fsync and wakes the
+// rest (group commit).
+//
+// A WAL is safe for concurrent use.
+type WAL struct {
+	mu       sync.Mutex
+	flushing sync.Cond
+	f        *os.File
+	path     string
+
+	buf      []byte // appended, not yet flushed
+	bufStart int64  // file offset of buf[0]
+
+	nextLSN        uint64
+	nextTxn        uint64
+	appendedLSN    uint64
+	syncedLSN      uint64
+	pendingCommits int // commits in buf, for the group-commit histogram
+	inFlush        bool
+
+	stats WALStats
+	cp    *Crashpoint
+}
+
+// OpenWAL opens (or creates) a log file, scanning it to find the valid
+// prefix and to seat the LSN and transaction counters above everything
+// already logged. A damaged tail is ignored (it is overwritten by the
+// next append).
+func OpenWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open wal %s: %w", path, err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	recs, validLen, _ := scanWALBytes(raw)
+	w := &WAL{f: f, path: path, bufStart: validLen, nextLSN: 1, nextTxn: 1}
+	w.flushing.L = &w.mu
+	for _, r := range recs {
+		if r.LSN >= w.nextLSN {
+			w.nextLSN = r.LSN + 1
+		}
+		if r.Txn >= w.nextTxn {
+			w.nextTxn = r.Txn + 1
+		}
+	}
+	w.appendedLSN = w.nextLSN - 1
+	w.syncedLSN = w.appendedLSN
+	return w, nil
+}
+
+// Path returns the backing file path.
+func (w *WAL) Path() string { return w.path }
+
+// SetCrashpoint installs (or clears) the crashpoint guarding log
+// writes and fsyncs. Share one Crashpoint between the WAL and its
+// FileDisk so a simulated kill can land on either file.
+func (w *WAL) SetCrashpoint(cp *Crashpoint) {
+	w.mu.Lock()
+	w.cp = cp
+	w.mu.Unlock()
+}
+
+// Stats returns a snapshot of the log counters.
+func (w *WAL) Stats() WALStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s := w.stats
+	s.AppendedLSN = w.appendedLSN
+	s.SyncedLSN = w.syncedLSN
+	return s
+}
+
+// SetNextLSN raises the LSN counter (never lowers it); Recover uses it
+// to keep LSNs monotonic across a log truncation.
+func (w *WAL) SetNextLSN(lsn uint64) {
+	w.mu.Lock()
+	if lsn > w.nextLSN {
+		w.nextLSN = lsn
+		w.appendedLSN = lsn - 1
+		w.syncedLSN = lsn - 1
+	}
+	w.mu.Unlock()
+}
+
+// Begin starts a transaction and returns its id. Purely an id
+// allocation — transactions exist in the log as the records that cite
+// them.
+func (w *WAL) Begin() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	id := w.nextTxn
+	w.nextTxn++
+	return id
+}
+
+// append encodes rec with the next LSN and buffers it; must be called
+// with w.mu held.
+func (w *WAL) appendLocked(rec WALRecord) uint64 {
+	rec.LSN = w.nextLSN
+	w.nextLSN++
+	w.buf = append(w.buf, EncodeWALRecord(rec)...)
+	w.appendedLSN = rec.LSN
+	w.stats.Records++
+	telWALRecords.Inc()
+	return rec.LSN
+}
+
+// AppendPageImage logs the page's post-image under txn and returns the
+// record's LSN. The record is buffered; durability comes with the next
+// Sync (every Commit syncs).
+func (w *WAL) AppendPageImage(txn uint64, id PageID, data []byte) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.cp != nil && w.cp.Crashed() {
+		return 0, fmt.Errorf("storage: wal append: %w", ErrCrashed)
+	}
+	return w.appendLocked(WALRecord{Txn: txn, Kind: RecPageImage, Page: id, Data: append([]byte(nil), data...)}), nil
+}
+
+// Commit appends the commit marker for txn and makes it durable,
+// batching with any other committers waiting on the same fsync.
+func (w *WAL) Commit(txn uint64) error {
+	w.mu.Lock()
+	lsn := w.appendLocked(WALRecord{Txn: txn, Kind: RecCommit})
+	w.pendingCommits++
+	w.stats.Commits++
+	telWALCommits.Inc()
+	w.mu.Unlock()
+	return w.Sync(lsn)
+}
+
+// Sync makes every record with LSN ≤ upTo durable. Concurrent callers
+// group-commit: one flusher writes and fsyncs the whole buffered tail,
+// the rest wait on its result.
+func (w *WAL) Sync(upTo uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		if w.syncedLSN >= upTo {
+			return nil
+		}
+		if !w.inFlush {
+			break
+		}
+		w.flushing.Wait()
+	}
+	// Become the flusher for everything appended so far.
+	buf, start, target, batch := w.buf, w.bufStart, w.appendedLSN, w.pendingCommits
+	w.buf, w.bufStart, w.pendingCommits = nil, start+int64(len(buf)), 0
+	w.inFlush = true
+	w.mu.Unlock()
+
+	err := w.flush(buf, start)
+
+	w.mu.Lock()
+	w.inFlush = false
+	if err == nil {
+		w.syncedLSN = target
+		w.stats.Syncs++
+		telWALSyncs.Inc()
+		if batch > 0 {
+			telWALBatch.Observe(float64(batch))
+		}
+	} else {
+		// Put the unflushed bytes back so a later retry re-covers them
+		// (idempotent: rewriting the same offsets is safe).
+		w.buf = append(buf, w.buf...)
+		w.bufStart = start
+		w.pendingCommits += batch
+	}
+	w.flushing.Broadcast()
+	if err != nil {
+		return err
+	}
+	if w.syncedLSN >= upTo {
+		return nil
+	}
+	// More was appended while we flushed and our target still isn't
+	// durable (cannot happen for a caller syncing its own append, but
+	// keep the loop total).
+	return w.syncLockedTail(upTo)
+}
+
+// syncLockedTail re-enters the wait loop with w.mu held.
+func (w *WAL) syncLockedTail(upTo uint64) error {
+	w.mu.Unlock()
+	defer w.mu.Lock()
+	return w.Sync(upTo)
+}
+
+// flush performs the guarded physical write + fsync; called without
+// w.mu so appends proceed during the fsync.
+func (w *WAL) flush(buf []byte, off int64) error {
+	allowed := len(buf)
+	var crashErr error
+	w.mu.Lock()
+	cp := w.cp
+	w.mu.Unlock()
+	if cp != nil {
+		if len(buf) > 0 {
+			allowed, crashErr = cp.admit(len(buf))
+		} else if cp.Crashed() {
+			crashErr = ErrCrashed
+		}
+	}
+	if allowed > 0 {
+		if _, err := w.f.WriteAt(buf[:allowed], off); err != nil {
+			return fmt.Errorf("storage: wal write: %w", err)
+		}
+	}
+	if crashErr != nil {
+		return fmt.Errorf("storage: wal sync: %w", crashErr)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("storage: wal sync: %w", err)
+	}
+	return nil
+}
+
+// Records re-scans the durable file and returns the valid record
+// prefix; tailDamaged reports a torn or corrupt tail. Recovery's view
+// of the log.
+func (w *WAL) Records() (recs []WALRecord, tailDamaged bool, err error) {
+	raw, err := os.ReadFile(w.path)
+	if err != nil {
+		return nil, false, err
+	}
+	recs, _, tailDamaged = scanWALBytes(raw)
+	return recs, tailDamaged, nil
+}
+
+// Reset truncates the log after a checkpoint has made every logged
+// effect durable in the page file. LSN and transaction counters keep
+// counting (LSNs stay monotonic for the life of the database).
+func (w *WAL) Reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.cp != nil && w.cp.Crashed() {
+		return fmt.Errorf("storage: wal reset: %w", ErrCrashed)
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("storage: wal truncate: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("storage: wal truncate: %w", err)
+	}
+	w.buf, w.bufStart = nil, 0
+	w.syncedLSN = w.appendedLSN
+	w.stats.Truncations++
+	telWALTruncations.Inc()
+	return nil
+}
+
+// Close closes the log file without flushing buffered records (callers
+// checkpoint first when they want durability).
+func (w *WAL) Close() error { return w.f.Close() }
