@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-compare vet repro ci crash-matrix
+.PHONY: all build test race bench bench-smoke bench-compare vet repro ci crash-matrix server-smoke
 
 all: build test
 
 # What CI runs (.github/workflows/ci.yml): build, vet, tests, race
-# suite, crash matrix, bench smoke.
-ci: build vet test race crash-matrix bench-smoke
+# suite, crash matrix, bench smoke, server smoke.
+ci: build vet test race crash-matrix bench-smoke server-smoke
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,17 @@ bench-compare:
 crash-matrix:
 	$(GO) test -race -count=1 -run 'Crash|Recover|SaveOpen|OpenFrom|Torn|WAL' ./internal/storage/ ./internal/asr/
 	$(GO) test -run=FuzzWALRecordDecode -fuzz=FuzzWALRecordDecode -fuzztime=10s ./internal/storage/
+
+# Service-layer gate under the race detector (docs/SERVICE.md): boot
+# gomd in-process on ephemeral ports, burst 30 connections, deliver a
+# real SIGTERM mid-traffic, and require byte-identical results, typed
+# rejections only, a served /metrics page, and a clean drain. Also
+# fuzzes the wire-frame codec briefly (mirroring the WAL codec fuzz)
+# and replays the protocol saturation + drain tests.
+server-smoke:
+	$(GO) test -race -count=1 -run 'TestGomd' ./cmd/gomd/
+	$(GO) test -race -count=1 -run 'TestSaturation|TestDrain|TestCancel|TestOverload' ./internal/server/
+	$(GO) test -run=FuzzFrameDecode -fuzz=FuzzFrameDecode -fuzztime=10s ./internal/server/wire/
 
 vet:
 	$(GO) vet ./internal/telemetry/

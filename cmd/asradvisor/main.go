@@ -84,6 +84,23 @@ func main() {
 		validate = flag.Bool("validate", false, "empirically check the recommendation on a scaled synthetic database")
 		seed     = flag.Int64("seed", 1, "generator seed for -validate")
 	)
+	flag.Usage = func() {
+		fmt.Fprint(flag.CommandLine.Output(), `asradvisor — rank ASR physical designs (extension × decomposition) for a workload.
+
+usage:
+  asradvisor -example                       print an example JSON profile+mix
+  asradvisor -config profile.json [-top N]  rank designs with the cost model
+  asradvisor -config profile.json -validate check the winner empirically (-seed)
+
+flags:
+`)
+		flag.PrintDefaults()
+		fmt.Fprint(flag.CommandLine.Output(), `
+docs: docs/ARCHITECTURE.md (costmodel layer), docs/PERFORMANCE.md;
+      DESIGN.md and EXPERIMENTS.md for model provenance. The same advice
+      runs self-tuning inside a live base: internal/tuner, examples/selftuning.
+`)
+	}
 	flag.Parse()
 
 	if *example {

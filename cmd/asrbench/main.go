@@ -31,6 +31,24 @@ func main() {
 		snap    = flag.String("snapshot", "", "run the perf experiment and write a machine-readable snapshot to this file")
 		compare = flag.String("compare", "", "with -snapshot: diff the fresh snapshot against this previous snapshot file")
 	)
+	flag.Usage = func() {
+		fmt.Fprint(flag.CommandLine.Output(), `asrbench — run the paper-reproduction experiments.
+
+usage:
+  asrbench -list                       enumerate experiments (fig/tab ids)
+  asrbench -experiment ID [-csv] [-metrics]
+  asrbench -all
+  asrbench -snapshot OUT.json [-compare PREV.json]   perf snapshot + diff
+
+flags:
+`)
+		flag.PrintDefaults()
+		fmt.Fprint(flag.CommandLine.Output(), `
+docs: EXPERIMENTS.md (measured output per paper claim), docs/PERFORMANCE.md
+      (perf experiment + snapshots), docs/OBSERVABILITY.md (-metrics,
+      explain-calib calibration).
+`)
+	}
 	flag.Parse()
 
 	switch {

@@ -1,0 +1,230 @@
+// Command gomd is the object-base server: it serves one database to
+// many clients over the length-prefixed binary protocol of
+// internal/server/wire (spec: docs/SERVICE.md), with admission control,
+// graceful drain on SIGTERM/SIGINT, and an admin HTTP endpoint for
+// Prometheus metrics and health checks.
+//
+// Exactly one database mode must be chosen:
+//
+//	gomd -demo                 generated demo database (see -scale, -seed)
+//	gomd -load FILE.gom        logical dump (gomshell `save` / \save)
+//	gomd -db BASE              durable base saved with gomshell \save:
+//	                           BASE.{gom,pages,pages.wal,manifest};
+//	                           crash-recovered on start, checkpointed on
+//	                           drain and every -checkpoint interval
+//
+// Operational details — wire protocol, error codes, drain semantics,
+// the runbook — are in docs/SERVICE.md; metrics in docs/OBSERVABILITY.md.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"asr/internal/server"
+)
+
+// stringsFlag collects a repeatable -index flag.
+type stringsFlag []string
+
+func (f *stringsFlag) String() string     { return strings.Join(*f, ",") }
+func (f *stringsFlag) Set(s string) error { *f = append(*f, s); return nil }
+
+type options struct {
+	addr         string
+	admin        string
+	demo         bool
+	scale        int
+	seed         int64
+	load         string
+	db           string
+	indexes      stringsFlag
+	maxInflight  int
+	workers      int
+	checkpoint   time.Duration
+	drainTimeout time.Duration
+	name         string
+}
+
+func parseFlags(args []string, errw io.Writer) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("gomd", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	fs.StringVar(&o.addr, "addr", "127.0.0.1:7424", "query listener address")
+	fs.StringVar(&o.admin, "admin", "127.0.0.1:7425", "admin HTTP address for /metrics, /healthz, /readyz (empty disables)")
+	fs.BoolVar(&o.demo, "demo", false, "serve a generated demo database")
+	fs.IntVar(&o.scale, "scale", 4, "demo database scale factor (with -demo)")
+	fs.Int64Var(&o.seed, "seed", 42, "demo database generation seed (with -demo)")
+	fs.StringVar(&o.load, "load", "", "serve a logical dump FILE.gom (build indexes with -index)")
+	fs.StringVar(&o.db, "db", "", "serve a durable base saved with gomshell \\save (BASE.{gom,pages,pages.wal,manifest})")
+	fs.Var(&o.indexes, "index", "index spec EXT:DEC:TYPE.A.B (can|full|left|right : binary|none), repeatable; with -load")
+	fs.IntVar(&o.maxInflight, "max-inflight", 0, "max concurrently executing queries before shedding with OVERLOADED (0 = 2×GOMAXPROCS)")
+	fs.IntVar(&o.workers, "workers", 1, "default per-query evaluation fan-out")
+	fs.DurationVar(&o.checkpoint, "checkpoint", 5*time.Minute, "periodic checkpoint cadence for durable bases (0 = only on drain)")
+	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "max time to wait for in-flight queries on shutdown before canceling them")
+	fs.StringVar(&o.name, "name", "gomd", "server name reported in handshakes and stats")
+	fs.Usage = func() {
+		fmt.Fprintf(errw, `gomd — object-base server (Access Support Relations engine)
+
+usage: gomd (-demo | -load FILE.gom | -db BASE) [flags]
+
+`)
+		fs.PrintDefaults()
+		fmt.Fprintf(errw, `
+Stop with SIGTERM or SIGINT: gomd stops accepting work, answers every
+admitted query, checkpoints durable state, then exits.
+
+docs: docs/SERVICE.md (protocol + runbook), docs/ARCHITECTURE.md,
+      docs/OBSERVABILITY.md (metrics), docs/ROBUSTNESS.md (recovery)
+`)
+	}
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	modes := 0
+	for _, on := range []bool{o.demo, o.load != "", o.db != ""} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fs.Usage()
+		return o, errors.New("gomd: choose exactly one of -demo, -load, -db")
+	}
+	if len(o.indexes) > 0 && o.load == "" {
+		return o, errors.New("gomd: -index only applies to -load (durable bases carry a manifest; -demo builds its own)")
+	}
+	return o, nil
+}
+
+func main() {
+	opts, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := run(opts, os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// openDatabase builds the Database for the selected mode and returns a
+// line describing it for the startup log.
+func openDatabase(opts options) (*server.Database, string, error) {
+	switch {
+	case opts.demo:
+		d, err := server.DemoDatabase(opts.scale, opts.seed)
+		if err != nil {
+			return nil, "", err
+		}
+		return d, fmt.Sprintf("demo database (scale %d, seed %d): %d objects, collection var All, indexed path T0.Next.Next.Next.Payload",
+			opts.scale, opts.seed, d.Base.Count()), nil
+	case opts.load != "":
+		d, err := server.LoadDumpFile(opts.load, opts.indexes)
+		if err != nil {
+			return nil, "", err
+		}
+		return d, fmt.Sprintf("loaded %s: %d objects, %d indexes", opts.load, d.Base.Count(), len(d.Manager.Indexes())), nil
+	default:
+		d, info, err := server.OpenDurableBase(opts.db)
+		if err != nil {
+			return nil, "", err
+		}
+		desc := fmt.Sprintf("opened %s: %d objects, %d indexes (recovery: %d txns committed, %d discarded, %d pages redone)",
+			opts.db, d.Base.Count(), len(d.Manager.Indexes()), info.CommittedTxns, info.DiscardedTxns, info.RedonePages)
+		if info.WALTailDamaged {
+			desc += "; WAL tail was torn, incomplete transactions discarded"
+		}
+		if n := len(info.QuarantinedPages); n > 0 {
+			desc += fmt.Sprintf("; WARNING: %d pages quarantined, run Repair", n)
+		}
+		return d, desc, nil
+	}
+}
+
+// run opens the database, serves it until SIGTERM/SIGINT, then drains.
+// onReady, if non-nil, is called with the started server (tests use it
+// to learn the ephemeral addresses).
+func run(opts options, out io.Writer, onReady func(*server.Server)) error {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(out, time.Now().Format("2006-01-02T15:04:05.000Z07:00")+" "+format+"\n", args...)
+	}
+
+	d, desc, err := openDatabase(opts)
+	if err != nil {
+		return err
+	}
+	logf("gomd: %s", desc)
+
+	s := server.New(d.Engine, d.Manager, server.Config{
+		Addr:         opts.addr,
+		AdminAddr:    opts.admin,
+		MaxInflight:  opts.maxInflight,
+		QueryWorkers: opts.workers,
+		Name:         opts.name,
+		Logf:         logf,
+		OnDrain: func() error {
+			logf("gomd: checkpointing on drain")
+			return d.Checkpoint()
+		},
+	})
+	if err := s.Start(); err != nil {
+		d.Close()
+		return err
+	}
+	if onReady != nil {
+		onReady(s)
+	}
+
+	// Periodic checkpoints bound recovery replay time (durable bases;
+	// a no-op for -demo and -load). See the runbook in docs/SERVICE.md.
+	stopCheckpoints := make(chan struct{})
+	checkpointsDone := make(chan struct{})
+	go func() {
+		defer close(checkpointsDone)
+		if opts.checkpoint <= 0 {
+			return
+		}
+		t := time.NewTicker(opts.checkpoint)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if err := d.Checkpoint(); err != nil {
+					logf("gomd: periodic checkpoint failed: %v", err)
+				}
+			case <-stopCheckpoints:
+				return
+			}
+		}
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sigc)
+	sig := <-sigc
+	logf("gomd: received %s, draining", sig)
+
+	ctx, cancel := context.WithTimeout(context.Background(), opts.drainTimeout)
+	defer cancel()
+	drainErr := s.Shutdown(ctx)
+	close(stopCheckpoints)
+	<-checkpointsDone
+	closeErr := d.Close()
+	if drainErr == nil && closeErr == nil {
+		logf("gomd: clean shutdown")
+	}
+	return errors.Join(drainErr, closeErr)
+}

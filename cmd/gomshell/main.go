@@ -54,6 +54,18 @@ func main() {
 		vars: map[string]gom.OID{},
 		out:  bufio.NewWriter(os.Stdout),
 	}
+	for _, arg := range os.Args[1:] {
+		if arg == "-h" || arg == "-help" || arg == "--help" {
+			fmt.Print("gomshell — interactive shell over the GOM object model and access support relations.\n" +
+				"Reads commands from stdin (pipe a script, or type at the gom> prompt).\n\n")
+			sh.out = bufio.NewWriter(os.Stdout)
+			sh.help()
+			sh.out.Flush()
+			return
+		}
+		fmt.Fprintf(os.Stderr, "gomshell: unknown argument %q (try -h)\n", arg)
+		os.Exit(2)
+	}
 	sh.reset()
 	interactive := isTerminal()
 	sc := bufio.NewScanner(os.Stdin)
@@ -188,6 +200,7 @@ func (sh *shell) exec(line string) error {
 func (sh *shell) help() {
 	fmt.Fprint(sh.out, `commands:
   type NAME is [A: T, ...];        declare a tuple type (also {T}, <T>, supertypes (...))
+  var NAME: TYPE;                  declare a schema-level collection variable
   new TYPE as $x                   instantiate and bind a variable
   set $x.Attr = VALUE              assign ($y, "str", 42, 3.14, true, null)
   insert $y into $x                insert into a set object
@@ -209,7 +222,12 @@ func (sh *shell) help() {
   \open BASE                       crash-recover BASE.pages via the WAL and
                                    reopen the session (objects, indexes, vars)
   \checkpoint                      flush dirty pages, sync, truncate the WAL
-  quit
+  help                             this list
+  quit (or exit)                   leave the shell; lines starting -- or # are comments
+
+docs: docs/ARCHITECTURE.md (package map), docs/OBSERVABILITY.md (\explain,
+      \metrics), docs/ROBUSTNESS.md (\save/\open/\checkpoint, recovery),
+      docs/SERVICE.md (serve a saved base with gomd -db BASE)
 `)
 }
 

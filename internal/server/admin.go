@@ -1,0 +1,79 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"asr/internal/telemetry"
+)
+
+// adminServer is gomd's operational HTTP surface, separate from the
+// query port so a misbehaving client cannot starve health checks (the
+// split every production agent uses — cf. the DataDog agent's
+// telemetry/health listeners):
+//
+//	GET /metrics  Prometheus text exposition of the whole process
+//	              registry (server_*, query_*, asr_*, btree_*,
+//	              storage_* series)
+//	GET /healthz  liveness: 200 while the process serves HTTP
+//	GET /readyz   readiness: 200 while accepting queries; 503 once
+//	              draining or if index maintenance has failed
+type adminServer struct {
+	srv  *Server
+	ln   net.Listener
+	http *http.Server
+}
+
+func newAdminServer(s *Server, addr string) (*adminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	a := &adminServer{srv: s, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", a.handleMetrics)
+	mux.HandleFunc("/healthz", a.handleHealthz)
+	mux.HandleFunc("/readyz", a.handleReadyz)
+	a.http = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go a.http.Serve(ln)
+	return a, nil
+}
+
+func (a *adminServer) Addr() string { return a.ln.Addr().String() }
+
+func (a *adminServer) Close() error {
+	err := a.http.Close()
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+func (a *adminServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	telAdminScrapes.Inc()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	telemetry.Default().WriteTo(w)
+}
+
+func (a *adminServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+func (a *adminServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if a.srv.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if a.srv.mgr != nil {
+		if err := a.srv.mgr.Healthy(); err != nil {
+			// Degraded, not down: queries still answer via fallbacks, but
+			// an orchestrator should stop routing fresh load here until
+			// Repair runs (docs/ROBUSTNESS.md).
+			http.Error(w, "degraded: "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+	}
+	fmt.Fprintln(w, "ready")
+}

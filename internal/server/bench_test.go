@@ -1,0 +1,83 @@
+package server
+
+import (
+	"context"
+	"testing"
+
+	"asr/internal/query"
+	"asr/internal/server/client"
+)
+
+const benchSQL = `select x.Payload from x in All where x.Next.Next.Next.Payload = "L3-3"`
+
+// BenchmarkInProcessQuery is the floor: the same query the loopback
+// benchmarks run, without the wire. The gap between this and
+// BenchmarkLoopbackQuery is the per-request cost of the server layer
+// (framing + JSON + TCP loopback + admission) — docs/SERVICE.md quotes
+// the ratio.
+func BenchmarkInProcessQuery(b *testing.B) {
+	d, err := DemoDatabase(2, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := query.MustParse(benchSQL)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Engine.RunCtx(context.Background(), q, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoopbackQuery: one connection, sequential requests.
+func BenchmarkLoopbackQuery(b *testing.B) {
+	d, err := DemoDatabase(2, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(d.Engine, d.Manager, Config{})
+	if err := s.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	c, err := client.Dial(s.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query(context.Background(), benchSQL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoopbackParallel: the saturation shape — many goroutines,
+// one connection each, server-side admission at 2×GOMAXPROCS.
+func BenchmarkLoopbackParallel(b *testing.B) {
+	d, err := DemoDatabase(2, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(d.Engine, d.Manager, Config{MaxInflight: 1 << 16})
+	if err := s.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c, err := client.Dial(s.Addr())
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer c.Close()
+		for pb.Next() {
+			if _, err := c.Query(context.Background(), benchSQL); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,218 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+
+	"asr/internal/asr"
+	"asr/internal/dump"
+	"asr/internal/gendb"
+	"asr/internal/gom"
+	"asr/internal/query"
+	"asr/internal/storage"
+)
+
+// Database bundles everything a server needs to answer queries: the
+// object base, its index manager, and a query engine — plus how to
+// checkpoint and close the underlying storage. cmd/gomd builds one per
+// process from -demo, -load or -db; tests build them directly.
+type Database struct {
+	Base    *gom.ObjectBase
+	Manager *asr.Manager
+	Engine  *query.Engine
+
+	checkpoint func() error
+	closers    []func() error // closed in order on Close
+}
+
+// Checkpoint flushes dirty pages to the device, syncs, and truncates
+// the WAL (durable databases); it is a no-op for in-memory databases.
+func (d *Database) Checkpoint() error {
+	if d.checkpoint == nil {
+		return nil
+	}
+	return d.checkpoint()
+}
+
+// Close checkpoints (best effort) and releases file handles.
+func (d *Database) Close() error {
+	errs := []error{d.Checkpoint()}
+	for _, c := range d.closers {
+		errs = append(errs, c())
+	}
+	return errors.Join(errs...)
+}
+
+// NewMemoryDatabase wraps an existing object base with a fresh
+// in-memory pool, manager, and engine.
+func NewMemoryDatabase(ob *gom.ObjectBase) *Database {
+	mgr := asr.NewManager(ob, storage.NewBufferPool(storage.NewDisk(0), 0, storage.LRU))
+	return &Database{Base: ob, Manager: mgr, Engine: query.New(ob, mgr)}
+}
+
+// DemoDatabase generates a synthetic four-level reference chain
+// T0→T1→T2→T3 (gendb, the paper's §4.1 characterization), assigns every
+// object a unique Payload "L<level>-<ordinal>", binds the T0 extent as
+// collection variable All, and builds a full/binary ASR over
+// T0.Next.Next.Next.Payload. Queries like
+//
+//	select x.Payload from x in All where x.Next.Next.Next.Payload = "L3-5"
+//
+// then route through the index, while predicates on x.Payload fall back
+// to traversal — both strategies observable from one demo dataset.
+// scale multiplies the extent sizes (scale 1 ≈ 46 objects).
+func DemoDatabase(scale int, seed int64) (*Database, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	db, err := gendb.Generate(gendb.Spec{
+		N:       3,
+		C:       []int{8 * scale, 12 * scale, 16 * scale, 10 * scale},
+		D:       []int{8 * scale, 12 * scale, 16 * scale},
+		Fan:     []int{1, 2, 1},
+		Sharing: gendb.Uniform,
+		Seed:    seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for level, ext := range db.Extents {
+		for k, id := range ext {
+			if err := db.Base.SetAttr(id, "Payload", gom.String(fmt.Sprintf("L%d-%d", level, k))); err != nil {
+				return nil, err
+			}
+		}
+	}
+	setT, err := db.Schema.DefineSet("ALL_T0", db.Types[0])
+	if err != nil {
+		return nil, err
+	}
+	all, err := db.Base.New(setT)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range db.Extents[0] {
+		if err := db.Base.InsertIntoSet(all.ID(), gom.Ref(id)); err != nil {
+			return nil, err
+		}
+	}
+	if err := db.Base.BindVar("All", all.ID()); err != nil {
+		return nil, err
+	}
+	d := NewMemoryDatabase(db.Base)
+	if err := d.BuildIndexes([]string{"full:binary:T0.Next.Next.Next.Payload"}); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// LoadDumpFile restores a logical JSON dump (gomshell `save`, package
+// dump) and rebuilds the requested indexes — dumps carry no index
+// pages; indexes are derived data (docs/ARCHITECTURE.md).
+func LoadDumpFile(path string, indexSpecs []string) (*Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ob, err := dump.Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("server: loading %s: %w", path, err)
+	}
+	d := NewMemoryDatabase(ob)
+	if err := d.BuildIndexes(indexSpecs); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// OpenDurableBase reopens a database persisted with gomshell \save (or
+// a previous gomd run) at BASE.{gom,pages,pages.wal,manifest}: the page
+// file is crash-recovered through its WAL, the object base loaded from
+// the logical dump, and the indexes reattached from the manifest
+// without rebuilding. The returned RecoveryInfo says what recovery did
+// — gomd logs it at startup (the runbook's recovery-on-start step).
+func OpenDurableBase(base string) (*Database, *storage.RecoveryInfo, error) {
+	fd, wal, info, err := storage.Recover(base + ".pages")
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.Open(base + ".gom")
+	if err != nil {
+		wal.Close()
+		fd.Close()
+		return nil, nil, err
+	}
+	ob, err := dump.Load(f)
+	f.Close()
+	if err != nil {
+		wal.Close()
+		fd.Close()
+		return nil, nil, err
+	}
+	pool := storage.NewBufferPool(fd, 0, storage.LRU)
+	pool.AttachWAL(wal)
+	mgr, err := asr.OpenFrom(ob, pool, base+".manifest")
+	if err != nil {
+		wal.Close()
+		fd.Close()
+		return nil, nil, err
+	}
+	d := &Database{
+		Base:       ob,
+		Manager:    mgr,
+		Engine:     query.New(ob, mgr),
+		checkpoint: pool.Checkpoint,
+		closers:    []func() error{wal.Close, fd.Close},
+	}
+	return d, info, nil
+}
+
+// BuildIndexes creates one ASR per spec. A spec reads
+// EXT:DEC:TYPE.Attr[.Attr...], e.g. full:binary:ROBOT.Arm.MountedTool
+// — EXT one of can|full|left|right, DEC one of binary|none.
+func (d *Database) BuildIndexes(specs []string) error {
+	for _, spec := range specs {
+		parts := strings.SplitN(spec, ":", 3)
+		if len(parts) != 3 {
+			return fmt.Errorf("server: index spec %q, want EXT:DEC:TYPE.A.B", spec)
+		}
+		ext, err := asr.ParseExtension(parts[0])
+		if err != nil {
+			return fmt.Errorf("server: index spec %q: %w", spec, err)
+		}
+		path, err := resolveTypePath(d.Base.Schema(), parts[2])
+		if err != nil {
+			return fmt.Errorf("server: index spec %q: %w", spec, err)
+		}
+		m := path.Arity() - 1
+		var dec asr.Decomposition
+		switch parts[1] {
+		case "binary":
+			dec = asr.BinaryDecomposition(m)
+		case "none":
+			dec = asr.NoDecomposition(m)
+		default:
+			return fmt.Errorf("server: index spec %q: decomposition %q, want binary|none", spec, parts[1])
+		}
+		if _, err := d.Manager.CreateIndex(path, ext, dec); err != nil {
+			return fmt.Errorf("server: index spec %q: %w", spec, err)
+		}
+	}
+	return nil
+}
+
+// resolveTypePath parses TYPE.A.B.C against the schema.
+func resolveTypePath(schema *gom.Schema, s string) (*gom.PathExpression, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("path must be TYPE.Attr[.Attr...]")
+	}
+	t, ok := schema.Lookup(parts[0])
+	if !ok {
+		return nil, fmt.Errorf("unknown type %q", parts[0])
+	}
+	return gom.ResolvePath(t, parts[1:]...)
+}

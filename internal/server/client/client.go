@@ -1,0 +1,347 @@
+// Package client is the Go client for gomd, the object-base server
+// (internal/server, protocol in internal/server/wire and
+// docs/SERVICE.md). A Client owns one TCP connection and is safe for
+// concurrent use: requests carry IDs, so any number of goroutines may
+// have queries in flight on the same connection and responses are
+// matched as they arrive.
+//
+//	c, err := client.Dial(addr)
+//	defer c.Close()
+//	res, err := c.Query(ctx, `select r.Name from r in OurRobots`)
+//
+// Server failures surface as *ServerError values wrapping one typed
+// sentinel per wire error code (ErrOverloaded, ErrShuttingDown, …), so
+// callers branch with errors.Is. Canceling the context of an in-flight
+// Query sends MsgCancel and returns once the server acknowledges with
+// its CANCELED response — the protocol guarantees every admitted query
+// a response, so cancellation does not leak pending state.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"asr/internal/server/wire"
+)
+
+// Sentinel errors, one per wire error code (wire.Codes). ServerError
+// wraps exactly one of these; TestErrorMapping holds the two sets in
+// lockstep.
+var (
+	ErrParse        = errors.New("gomd: query parse error")
+	ErrQuery        = errors.New("gomd: query failed")
+	ErrCanceled     = errors.New("gomd: query canceled")
+	ErrOverloaded   = errors.New("gomd: server overloaded")
+	ErrShuttingDown = errors.New("gomd: server shutting down")
+	ErrBadRequest   = errors.New("gomd: bad request")
+	ErrProtocol     = errors.New("gomd: protocol error")
+	ErrInternal     = errors.New("gomd: internal server error")
+
+	// ErrConnClosed reports that the connection died (or Close was
+	// called) with requests still pending.
+	ErrConnClosed = errors.New("gomd: connection closed")
+)
+
+var sentinelByCode = map[string]error{
+	wire.CodeParse:        ErrParse,
+	wire.CodeQuery:        ErrQuery,
+	wire.CodeCanceled:     ErrCanceled,
+	wire.CodeOverloaded:   ErrOverloaded,
+	wire.CodeShuttingDown: ErrShuttingDown,
+	wire.CodeBadRequest:   ErrBadRequest,
+	wire.CodeProtocol:     ErrProtocol,
+	wire.CodeInternal:     ErrInternal,
+}
+
+// ErrFor returns the sentinel for a wire error code (ErrInternal for
+// unknown codes — the closed-set contract means that is a server bug).
+func ErrFor(code string) error {
+	if s, ok := sentinelByCode[code]; ok {
+		return s
+	}
+	return ErrInternal
+}
+
+// ServerError is a typed failure reported by the server.
+type ServerError struct {
+	Code    string // wire error code (wire.Code*)
+	Message string // human-readable detail
+}
+
+// Error renders code and message.
+func (e *ServerError) Error() string { return "gomd: " + e.Code + ": " + e.Message }
+
+// Unwrap maps the code to its sentinel so errors.Is works.
+func (e *ServerError) Unwrap() error { return ErrFor(e.Code) }
+
+// Result is a query's answer: the projected values in the engine's
+// deterministic sorted order, each rendered with gom.ValueString, plus
+// the plan line describing index use.
+type Result struct {
+	Values []string
+	Plan   string
+}
+
+// Stats is the in-band server stats snapshot (see wire.StatsResult).
+type Stats = wire.StatsResult
+
+// Client is one connection to a gomd server.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint32]chan wire.Frame
+	nextID  uint32
+	closed  bool
+	readErr error
+
+	// Session is the server-assigned session ID from the handshake.
+	Session uint64
+	// Server is the server name from the handshake.
+	Server string
+}
+
+// Dial connects, performs the Hello handshake, and returns a ready
+// client.
+func Dial(addr string) (*Client, error) {
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext is Dial honoring ctx for the connect and handshake.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, pending: map[uint32]chan wire.Frame{}}
+	go c.readLoop()
+	f, err := c.roundTrip(ctx, wire.MsgHello, wire.Hello{Proto: wire.ProtoVersion, Client: "go-client"}, nil)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	var ok wire.HelloOK
+	if err := wire.Unmarshal(f, &ok); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.Session = ok.Session
+	c.Server = ok.Server
+	return c, nil
+}
+
+// Close tears the connection down; pending requests fail with
+// ErrConnClosed.
+func (c *Client) Close() error {
+	c.failAll(ErrConnClosed)
+	return c.conn.Close()
+}
+
+// Query evaluates one select-from-where query on the server with its
+// configured per-query fan-out. If ctx is canceled while the query is
+// in flight, a MsgCancel is sent and the server's CANCELED response is
+// awaited, so the request slot is accounted for before Query returns.
+func (c *Client) Query(ctx context.Context, sql string) (*Result, error) {
+	return c.QueryWorkers(ctx, sql, 0)
+}
+
+// QueryWorkers is Query with an explicit evaluation fan-out (≤ 0 uses
+// the server default).
+func (c *Client) QueryWorkers(ctx context.Context, sql string, workers int) (*Result, error) {
+	f, err := c.roundTrip(ctx, wire.MsgQuery, wire.Query{SQL: sql, Workers: workers}, c.cancelInflight)
+	if err != nil {
+		return nil, err
+	}
+	if f.Type != wire.MsgResult {
+		return nil, fmt.Errorf("gomd: unexpected %s response to query", f.Type)
+	}
+	var res wire.Result
+	if err := wire.Unmarshal(f, &res); err != nil {
+		return nil, err
+	}
+	return &Result{Values: res.Values, Plan: res.Plan}, nil
+}
+
+// Ping round-trips an empty frame — connection liveness plus protocol
+// agreement.
+func (c *Client) Ping(ctx context.Context) error {
+	f, err := c.roundTrip(ctx, wire.MsgPing, nil, nil)
+	if err != nil {
+		return err
+	}
+	if f.Type != wire.MsgPong {
+		return fmt.Errorf("gomd: unexpected %s response to ping", f.Type)
+	}
+	return nil
+}
+
+// Stats fetches the server's in-band stats snapshot.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	f, err := c.roundTrip(ctx, wire.MsgStats, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	var st wire.StatsResult
+	if err := wire.Unmarshal(f, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// roundTrip sends one request frame and waits for its response. onCtx,
+// if non-nil, runs when ctx is done while the request is in flight
+// (Query uses it to send MsgCancel); after it runs, the response is
+// still awaited — the server answers every request — with a fallback
+// timeout in case the connection died at the same moment.
+func (c *Client) roundTrip(ctx context.Context, t wire.MsgType, body any, onCtx func(reqID uint32)) (wire.Frame, error) {
+	if err := ctx.Err(); err != nil {
+		return wire.Frame{}, err
+	}
+	c.mu.Lock()
+	if c.closed {
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrConnClosed
+		}
+		return wire.Frame{}, err
+	}
+	c.nextID++
+	if c.nextID == 0 { // ID 0 is reserved for connection-level errors
+		c.nextID = 1
+	}
+	id := c.nextID
+	ch := make(chan wire.Frame, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	f, err := wire.Marshal(t, id, body)
+	if err == nil {
+		err = c.writeFrame(f)
+	}
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return wire.Frame{}, err
+	}
+
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return wire.Frame{}, c.closeReason()
+		}
+		return c.decodeResponse(resp)
+	case <-ctx.Done():
+		if onCtx != nil {
+			onCtx(id)
+			// The server acknowledges the canceled request; wait for it
+			// so the inflight slot is settled, but never hang on a dead
+			// connection.
+			select {
+			case resp, ok := <-ch:
+				if !ok {
+					return wire.Frame{}, c.closeReason()
+				}
+				if f, err := c.decodeResponse(resp); err != nil {
+					return f, err
+				}
+				// The query finished before the cancel landed; surface
+				// the caller's cancellation anyway.
+				return wire.Frame{}, ctx.Err()
+			case <-time.After(5 * time.Second):
+			}
+		}
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return wire.Frame{}, ctx.Err()
+	}
+}
+
+func (c *Client) decodeResponse(f wire.Frame) (wire.Frame, error) {
+	if f.Type != wire.MsgError {
+		return f, nil
+	}
+	var eb wire.ErrorBody
+	if err := wire.Unmarshal(f, &eb); err != nil {
+		return wire.Frame{}, err
+	}
+	return wire.Frame{}, &ServerError{Code: eb.Code, Message: eb.Message}
+}
+
+// cancelInflight sends a MsgCancel for the request; failures are
+// ignored (a dead connection fails the pending request anyway).
+func (c *Client) cancelInflight(reqID uint32) {
+	f, err := wire.Marshal(wire.MsgCancel, reqID, nil)
+	if err == nil {
+		c.writeFrame(f)
+	}
+}
+
+func (c *Client) writeFrame(f wire.Frame) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return wire.WriteFrame(c.conn, f)
+}
+
+func (c *Client) readLoop() {
+	for {
+		f, err := wire.ReadFrame(c.conn)
+		if err != nil {
+			c.failAll(fmt.Errorf("%w: %v", ErrConnClosed, err))
+			return
+		}
+		if f.ReqID == 0 && f.Type == wire.MsgError {
+			// Connection-level error (e.g. protocol violation): the
+			// server hangs up after this; fail everything with it.
+			var eb wire.ErrorBody
+			if uerr := wire.Unmarshal(f, &eb); uerr == nil {
+				c.failAll(&ServerError{Code: eb.Code, Message: eb.Message})
+			} else {
+				c.failAll(ErrProtocol)
+			}
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[f.ReqID]
+		if ok {
+			delete(c.pending, f.ReqID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- f
+		}
+	}
+}
+
+// failAll marks the client closed and wakes every pending request.
+func (c *Client) failAll(reason error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.readErr = reason
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
+}
+
+func (c *Client) closeReason() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.readErr != nil {
+		return c.readErr
+	}
+	return ErrConnClosed
+}

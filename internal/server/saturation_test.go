@@ -1,0 +1,211 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"asr/internal/query"
+	"asr/internal/server/client"
+)
+
+// demoQuerySet builds a mixed workload against DemoDatabase: backward
+// queries that route through the T0.Next.Next.Next.Payload ASR,
+// predicates the index cannot serve (traversal fallback), and full
+// projections — with the in-process rendering of each as the oracle.
+func demoQuerySet(t testing.TB, d *Database) (queries []string, want map[string]string, plans map[string]string) {
+	t.Helper()
+	for k := 0; k < 8; k++ {
+		queries = append(queries,
+			fmt.Sprintf(`select x.Payload from x in All where x.Next.Next.Next.Payload = "L3-%d"`, k))
+	}
+	for j := 0; j < 4; j++ {
+		queries = append(queries,
+			fmt.Sprintf(`select x.Payload from x in All where x.Payload = "L0-%d"`, j))
+	}
+	queries = append(queries,
+		`select x.Payload from x in All`,
+		`select y.Payload from x in All, y in x.Next`,
+	)
+	want, plans = map[string]string{}, map[string]string{}
+	sawASR, sawTraversal := false, false
+	for _, sql := range queries {
+		vals, plan := renderInProcessTB(t, d, sql)
+		want[sql] = strings.Join(vals, "\n")
+		plans[sql] = plan
+		if strings.Contains(plan, "via ASR") {
+			sawASR = true
+		} else {
+			sawTraversal = true
+		}
+	}
+	if !sawASR || !sawTraversal {
+		t.Fatalf("workload must exercise both strategies (asr=%v traversal=%v)", sawASR, sawTraversal)
+	}
+	return queries, want, plans
+}
+
+func renderInProcessTB(t testing.TB, d *Database, sql string) ([]string, string) {
+	t.Helper()
+	res, err := d.Engine.RunCtx(context.Background(), query.MustParse(sql), 1)
+	if err != nil {
+		t.Fatalf("in-process %q: %v", sql, err)
+	}
+	return renderValues(res), res.Plan
+}
+
+// TestSaturationByteIdentical drives ≥10k sequential requests across 32
+// concurrent connections and checks every response — values AND plan —
+// byte-identical to running the same query in-process. MaxInflight is
+// sized above the connection count so nothing is shed; stats afterwards
+// must account for every query with zero errors.
+func TestSaturationByteIdentical(t *testing.T) {
+	conns, perConn := 32, 320 // 10240 requests
+	if testing.Short() {
+		conns, perConn = 8, 50
+	}
+	d, err := DemoDatabase(2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, want, plans := demoQuerySet(t, d)
+	s := startServer(t, d.Engine, d, Config{MaxInflight: 2 * conns})
+
+	var failures atomic.Int64
+	fail := func(format string, args ...any) {
+		if failures.Add(1) <= 5 { // cap the noise; any failure fails the test
+			t.Errorf(format, args...)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(conn int) {
+			defer wg.Done()
+			c, err := client.Dial(s.Addr())
+			if err != nil {
+				fail("conn %d: dial: %v", conn, err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < perConn; j++ {
+				sql := queries[(conn*perConn+j)%len(queries)]
+				res, err := c.Query(context.Background(), sql)
+				if err != nil {
+					fail("conn %d req %d: %v", conn, j, err)
+					return
+				}
+				if got := strings.Join(res.Values, "\n"); got != want[sql] {
+					fail("conn %d req %d: values diverge from in-process\n got: %q\nwant: %q", conn, j, got, want[sql])
+					return
+				}
+				if res.Plan != plans[sql] {
+					fail("conn %d req %d: plan diverges: %q vs %q", conn, j, res.Plan, plans[sql])
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n := failures.Load(); n > 0 {
+		t.Fatalf("%d of %d requests failed or diverged", n, conns*perConn)
+	}
+
+	st := s.Stats()
+	if got, wantN := st.Queries, uint64(conns*perConn); got != wantN {
+		t.Fatalf("server counted %d queries, want %d", got, wantN)
+	}
+	if st.Errors != 0 || st.Overloads != 0 || st.Inflight != 0 {
+		t.Fatalf("clean run expected: %+v", st)
+	}
+	if st.SessionsTotal != uint64(conns) {
+		t.Fatalf("sessions_total = %d, want %d", st.SessionsTotal, conns)
+	}
+}
+
+// TestDrainUnderLoad fires SIGTERM-style Shutdown into live traffic:
+// clients hammer the server until drained, and every request must end
+// in exactly one of (a) a byte-identical result — it was admitted — or
+// (b) a typed rejection / closed connection. Nothing hangs, nothing is
+// silently dropped, and Shutdown returns cleanly within its deadline.
+func TestDrainUnderLoad(t *testing.T) {
+	d, err := DemoDatabase(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, want, _ := demoQuerySet(t, d)
+	onDrain := atomic.Int64{}
+	s := startServer(t, d.Engine, d, Config{MaxInflight: 16, OnDrain: func() error {
+		onDrain.Add(1)
+		return nil
+	}})
+
+	const conns = 16
+	var succeeded, rejected atomic.Int64
+	var failures atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(conn int) {
+			defer wg.Done()
+			c, err := client.Dial(s.Addr())
+			if err != nil {
+				return // drain may already have closed the listener
+			}
+			defer c.Close()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sql := queries[(conn+j)%len(queries)]
+				res, err := c.Query(context.Background(), sql)
+				switch {
+				case err == nil:
+					if strings.Join(res.Values, "\n") != want[sql] {
+						failures.Add(1)
+						t.Errorf("conn %d: admitted query diverged", conn)
+						return
+					}
+					succeeded.Add(1)
+				case errors.Is(err, client.ErrShuttingDown),
+					errors.Is(err, client.ErrOverloaded),
+					errors.Is(err, client.ErrConnClosed):
+					rejected.Add(1)
+					return
+				default:
+					failures.Add(1)
+					t.Errorf("conn %d: untyped failure during drain: %v", conn, err)
+					return
+				}
+			}
+		}(i)
+	}
+
+	time.Sleep(50 * time.Millisecond) // let traffic build
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown under load: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	if failures.Load() > 0 {
+		t.Fatal("requests were lost or diverged during drain")
+	}
+	if succeeded.Load() == 0 {
+		t.Fatal("no query succeeded before the drain — test proved nothing")
+	}
+	if onDrain.Load() != 1 {
+		t.Fatalf("OnDrain ran %d times, want 1", onDrain.Load())
+	}
+	t.Logf("drain under load: %d completed, %d typed rejections", succeeded.Load(), rejected.Load())
+}

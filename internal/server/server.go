@@ -1,0 +1,341 @@
+// Package server is gomd's network front door: it serves the existing
+// query engine to many clients over the wire protocol of
+// internal/server/wire (length-prefixed binary frames, JSON bodies —
+// specified in docs/SERVICE.md).
+//
+// The layering is deliberately thin. Everything below the wire already
+// supports concurrent use — any number of goroutines may run queries
+// against one query.Engine / asr.Manager while at most one writer
+// mutates the object base — so the server adds only what a network
+// boundary needs:
+//
+//   - session management: one session per TCP connection, registered on
+//     Hello and torn down on disconnect, with per-session counters;
+//   - per-connection cancellation: every request context descends from
+//     its session's context, which is canceled when the connection
+//     drops or the client sends MsgCancel — riding the Query*Ctx /
+//     RunCtx plumbing the engine already has;
+//   - admission control: a max-inflight semaphore; requests beyond the
+//     limit are rejected immediately with a typed OVERLOADED error
+//     rather than queued (the client owns retry policy);
+//   - graceful drain: Shutdown stops accepting connections, rejects new
+//     queries with SHUTTING_DOWN, waits for every admitted query to
+//     write its response, runs the OnDrain hook (gomd checkpoints the
+//     durable store there), and only then closes the sessions — an
+//     admitted query is never lost;
+//   - observability: server_* counters in the process registry and an
+//     admin HTTP endpoint exposing /metrics (Prometheus text via
+//     internal/telemetry), /healthz and /readyz.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"asr/internal/asr"
+	"asr/internal/query"
+	"asr/internal/server/wire"
+)
+
+// allErrorCodes is the closed set of wire error codes; telemetry
+// registers one error counter per code at init.
+var allErrorCodes = wire.Codes
+
+// QueryEngine evaluates parsed queries. *query.Engine satisfies it;
+// tests substitute stubs to make cancellation, overload and drain
+// schedules deterministic.
+type QueryEngine interface {
+	RunCtx(ctx context.Context, q *query.Query, workers int) (*query.Result, error)
+}
+
+// Config parameterizes a Server. The zero value is usable: loopback
+// listener on an ephemeral port, no admin endpoint, defaults below.
+type Config struct {
+	// Addr is the main listener address; empty means "127.0.0.1:0".
+	Addr string
+	// AdminAddr is the admin HTTP listener (/metrics, /healthz,
+	// /readyz); empty disables it.
+	AdminAddr string
+	// MaxInflight caps concurrently executing queries across all
+	// sessions; excess requests fail fast with OVERLOADED. ≤ 0 means
+	// 2×GOMAXPROCS.
+	MaxInflight int
+	// QueryWorkers is the per-query evaluation fan-out used when a
+	// request does not choose its own; ≤ 0 means 1 (saturation comes
+	// from concurrent sessions, not from oversubscribing each query).
+	QueryWorkers int
+	// Name is reported in HelloOK and /metrics; empty means "gomd".
+	Name string
+	// OnDrain runs during Shutdown after the last admitted query has
+	// answered and before sessions close — gomd checkpoints the page
+	// file and truncates the WAL here.
+	OnDrain func() error
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Server serves one query engine over TCP. Create with New, start with
+// Start, stop with Shutdown.
+type Server struct {
+	cfg    Config
+	engine QueryEngine
+	mgr    *asr.Manager // optional; enriches MsgStats
+
+	ln      net.Listener
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	// Admission: admitMu serializes the draining check against
+	// reqWG.Add so Shutdown's reqWG.Wait can never miss an admitted
+	// query (see admit).
+	admitMu  sync.Mutex
+	sem      chan struct{}
+	draining atomic.Bool
+	reqWG    sync.WaitGroup // admitted queries, Done after the response is written
+	connWG   sync.WaitGroup // session handler goroutines
+
+	mu          sync.Mutex
+	sessions    map[uint64]*session
+	started     bool
+	stopped     bool
+	nextSession atomic.Uint64
+
+	nRequests  atomic.Uint64
+	nQueries   atomic.Uint64
+	nErrors    atomic.Uint64
+	nOverloads atomic.Uint64
+	inflight   atomic.Int64
+
+	admin *adminServer
+}
+
+// New creates a server over engine. mgr may be nil; when set, MsgStats
+// responses include its routing counters and /readyz reflects index
+// health.
+func New(engine QueryEngine, mgr *asr.Manager, cfg Config) *Server {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueryWorkers <= 0 {
+		cfg.QueryWorkers = 1
+	}
+	if cfg.Name == "" {
+		cfg.Name = "gomd"
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:      cfg,
+		engine:   engine,
+		mgr:      mgr,
+		baseCtx:  ctx,
+		cancel:   cancel,
+		sem:      make(chan struct{}, cfg.MaxInflight),
+		sessions: map[uint64]*session{},
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Start binds the listeners and begins accepting connections.
+func (s *Server) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return errors.New("server: already started")
+	}
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	if s.cfg.AdminAddr != "" {
+		admin, err := newAdminServer(s, s.cfg.AdminAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		s.admin = admin
+	}
+	s.started = true
+	s.connWG.Add(1)
+	go s.acceptLoop()
+	s.logf("server: listening on %s (max inflight %d)", ln.Addr(), s.cfg.MaxInflight)
+	if s.admin != nil {
+		s.logf("server: admin endpoint on http://%s (/metrics /healthz /readyz)", s.admin.Addr())
+	}
+	return nil
+}
+
+// Addr returns the main listener address (useful with ":0").
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// AdminAddr returns the admin listener address, or "".
+func (s *Server) AdminAddr() string {
+	if s.admin == nil {
+		return ""
+	}
+	return s.admin.Addr()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.connWG.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed: drain or stop
+		}
+		if s.draining.Load() {
+			conn.Close()
+			continue
+		}
+		s.connWG.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// admit reserves one inflight slot, returning a release func, or the
+// error code to reject with. The draining check and the WaitGroup Add
+// happen under admitMu — Shutdown flips draining under the same mutex,
+// so every admitted query is either visible to reqWG.Wait or was
+// rejected with SHUTTING_DOWN.
+func (s *Server) admit() (release func(), code string) {
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	if s.draining.Load() {
+		telDrainRejects.Inc()
+		return nil, wire.CodeShuttingDown
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.nOverloads.Add(1)
+		telOverloads.Inc()
+		return nil, wire.CodeOverloaded
+	}
+	s.reqWG.Add(1)
+	s.inflight.Add(1)
+	telInflight.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			<-s.sem
+			s.inflight.Add(-1)
+			telInflight.Add(-1)
+			s.reqWG.Done()
+		})
+	}, ""
+}
+
+// Shutdown drains the server: stop accepting connections, reject new
+// queries with SHUTTING_DOWN, wait for every admitted query to write
+// its response, run the OnDrain hook, then close all sessions and the
+// admin endpoint. If ctx expires first, in-flight query contexts are
+// canceled (they answer CANCELED — still a response, not a loss) and
+// the drain completes; the ctx error is returned joined with any hook
+// error. Shutdown is idempotent; concurrent calls wait for the first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.admitMu.Lock()
+	first := !s.draining.Load()
+	s.draining.Store(true)
+	s.admitMu.Unlock()
+	if !first {
+		// Another Shutdown is running; wait for the handlers to go away.
+		s.connWG.Wait()
+		return nil
+	}
+	started := time.Now()
+	telDrains.Inc()
+	s.logf("server: draining (inflight=%d, sessions=%d)", s.inflight.Load(), s.sessionCount())
+
+	if s.ln != nil {
+		s.ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() { s.reqWG.Wait(); close(done) }()
+	var errs []error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		errs = append(errs, fmt.Errorf("server: drain deadline: %w", ctx.Err()))
+		s.cancel() // cancel in-flight queries; each still writes a CANCELED response
+		<-done
+	}
+
+	if s.cfg.OnDrain != nil {
+		if err := s.cfg.OnDrain(); err != nil {
+			telCheckpointErrs.Inc()
+			errs = append(errs, fmt.Errorf("server: drain hook: %w", err))
+		}
+	}
+
+	// Every admitted response is on the wire; now the sessions can go.
+	s.mu.Lock()
+	s.stopped = true
+	for _, ss := range s.sessions {
+		ss.conn.Close()
+	}
+	s.mu.Unlock()
+	s.cancel()
+	s.connWG.Wait()
+	if s.admin != nil {
+		errs = append(errs, s.admin.Close())
+	}
+	telDrainSeconds.Observe(time.Since(started).Seconds())
+	s.logf("server: drained in %s", time.Since(started).Round(time.Millisecond))
+	return errors.Join(errs...)
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+func (s *Server) sessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Stats snapshots the server-level counters — the same numbers a
+// MsgStats request returns over the wire.
+func (s *Server) Stats() wire.StatsResult {
+	st := wire.StatsResult{
+		Server:        s.cfg.Name,
+		Draining:      s.draining.Load(),
+		SessionsOpen:  s.sessionCount(),
+		SessionsTotal: s.nextSession.Load(),
+		Requests:      s.nRequests.Load(),
+		Queries:       s.nQueries.Load(),
+		Errors:        s.nErrors.Load(),
+		Overloads:     s.nOverloads.Load(),
+		Inflight:      int(s.inflight.Load()),
+		MaxInflight:   s.cfg.MaxInflight,
+	}
+	if s.mgr != nil {
+		ms := s.mgr.Stats()
+		st.ManagerQueries = ms.Queries
+		st.ManagerIndexHits = ms.IndexHits
+		st.ManagerTraversals = ms.Traversals
+		st.ManagerExhaustive = ms.ExhaustiveSearches
+		st.ManagerDegraded = ms.DegradedQueries
+		st.Indexes = len(ms.Indexes)
+	}
+	return st
+}

@@ -1,0 +1,254 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"asr/internal/gom"
+	"asr/internal/query"
+	"asr/internal/server/wire"
+)
+
+// session is the server side of one client connection. The reader
+// goroutine (serveConn) owns the read half; query execution runs in
+// per-request goroutines whose contexts descend from the session's, so
+// a disconnect — or MsgCancel — cancels them through the engine's
+// RunCtx plumbing. Responses from any goroutine serialize on writeMu.
+type session struct {
+	id     uint64
+	srv    *Server
+	conn   net.Conn
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	writeMu sync.Mutex
+
+	inflightMu sync.Mutex
+	inflight   map[uint32]context.CancelFunc
+
+	helloed bool // reader-goroutine only
+
+	nRequests atomic.Uint64
+	nQueries  atomic.Uint64
+	nErrors   atomic.Uint64
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.connWG.Done()
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	ss := &session{
+		id:       s.nextSession.Add(1),
+		srv:      s,
+		conn:     conn,
+		ctx:      ctx,
+		cancel:   cancel,
+		inflight: map[uint32]context.CancelFunc{},
+	}
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		cancel()
+		conn.Close()
+		return
+	}
+	s.sessions[ss.id] = ss
+	s.mu.Unlock()
+	telSessions.Inc()
+	telSessionsOpen.Add(1)
+	defer func() {
+		s.mu.Lock()
+		delete(s.sessions, ss.id)
+		s.mu.Unlock()
+		telSessionsOpen.Add(-1)
+		cancel() // cancels every in-flight query of this connection
+		conn.Close()
+	}()
+
+	for {
+		f, err := wire.ReadFrame(conn)
+		if err != nil {
+			if errors.Is(err, wire.ErrFrameTooLarge) {
+				// The stream cannot be resynchronized after a bad length
+				// prefix; tell the client why before hanging up (request
+				// ID 0 marks a connection-level error).
+				ss.replyError(0, wire.CodeProtocol, err.Error())
+			}
+			return
+		}
+		telBytesRead.Add(uint64(wire.HeaderSize + len(f.Payload)))
+		s.nRequests.Add(1)
+		ss.nRequests.Add(1)
+		requestCounter(f.Type.String()).Inc()
+
+		if !ss.helloed && f.Type != wire.MsgHello {
+			ss.replyError(f.ReqID, wire.CodeProtocol, "first message must be hello")
+			return
+		}
+		switch f.Type {
+		case wire.MsgHello:
+			ss.handleHello(f)
+		case wire.MsgPing:
+			ss.reply(wire.MsgPong, f.ReqID, nil)
+		case wire.MsgQuery:
+			ss.handleQuery(f)
+		case wire.MsgCancel:
+			// Cancels an in-flight request; the canceled request itself
+			// answers with CANCELED, the cancel frame has no response.
+			ss.inflightMu.Lock()
+			if cancelReq, ok := ss.inflight[f.ReqID]; ok {
+				cancelReq()
+			}
+			ss.inflightMu.Unlock()
+		case wire.MsgStats:
+			ss.reply(wire.MsgStatsResult, f.ReqID, s.Stats())
+		default:
+			ss.replyError(f.ReqID, wire.CodeBadRequest, "unexpected message type "+f.Type.String())
+		}
+	}
+}
+
+func (ss *session) handleHello(f wire.Frame) {
+	var h wire.Hello
+	if err := wire.Unmarshal(f, &h); err != nil {
+		ss.replyError(f.ReqID, wire.CodeBadRequest, err.Error())
+		return
+	}
+	if h.Proto != wire.ProtoVersion {
+		ss.replyError(f.ReqID, wire.CodeProtocol,
+			"protocol version mismatch: client "+itoa(h.Proto)+", server "+itoa(wire.ProtoVersion))
+		return
+	}
+	ss.helloed = true
+	ss.reply(wire.MsgHelloOK, f.ReqID, wire.HelloOK{
+		Proto:   wire.ProtoVersion,
+		Server:  ss.srv.cfg.Name,
+		Session: ss.id,
+	})
+}
+
+func (ss *session) handleQuery(f wire.Frame) {
+	var req wire.Query
+	if err := wire.Unmarshal(f, &req); err != nil {
+		ss.replyError(f.ReqID, wire.CodeBadRequest, err.Error())
+		return
+	}
+	srv := ss.srv
+	release, code := srv.admit()
+	if code != "" {
+		ss.replyError(f.ReqID, code, admissionMessage(code, srv.cfg.MaxInflight))
+		return
+	}
+	qctx, qcancel := context.WithCancel(ss.ctx)
+	ss.inflightMu.Lock()
+	if _, dup := ss.inflight[f.ReqID]; dup {
+		ss.inflightMu.Unlock()
+		qcancel()
+		release()
+		ss.replyError(f.ReqID, wire.CodeBadRequest, "request ID already in flight")
+		return
+	}
+	ss.inflight[f.ReqID] = qcancel
+	ss.inflightMu.Unlock()
+	srv.nQueries.Add(1)
+	ss.nQueries.Add(1)
+
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ss.replyError(f.ReqID, wire.CodeInternal, "query handler panicked")
+				srv.logf("server: session %d request %d panicked: %v", ss.id, f.ReqID, r)
+			}
+			ss.inflightMu.Lock()
+			delete(ss.inflight, f.ReqID)
+			ss.inflightMu.Unlock()
+			qcancel()
+			// The response (written above) precedes the release: once
+			// reqWG drains, every admitted answer is on the wire.
+			release()
+		}()
+		started := time.Now()
+		q, err := query.Parse(req.SQL)
+		if err != nil {
+			ss.replyError(f.ReqID, wire.CodeParse, err.Error())
+			return
+		}
+		workers := req.Workers
+		if workers <= 0 {
+			workers = srv.cfg.QueryWorkers
+		}
+		res, err := srv.engine.RunCtx(qctx, q, workers)
+		telQuerySeconds.Observe(time.Since(started).Seconds())
+		if err != nil {
+			code := wire.CodeQuery
+			if qctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				code = wire.CodeCanceled
+			}
+			ss.replyError(f.ReqID, code, err.Error())
+			return
+		}
+		ss.reply(wire.MsgResult, f.ReqID, wire.Result{Values: renderValues(res), Plan: res.Plan})
+	}()
+}
+
+func admissionMessage(code string, maxInflight int) string {
+	switch code {
+	case wire.CodeOverloaded:
+		return "server at max inflight (" + itoa(maxInflight) + "); retry later"
+	case wire.CodeShuttingDown:
+		return "server is draining"
+	default:
+		return code
+	}
+}
+
+func (ss *session) reply(t wire.MsgType, reqID uint32, body any) {
+	f, err := wire.Marshal(t, reqID, body)
+	if err != nil {
+		// Encoding failed (e.g. a result larger than MaxPayload): the
+		// request still gets a response, just a typed error.
+		if t != wire.MsgError {
+			ss.replyError(reqID, wire.CodeInternal, "response encoding failed: "+err.Error())
+		} else {
+			ss.srv.logf("server: session %d: dropping unencodable error frame: %v", ss.id, err)
+		}
+		return
+	}
+	ss.writeFrame(f)
+}
+
+func (ss *session) replyError(reqID uint32, code, msg string) {
+	ss.srv.nErrors.Add(1)
+	ss.nErrors.Add(1)
+	errorCounter(code).Inc()
+	ss.reply(wire.MsgError, reqID, wire.ErrorBody{Code: code, Message: msg})
+}
+
+func (ss *session) writeFrame(f wire.Frame) {
+	ss.writeMu.Lock()
+	defer ss.writeMu.Unlock()
+	if err := wire.WriteFrame(ss.conn, f); err != nil {
+		// The connection is gone; stop any queries still running for it.
+		ss.cancel()
+		return
+	}
+	telBytesWritten.Add(uint64(wire.HeaderSize + len(f.Payload)))
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+// renderValues renders a result's values with gom.ValueString, in the
+// engine's deterministic sorted order — the exact bytes a client
+// receives, so in-process runs rendered the same way compare
+// byte-identically with server answers.
+func renderValues(res *query.Result) []string {
+	vals := make([]string, len(res.Values))
+	for i, v := range res.Values {
+		vals[i] = gom.ValueString(v)
+	}
+	return vals
+}

@@ -1,0 +1,306 @@
+// Package wire defines gomd's wire protocol: length-prefixed binary
+// frames carrying typed, JSON-encoded message bodies. The framing is
+// binary so a reader can delimit messages with one fixed-size header
+// read and one payload read (no scanning, no escaping, cheap to fuzz);
+// the bodies are JSON so messages can grow fields without a protocol
+// version bump. docs/SERVICE.md specifies the protocol; this package is
+// the single source of truth both the server (internal/server) and the
+// client (internal/server/client) compile against.
+//
+// Frame layout (all integers big-endian):
+//
+//	offset size  field
+//	0      4     payload length (bytes following the header)
+//	4      1     message type (MsgType)
+//	5      4     request ID (echoed verbatim in the response)
+//	9      n     payload (JSON body, may be empty)
+//
+// Every request frame carries a client-chosen request ID; the matching
+// response echoes it, so one connection can have several requests in
+// flight and responses may arrive in any order. MsgCancel references an
+// earlier request's ID instead of opening its own exchange.
+//
+// The decoder is total: any byte sequence either decodes to a frame or
+// fails with one of the typed errors below — it never panics and never
+// over-reads (FuzzFrameDecode holds it to that contract, mirroring the
+// WAL record codec's fuzz test).
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ProtoVersion is the protocol generation negotiated by Hello/HelloOK.
+// Servers reject clients whose version does not match.
+const ProtoVersion = 1
+
+// HeaderSize is the fixed frame header length in bytes.
+const HeaderSize = 9
+
+// MaxPayload bounds a single frame's payload. Frames above it are a
+// protocol error on decode and a caller bug on encode; the bound keeps
+// a malformed or hostile length prefix from provoking a giant
+// allocation.
+const MaxPayload = 8 << 20
+
+// MsgType identifies a frame's body type.
+type MsgType uint8
+
+// Message types. Requests are client→server, responses server→client;
+// every request type receives exactly one response frame with the same
+// request ID.
+const (
+	MsgInvalid     MsgType = 0
+	MsgHello       MsgType = 1 // Hello        → MsgHelloOK | MsgError
+	MsgHelloOK     MsgType = 2
+	MsgQuery       MsgType = 3 // Query        → MsgResult | MsgError
+	MsgResult      MsgType = 4
+	MsgError       MsgType = 5
+	MsgPing        MsgType = 6 // empty        → MsgPong
+	MsgPong        MsgType = 7
+	MsgCancel      MsgType = 8 // empty; references an in-flight request ID
+	MsgStats       MsgType = 9 // empty        → MsgStatsResult | MsgError
+	MsgStatsResult MsgType = 10
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgHelloOK:
+		return "hello_ok"
+	case MsgQuery:
+		return "query"
+	case MsgResult:
+		return "result"
+	case MsgError:
+		return "error"
+	case MsgPing:
+		return "ping"
+	case MsgPong:
+		return "pong"
+	case MsgCancel:
+		return "cancel"
+	case MsgStats:
+		return "stats"
+	case MsgStatsResult:
+		return "stats_result"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// Typed framing errors. ErrFrameTruncated means more bytes may complete
+// the frame; ErrFrameTooLarge means the stream is unrecoverable (the
+// length prefix itself is bad) and the connection must be closed.
+var (
+	ErrFrameTruncated = errors.New("wire: truncated frame")
+	ErrFrameTooLarge  = fmt.Errorf("wire: frame exceeds %d-byte payload limit", MaxPayload)
+)
+
+// Frame is one decoded protocol frame.
+type Frame struct {
+	Type    MsgType
+	ReqID   uint32
+	Payload []byte
+}
+
+// EncodeFrame renders the frame to bytes. The only failure is an
+// oversized payload.
+func EncodeFrame(f Frame) ([]byte, error) {
+	if len(f.Payload) > MaxPayload {
+		return nil, ErrFrameTooLarge
+	}
+	b := make([]byte, HeaderSize+len(f.Payload))
+	binary.BigEndian.PutUint32(b[0:4], uint32(len(f.Payload)))
+	b[4] = byte(f.Type)
+	binary.BigEndian.PutUint32(b[5:9], f.ReqID)
+	copy(b[HeaderSize:], f.Payload)
+	return b, nil
+}
+
+// DecodeFrame decodes one frame from the front of b, returning the
+// frame and the bytes consumed. On failure it consumes nothing and
+// returns a typed error. The returned payload aliases b.
+func DecodeFrame(b []byte) (Frame, int, error) {
+	if len(b) < HeaderSize {
+		return Frame{}, 0, ErrFrameTruncated
+	}
+	n := binary.BigEndian.Uint32(b[0:4])
+	if n > MaxPayload {
+		return Frame{}, 0, ErrFrameTooLarge
+	}
+	total := HeaderSize + int(n)
+	if len(b) < total {
+		return Frame{}, 0, ErrFrameTruncated
+	}
+	return Frame{
+		Type:    MsgType(b[4]),
+		ReqID:   binary.BigEndian.Uint32(b[5:9]),
+		Payload: b[HeaderSize:total],
+	}, total, nil
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	b, err := EncodeFrame(f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadFrame reads exactly one frame from r. A clean EOF before any
+// header byte returns io.EOF; a partial frame returns
+// io.ErrUnexpectedEOF; a bad length prefix returns ErrFrameTooLarge.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if n > MaxPayload {
+		return Frame{}, ErrFrameTooLarge
+	}
+	f := Frame{
+		Type:  MsgType(hdr[4]),
+		ReqID: binary.BigEndian.Uint32(hdr[5:9]),
+	}
+	if n > 0 {
+		f.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			return Frame{}, err
+		}
+	}
+	return f, nil
+}
+
+// Marshal builds a frame of the given type with v's JSON encoding as
+// payload. A nil v produces an empty payload.
+func Marshal(t MsgType, reqID uint32, v any) (Frame, error) {
+	f := Frame{Type: t, ReqID: reqID}
+	if v == nil {
+		return f, nil
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return Frame{}, err
+	}
+	if len(b) > MaxPayload {
+		return Frame{}, ErrFrameTooLarge
+	}
+	f.Payload = b
+	return f, nil
+}
+
+// Unmarshal decodes a frame payload into v.
+func Unmarshal(f Frame, v any) error {
+	if err := json.Unmarshal(f.Payload, v); err != nil {
+		return fmt.Errorf("wire: bad %s payload: %w", f.Type, err)
+	}
+	return nil
+}
+
+// message bodies -----------------------------------------------------
+
+// Hello opens a session.
+type Hello struct {
+	Proto  int    `json:"proto"`
+	Client string `json:"client,omitempty"`
+}
+
+// HelloOK accepts a session.
+type HelloOK struct {
+	Proto   int    `json:"proto"`
+	Server  string `json:"server"`
+	Session uint64 `json:"session"`
+}
+
+// Query asks the server to evaluate one select-from-where query in the
+// paper's notation. Workers ≤ 0 uses the server's configured per-query
+// fan-out.
+type Query struct {
+	SQL     string `json:"sql"`
+	Workers int    `json:"workers,omitempty"`
+}
+
+// Result carries a query's projected values — each rendered with
+// gom.ValueString, in the engine's deterministic sorted order, so a
+// wire result is byte-comparable with an in-process run — plus the
+// plan line.
+type Result struct {
+	Values []string `json:"values"`
+	Plan   string   `json:"plan"`
+}
+
+// ErrorBody is the payload of a MsgError response.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// StatsResult is a server-level observability snapshot (MsgStats
+// response). The full metric surface is the admin /metrics endpoint;
+// this is the in-band summary a client can poll cheaply.
+type StatsResult struct {
+	Server        string `json:"server"`
+	Draining      bool   `json:"draining"`
+	SessionsOpen  int    `json:"sessions_open"`
+	SessionsTotal uint64 `json:"sessions_total"`
+	Requests      uint64 `json:"requests"`
+	Queries       uint64 `json:"queries"`
+	Errors        uint64 `json:"errors"`
+	Overloads     uint64 `json:"overloads"`
+	Inflight      int    `json:"inflight"`
+	MaxInflight   int    `json:"max_inflight"`
+
+	// Manager routing counters (zero when the server runs without an
+	// asr.Manager).
+	ManagerQueries    uint64 `json:"manager_queries"`
+	ManagerIndexHits  uint64 `json:"manager_index_hits"`
+	ManagerTraversals uint64 `json:"manager_traversals"`
+	ManagerExhaustive uint64 `json:"manager_exhaustive"`
+	ManagerDegraded   uint64 `json:"manager_degraded"`
+	Indexes           int    `json:"indexes"`
+}
+
+// error codes --------------------------------------------------------
+
+// Error codes carried by ErrorBody. The set is closed: the server maps
+// every failure to exactly one code, and the client maps every code to
+// a typed sentinel error (client.ErrFor); a table test on the client
+// side walks Codes to keep the two in lockstep.
+const (
+	CodeParse        = "PARSE"         // the query text failed to parse
+	CodeQuery        = "QUERY"         // resolution/evaluation failed (unknown collection, type error, …)
+	CodeCanceled     = "CANCELED"      // the request's context was canceled (MsgCancel or disconnect)
+	CodeOverloaded   = "OVERLOADED"    // admission control: max-inflight reached, retry later
+	CodeShuttingDown = "SHUTTING_DOWN" // server is draining; no new work accepted
+	CodeBadRequest   = "BAD_REQUEST"   // malformed payload or unknown message type
+	CodeProtocol     = "PROTOCOL"      // handshake violation (bad version, missing Hello)
+	CodeInternal     = "INTERNAL"      // unexpected server-side failure
+)
+
+// Codes lists every error code the server can emit.
+var Codes = []string{
+	CodeParse,
+	CodeQuery,
+	CodeCanceled,
+	CodeOverloaded,
+	CodeShuttingDown,
+	CodeBadRequest,
+	CodeProtocol,
+	CodeInternal,
+}
