@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-compare vet repro ci crash-matrix server-smoke
+.PHONY: all build test race bench bench-smoke bench-compare vet repro ci crash-matrix server-smoke chaos-smoke
 
 all: build test
 
 # What CI runs (.github/workflows/ci.yml): build, vet, tests, race
-# suite, crash matrix, bench smoke, server smoke.
-ci: build vet test race crash-matrix bench-smoke server-smoke
+# suite, crash matrix, bench smoke, server smoke, chaos smoke.
+ci: build vet test race crash-matrix bench-smoke server-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,18 @@ server-smoke:
 	$(GO) test -race -count=1 -run 'TestGomd' ./cmd/gomd/
 	$(GO) test -race -count=1 -run 'TestSaturation|TestDrain|TestCancel|TestOverload' ./internal/server/
 	$(GO) test -run=FuzzFrameDecode -fuzz=FuzzFrameDecode -fuzztime=10s ./internal/server/wire/
+
+# Chaos gate under the race detector (docs/ROBUSTNESS.md, "Network
+# chaos"): the fixed-seed saturation suite (32 connections under
+# continuous network + disk fault injection; every response
+# byte-identical or typed, zero hangs, zero goroutine leaks), the
+# server-protection and retry suites, then one randomized-seed
+# saturation pass so new fault schedules are explored on every run —
+# the seed is logged and reproduces a failure exactly.
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'TestChaos|TestRequestDeadline|TestClientCancelBeats|TestIdleWatchdog|TestSlowReader' ./internal/server/
+	$(GO) test -race -count=1 ./internal/server/chaos/ ./internal/server/client/
+	CHAOS_SEED=$$$$ $(GO) test -race -count=1 -short -run 'TestChaosSaturation' -v ./internal/server/
 
 vet:
 	$(GO) vet ./internal/telemetry/

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"asr/internal/server"
+	"asr/internal/storage"
 )
 
 // stringsFlag collects a repeatable -index flag.
@@ -39,19 +40,23 @@ func (f *stringsFlag) String() string     { return strings.Join(*f, ",") }
 func (f *stringsFlag) Set(s string) error { *f = append(*f, s); return nil }
 
 type options struct {
-	addr         string
-	admin        string
-	demo         bool
-	scale        int
-	seed         int64
-	load         string
-	db           string
-	indexes      stringsFlag
-	maxInflight  int
-	workers      int
-	checkpoint   time.Duration
-	drainTimeout time.Duration
-	name         string
+	addr           string
+	admin          string
+	demo           bool
+	scale          int
+	seed           int64
+	load           string
+	db             string
+	indexes        stringsFlag
+	maxInflight    int
+	workers        int
+	checkpoint     time.Duration
+	drainTimeout   time.Duration
+	requestTimeout time.Duration
+	idleTimeout    time.Duration
+	name           string
+	chaosDisk      float64
+	chaosSeed      int64
 }
 
 func parseFlags(args []string, errw io.Writer) (options, error) {
@@ -70,7 +75,11 @@ func parseFlags(args []string, errw io.Writer) (options, error) {
 	fs.IntVar(&o.workers, "workers", 1, "default per-query evaluation fan-out")
 	fs.DurationVar(&o.checkpoint, "checkpoint", 5*time.Minute, "periodic checkpoint cadence for durable bases (0 = only on drain)")
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "max time to wait for in-flight queries on shutdown before canceling them")
+	fs.DurationVar(&o.requestTimeout, "request-timeout", 0, "per-query server-side deadline; queries over it answer DEADLINE_EXCEEDED (0 disables)")
+	fs.DurationVar(&o.idleTimeout, "idle-timeout", 0, "reap sessions idle this long with nothing in flight (0 disables)")
 	fs.StringVar(&o.name, "name", "gomd", "server name reported in handshakes and stats")
+	fs.Float64Var(&o.chaosDisk, "chaos-disk", 0, "inject transient page-read faults with this probability, 0..1 (resilience testing; with -demo or -load)")
+	fs.Int64Var(&o.chaosSeed, "chaos-seed", 1, "seed for the -chaos-disk fault schedule")
 	fs.Usage = func() {
 		fmt.Fprintf(errw, `gomd — object-base server (Access Support Relations engine)
 
@@ -102,6 +111,12 @@ docs: docs/SERVICE.md (protocol + runbook), docs/ARCHITECTURE.md,
 	if len(o.indexes) > 0 && o.load == "" {
 		return o, errors.New("gomd: -index only applies to -load (durable bases carry a manifest; -demo builds its own)")
 	}
+	if o.chaosDisk < 0 || o.chaosDisk > 1 {
+		return o, errors.New("gomd: -chaos-disk must be a probability in [0, 1]")
+	}
+	if o.chaosDisk > 0 && o.db != "" {
+		return o, errors.New("gomd: -chaos-disk applies to -demo and -load only (a durable base's recovery path must stay honest)")
+	}
 	return o, nil
 }
 
@@ -120,27 +135,72 @@ func main() {
 	}
 }
 
+// chaosPoolFrames bounds the buffer pool in -chaos-disk mode. An
+// unbounded pool would absorb the whole index into cache and the
+// injector would never see a read; a small pool keeps queries hitting
+// the (faulty) device.
+const chaosPoolFrames = 32
+
+// chaosPool builds a fault-injected device + bounded pool for
+// -chaos-disk. Faults stay disabled (p=0) while the database and its
+// indexes are built — construction is clean; armChaos starts the
+// faults once the database is open.
+func chaosPool(seed int64) (*storage.FaultInjector, *storage.BufferPool) {
+	inj := storage.NewFaultInjector(storage.NewDisk(0), seed)
+	return inj, storage.NewBufferPool(inj, chaosPoolFrames, storage.LRU)
+}
+
+// armChaos flushes and empties the pool cache — after a clean build the
+// whole index is resident, and a warm cache never reads — then starts
+// injecting read faults.
+func armChaos(inj *storage.FaultInjector, pool *storage.BufferPool, p float64) error {
+	if err := pool.FlushAll(); err != nil {
+		return err
+	}
+	if err := pool.DropClean(); err != nil {
+		return err
+	}
+	inj.FailProbabilistically(p, 0)
+	return nil
+}
+
 // openDatabase builds the Database for the selected mode and returns a
-// line describing it for the startup log.
-func openDatabase(opts options) (*server.Database, string, error) {
+// line describing it for the startup log, plus the armed-later fault
+// injector when -chaos-disk is on.
+func openDatabase(opts options) (*server.Database, string, *storage.FaultInjector, error) {
+	var inj *storage.FaultInjector
+	var pool *storage.BufferPool
+	if opts.chaosDisk > 0 {
+		inj, pool = chaosPool(opts.chaosSeed)
+	}
 	switch {
 	case opts.demo:
-		d, err := server.DemoDatabase(opts.scale, opts.seed)
+		d, err := server.DemoDatabaseWith(opts.scale, opts.seed, pool)
 		if err != nil {
-			return nil, "", err
+			return nil, "", nil, err
+		}
+		if inj != nil {
+			if err := armChaos(inj, pool, opts.chaosDisk); err != nil {
+				return nil, "", nil, err
+			}
 		}
 		return d, fmt.Sprintf("demo database (scale %d, seed %d): %d objects, collection var All, indexed path T0.Next.Next.Next.Payload",
-			opts.scale, opts.seed, d.Base.Count()), nil
+			opts.scale, opts.seed, d.Base.Count()), inj, nil
 	case opts.load != "":
-		d, err := server.LoadDumpFile(opts.load, opts.indexes)
+		d, err := server.LoadDumpFileWith(opts.load, opts.indexes, pool)
 		if err != nil {
-			return nil, "", err
+			return nil, "", nil, err
 		}
-		return d, fmt.Sprintf("loaded %s: %d objects, %d indexes", opts.load, d.Base.Count(), len(d.Manager.Indexes())), nil
+		if inj != nil {
+			if err := armChaos(inj, pool, opts.chaosDisk); err != nil {
+				return nil, "", nil, err
+			}
+		}
+		return d, fmt.Sprintf("loaded %s: %d objects, %d indexes", opts.load, d.Base.Count(), len(d.Manager.Indexes())), inj, nil
 	default:
 		d, info, err := server.OpenDurableBase(opts.db)
 		if err != nil {
-			return nil, "", err
+			return nil, "", nil, err
 		}
 		desc := fmt.Sprintf("opened %s: %d objects, %d indexes (recovery: %d txns committed, %d discarded, %d pages redone)",
 			opts.db, d.Base.Count(), len(d.Manager.Indexes()), info.CommittedTxns, info.DiscardedTxns, info.RedonePages)
@@ -150,7 +210,7 @@ func openDatabase(opts options) (*server.Database, string, error) {
 		if n := len(info.QuarantinedPages); n > 0 {
 			desc += fmt.Sprintf("; WARNING: %d pages quarantined, run Repair", n)
 		}
-		return d, desc, nil
+		return d, desc, nil, nil
 	}
 }
 
@@ -162,19 +222,28 @@ func run(opts options, out io.Writer, onReady func(*server.Server)) error {
 		fmt.Fprintf(out, time.Now().Format("2006-01-02T15:04:05.000Z07:00")+" "+format+"\n", args...)
 	}
 
-	d, desc, err := openDatabase(opts)
+	d, desc, inj, err := openDatabase(opts)
 	if err != nil {
 		return err
 	}
 	logf("gomd: %s", desc)
+	if inj != nil {
+		// The database and its indexes were built on a clean device; the
+		// injector was armed only after (armChaos), so every fault surfaces
+		// at query time as a typed INTERNAL response — never a corrupt build.
+		logf("gomd: CHAOS: injecting page-read faults with p=%g (seed %d) — responses may be INTERNAL",
+			opts.chaosDisk, opts.chaosSeed)
+	}
 
 	s := server.New(d.Engine, d.Manager, server.Config{
-		Addr:         opts.addr,
-		AdminAddr:    opts.admin,
-		MaxInflight:  opts.maxInflight,
-		QueryWorkers: opts.workers,
-		Name:         opts.name,
-		Logf:         logf,
+		Addr:           opts.addr,
+		AdminAddr:      opts.admin,
+		MaxInflight:    opts.maxInflight,
+		QueryWorkers:   opts.workers,
+		RequestTimeout: opts.requestTimeout,
+		IdleTimeout:    opts.idleTimeout,
+		Name:           opts.name,
+		Logf:           logf,
 		OnDrain: func() error {
 			logf("gomd: checkpointing on drain")
 			return d.Checkpoint()

@@ -30,6 +30,12 @@ func TestParseFlags(t *testing.T) {
 	if _, err := parseFlags([]string{"-demo", "-index", "full:binary:T0.Payload"}, &errw); err == nil {
 		t.Fatal("-index without -load should be rejected")
 	}
+	if _, err := parseFlags([]string{"-db", "base", "-chaos-disk", "0.5"}, &errw); err == nil {
+		t.Fatal("-chaos-disk with -db should be rejected")
+	}
+	if _, err := parseFlags([]string{"-demo", "-chaos-disk", "1.5"}, &errw); err == nil {
+		t.Fatal("-chaos-disk out of [0,1] should be rejected")
+	}
 	o, err := parseFlags([]string{"-load", "x.gom", "-index", "a", "-index", "b", "-max-inflight", "7"}, &errw)
 	if err != nil {
 		t.Fatal(err)
@@ -231,6 +237,69 @@ func TestGomdLoadMode(t *testing.T) {
 	}
 	if err := <-runErr; err != nil {
 		t.Fatalf("gomd exit: %v", err)
+	}
+}
+
+// TestGomdChaosDisk boots gomd with -chaos-disk 1 — every page read
+// faults — and requires the failure contract end to end: index-routed
+// queries fail with the typed INTERNAL sentinel (never a crash or a
+// hang), traversal queries (which touch no index pages) still answer,
+// and the daemon drains cleanly afterward.
+func TestGomdChaosDisk(t *testing.T) {
+	opts, err := parseFlags([]string{
+		"-demo", "-scale", "2", "-chaos-disk", "1", "-chaos-seed", "3",
+		"-addr", "127.0.0.1:0", "-admin", "",
+	}, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out lockedBuffer
+	ready := make(chan *server.Server, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(opts, &out, func(s *server.Server) { ready <- s })
+	}()
+	var srv *server.Server
+	select {
+	case srv = <-ready:
+	case err := <-runErr:
+		t.Fatalf("gomd exited before ready: %v\n%s", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("gomd never became ready")
+	}
+
+	c, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// The indexed query needs ASR pages; with p=1 every read faults.
+	_, err = c.Query(context.Background(), `select x.Payload from x in All where x.Next.Next.Next.Payload = "L3-1"`)
+	if !errors.Is(err, client.ErrInternal) {
+		t.Fatalf("indexed query under disk faults = %v, want ErrInternal", err)
+	}
+	if !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("INTERNAL response does not name the fault: %v", err)
+	}
+
+	// Traversal reads the in-memory object base only — still healthy.
+	res, err := c.Query(context.Background(), `select x.Payload from x in All where x.Payload = "L0-1"`)
+	if err != nil {
+		t.Fatalf("traversal query under disk faults: %v", err)
+	}
+	if len(res.Values) != 1 {
+		t.Fatalf("traversal result = %+v", res)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-runErr; err != nil {
+		t.Fatalf("gomd exit: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "CHAOS: injecting page-read faults") {
+		t.Errorf("startup log missing chaos banner:\n%s", out.String())
 	}
 }
 

@@ -48,7 +48,15 @@ func (d *Database) Close() error {
 // NewMemoryDatabase wraps an existing object base with a fresh
 // in-memory pool, manager, and engine.
 func NewMemoryDatabase(ob *gom.ObjectBase) *Database {
-	mgr := asr.NewManager(ob, storage.NewBufferPool(storage.NewDisk(0), 0, storage.LRU))
+	return NewMemoryDatabaseWith(ob, storage.NewBufferPool(storage.NewDisk(0), 0, storage.LRU))
+}
+
+// NewMemoryDatabaseWith is NewMemoryDatabase over an explicit buffer
+// pool. The -chaos-disk serving path threads a bounded pool over a
+// storage.FaultInjector through here: bounded, so index reads actually
+// reach the (faulty) device instead of living in cache forever.
+func NewMemoryDatabaseWith(ob *gom.ObjectBase, pool *storage.BufferPool) *Database {
+	mgr := asr.NewManager(ob, pool)
 	return &Database{Base: ob, Manager: mgr, Engine: query.New(ob, mgr)}
 }
 
@@ -64,6 +72,12 @@ func NewMemoryDatabase(ob *gom.ObjectBase) *Database {
 // to traversal — both strategies observable from one demo dataset.
 // scale multiplies the extent sizes (scale 1 ≈ 46 objects).
 func DemoDatabase(scale int, seed int64) (*Database, error) {
+	return DemoDatabaseWith(scale, seed, nil)
+}
+
+// DemoDatabaseWith is DemoDatabase over an explicit buffer pool (nil
+// means a fresh unbounded in-memory pool).
+func DemoDatabaseWith(scale int, seed int64, pool *storage.BufferPool) (*Database, error) {
 	if scale < 1 {
 		scale = 1
 	}
@@ -101,7 +115,12 @@ func DemoDatabase(scale int, seed int64) (*Database, error) {
 	if err := db.Base.BindVar("All", all.ID()); err != nil {
 		return nil, err
 	}
-	d := NewMemoryDatabase(db.Base)
+	var d *Database
+	if pool != nil {
+		d = NewMemoryDatabaseWith(db.Base, pool)
+	} else {
+		d = NewMemoryDatabase(db.Base)
+	}
 	if err := d.BuildIndexes([]string{"full:binary:T0.Next.Next.Next.Payload"}); err != nil {
 		return nil, err
 	}
@@ -112,6 +131,12 @@ func DemoDatabase(scale int, seed int64) (*Database, error) {
 // dump) and rebuilds the requested indexes — dumps carry no index
 // pages; indexes are derived data (docs/ARCHITECTURE.md).
 func LoadDumpFile(path string, indexSpecs []string) (*Database, error) {
+	return LoadDumpFileWith(path, indexSpecs, nil)
+}
+
+// LoadDumpFileWith is LoadDumpFile over an explicit buffer pool (nil
+// means a fresh unbounded in-memory pool).
+func LoadDumpFileWith(path string, indexSpecs []string, pool *storage.BufferPool) (*Database, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -121,7 +146,12 @@ func LoadDumpFile(path string, indexSpecs []string) (*Database, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: loading %s: %w", path, err)
 	}
-	d := NewMemoryDatabase(ob)
+	var d *Database
+	if pool != nil {
+		d = NewMemoryDatabaseWith(ob, pool)
+	} else {
+		d = NewMemoryDatabase(ob)
+	}
 	if err := d.BuildIndexes(indexSpecs); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,367 @@
+// Package chaos injects network faults between gomd and its clients:
+// connection resets, torn frame writes, read/write stalls, added
+// latency, and accept-time refusals. It wraps net.Listener / net.Conn
+// the same way storage.FaultInjector wraps a storage.Device — faults
+// come from an explicit schedule or from a seeded RNG, so a failing
+// chaos run reproduces exactly from its seed and operation order
+// (docs/ROBUSTNESS.md, "Network chaos harness").
+//
+// One Injector holds the fault source; any number of listeners and
+// connections share it, so the schedule spans the whole server in
+// arrival order — exactly like one Crashpoint spanning a page file and
+// its WAL. Wrap a server's listener via server.Config.WrapListener:
+//
+//	inj := chaos.NewInjector(seed, chaos.Probabilities{ResetOnWrite: 0.01})
+//	cfg.WrapListener = func(ln net.Listener) net.Listener { return inj.Listener(ln) }
+//
+// Every injected fault increments chaos_faults_injected_total{kind=…}
+// in the process telemetry registry, so a chaos run's /metrics page
+// shows exactly what the harness did to the server.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjected is wrapped by every error the injector produces, so
+// callers and tests can tell injected network faults from genuine ones
+// with errors.Is — mirroring storage.ErrInjectedFault.
+var ErrInjected = errors.New("injected network fault")
+
+// Op selects which connection operation a scheduled fault intercepts.
+type Op int
+
+// The interceptable operations.
+const (
+	OpAccept Op = iota // Listener.Accept
+	OpRead             // Conn.Read
+	OpWrite            // Conn.Write
+)
+
+// String names the operation.
+func (op Op) String() string {
+	switch op {
+	case OpAccept:
+		return "accept"
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("Op(%d)", int(op))
+	}
+}
+
+// Kind is what an injected fault does to the operation.
+type Kind int
+
+const (
+	// Reset closes the connection and fails the operation with a
+	// connection-reset error — the peer sees a dropped connection.
+	Reset Kind = iota
+	// Torn applies to writes: a prefix of the buffer reaches the peer,
+	// then the connection resets — a torn frame, the network twin of
+	// storage's torn page write.
+	Torn
+	// Stall delays the operation by the injector's StallFor before
+	// letting it proceed — a slow network or a wedged peer, bounded so
+	// tests never hang.
+	Stall
+	// Refuse applies to accepts: the connection is accepted and
+	// immediately closed, as a full backlog or a dropping middlebox
+	// would present to the client.
+	Refuse
+)
+
+// String names the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case Reset:
+		return "reset"
+	case Torn:
+		return "torn"
+	case Stall:
+		return "stall"
+	case Refuse:
+		return "refuse"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Fault is one scheduled network fault, mirroring storage.Fault: Skip
+// lets that many matching operations through before the fault fires; a
+// transient fault clears after firing once, a Permanent one keeps
+// firing on every later match. TornFraction (writes, Kind Torn) is the
+// fraction of the buffer delivered before the reset.
+type Fault struct {
+	Op           Op
+	Kind         Kind
+	Skip         int
+	Permanent    bool
+	TornFraction float64
+}
+
+// Probabilities draws faults from the injector's seeded RNG instead of
+// (or in addition to) the explicit schedule; every field is a
+// per-operation probability in [0,1]. Zero value: no probabilistic
+// faults.
+type Probabilities struct {
+	AcceptRefuse float64 // accepted connection closed immediately
+	ResetOnRead  float64 // read fails, connection closed
+	ResetOnWrite float64 // write fails, connection closed
+	TornWrite    float64 // prefix delivered, then reset
+	StallRead    float64 // read delayed by StallFor
+	StallWrite   float64 // write delayed by StallFor
+}
+
+// Stats counts injected faults by kind.
+type Stats struct {
+	Resets       uint64
+	TornWrites   uint64
+	Stalls       uint64
+	Refusals     uint64
+	LatencyAdded uint64 // operations delayed by the latency jitter
+}
+
+// Total sums every category.
+func (s Stats) Total() uint64 {
+	return s.Resets + s.TornWrites + s.Stalls + s.Refusals
+}
+
+// Injector is the shared fault source for any number of chaos
+// listeners and connections. Safe for concurrent use; the RNG draw
+// order is the cross-connection operation arrival order, so a fixed
+// seed reproduces the same fault decisions for the same schedule of
+// operations.
+type Injector struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	probs  Probabilities
+	faults []*Fault
+	stats  Stats
+
+	// StallFor bounds every injected stall; zero disables stalls even
+	// when scheduled (a stall of zero is a no-op, not a hang).
+	StallFor time.Duration
+	// Latency, when positive, adds a uniform random delay in
+	// [0, Latency) to every read and write — background jitter under
+	// the fault schedule.
+	Latency time.Duration
+}
+
+// NewInjector returns an injector seeded for reproducibility.
+func NewInjector(seed int64, probs Probabilities) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed)), probs: probs}
+}
+
+// Schedule adds an explicit fault to the schedule.
+func (in *Injector) Schedule(f Fault) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	fc := f
+	in.faults = append(in.faults, &fc)
+}
+
+// Heal clears the schedule and the probabilities — the network is
+// repaired; latency and stall bounds are left as configured.
+func (in *Injector) Heal() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.faults = nil
+	in.probs = Probabilities{}
+}
+
+// Stats returns a copy of the injection counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// fire decides the fault for one operation: the first matching
+// scheduled fault wins, then the probabilistic draws, in a fixed order
+// so a seed replays. It returns the kind to inject, the torn fraction
+// for torn writes, and whether anything fired. Must be called with
+// in.mu held.
+func (in *Injector) fire(op Op) (Kind, float64, bool) {
+	for i, f := range in.faults {
+		if f.Op != op {
+			continue
+		}
+		if f.Skip > 0 {
+			f.Skip--
+			continue
+		}
+		if !f.Permanent {
+			in.faults = append(in.faults[:i], in.faults[i+1:]...)
+		}
+		return f.Kind, f.TornFraction, true
+	}
+	switch op {
+	case OpAccept:
+		if p := in.probs.AcceptRefuse; p > 0 && in.rng.Float64() < p {
+			return Refuse, 0, true
+		}
+	case OpRead:
+		if p := in.probs.ResetOnRead; p > 0 && in.rng.Float64() < p {
+			return Reset, 0, true
+		}
+		if p := in.probs.StallRead; p > 0 && in.rng.Float64() < p {
+			return Stall, 0, true
+		}
+	case OpWrite:
+		if p := in.probs.ResetOnWrite; p > 0 && in.rng.Float64() < p {
+			return Reset, 0, true
+		}
+		if p := in.probs.TornWrite; p > 0 && in.rng.Float64() < p {
+			return Torn, in.rng.Float64(), true
+		}
+		if p := in.probs.StallWrite; p > 0 && in.rng.Float64() < p {
+			return Stall, 0, true
+		}
+	}
+	return 0, 0, false
+}
+
+// latency draws this operation's background jitter (0 when disabled).
+func (in *Injector) latency() time.Duration {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.Latency <= 0 {
+		return 0
+	}
+	d := time.Duration(in.rng.Int63n(int64(in.Latency)))
+	if d > 0 {
+		in.stats.LatencyAdded++
+	}
+	return d
+}
+
+// count records one injected fault of the given kind; must be called
+// with in.mu held.
+func (in *Injector) count(k Kind) {
+	switch k {
+	case Reset:
+		in.stats.Resets++
+	case Torn:
+		in.stats.TornWrites++
+	case Stall:
+		in.stats.Stalls++
+	case Refuse:
+		in.stats.Refusals++
+	}
+	faultCounter(k).Inc()
+}
+
+// Listener wraps ln: accepted connections pass through the injector's
+// fault schedule, and accept-time refusals close the connection before
+// the caller sees it.
+func (in *Injector) Listener(ln net.Listener) net.Listener {
+	return &listener{Listener: ln, in: in}
+}
+
+// Conn wraps an existing connection (e.g. the client side of a dial)
+// in the injector's fault schedule.
+func (in *Injector) Conn(c net.Conn) net.Conn {
+	return &conn{Conn: c, in: in}
+}
+
+type listener struct {
+	net.Listener
+	in *Injector
+}
+
+// Accept accepts from the wrapped listener, applying refusal faults:
+// a refused connection is closed immediately and Accept moves on to
+// the next one — the client experiences a reset-on-connect, the server
+// accept loop never sees it.
+func (l *listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.in.mu.Lock()
+		kind, _, fired := l.in.fire(OpAccept)
+		if fired {
+			l.in.count(kind)
+		}
+		l.in.mu.Unlock()
+		if fired {
+			c.Close()
+			continue
+		}
+		return &conn{Conn: c, in: l.in}, nil
+	}
+}
+
+// conn applies the injector's schedule to one connection. A fired
+// reset (or the tail of a torn write) closes the underlying
+// connection, so the peer observes the failure too — both sides see a
+// broken pipe / unexpected EOF, as with a real RST.
+type conn struct {
+	net.Conn
+	in *Injector
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	if d := c.in.latency(); d > 0 {
+		time.Sleep(d)
+	}
+	c.in.mu.Lock()
+	kind, _, fired := c.in.fire(OpRead)
+	if fired {
+		c.in.count(kind)
+	}
+	stall := c.in.StallFor
+	c.in.mu.Unlock()
+	if fired {
+		switch kind {
+		case Stall:
+			time.Sleep(stall)
+		default: // Reset
+			c.Conn.Close()
+			return 0, fmt.Errorf("chaos: read on %v: reset: %w", c.RemoteAddr(), ErrInjected)
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	if d := c.in.latency(); d > 0 {
+		time.Sleep(d)
+	}
+	c.in.mu.Lock()
+	kind, torn, fired := c.in.fire(OpWrite)
+	if fired {
+		c.in.count(kind)
+	}
+	stall := c.in.StallFor
+	c.in.mu.Unlock()
+	if fired {
+		switch kind {
+		case Stall:
+			time.Sleep(stall)
+		case Torn:
+			// Deliver a prefix, then reset: the peer reads a torn frame
+			// and then an unexpected EOF.
+			n := int(torn * float64(len(p)))
+			if n > 0 {
+				c.Conn.Write(p[:n])
+			}
+			c.Conn.Close()
+			return n, fmt.Errorf("chaos: write on %v: torn after %d/%d bytes: %w",
+				c.RemoteAddr(), n, len(p), ErrInjected)
+		default: // Reset
+			c.Conn.Close()
+			return 0, fmt.Errorf("chaos: write on %v: reset: %w", c.RemoteAddr(), ErrInjected)
+		}
+	}
+	return c.Conn.Write(p)
+}

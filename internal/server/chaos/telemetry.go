@@ -1,0 +1,21 @@
+package chaos
+
+import "asr/internal/telemetry"
+
+// chaos_faults_injected_total{kind=…} counts every injected network
+// fault in the process registry, one label per fault kind, so a chaos
+// run's /metrics scrape reports exactly what the harness injected
+// (documented in docs/SERVICE.md's metrics table).
+var telFaults = map[Kind]*telemetry.Counter{
+	Reset:  telemetry.Default().Counter(`chaos_faults_injected_total{kind="reset"}`),
+	Torn:   telemetry.Default().Counter(`chaos_faults_injected_total{kind="torn"}`),
+	Stall:  telemetry.Default().Counter(`chaos_faults_injected_total{kind="stall"}`),
+	Refuse: telemetry.Default().Counter(`chaos_faults_injected_total{kind="refuse"}`),
+}
+
+func faultCounter(k Kind) *telemetry.Counter {
+	if c, ok := telFaults[k]; ok {
+		return c
+	}
+	return telFaults[Reset]
+}

@@ -32,29 +32,40 @@ import (
 // wraps exactly one of these; TestErrorMapping holds the two sets in
 // lockstep.
 var (
-	ErrParse        = errors.New("gomd: query parse error")
-	ErrQuery        = errors.New("gomd: query failed")
-	ErrCanceled     = errors.New("gomd: query canceled")
-	ErrOverloaded   = errors.New("gomd: server overloaded")
-	ErrShuttingDown = errors.New("gomd: server shutting down")
-	ErrBadRequest   = errors.New("gomd: bad request")
-	ErrProtocol     = errors.New("gomd: protocol error")
-	ErrInternal     = errors.New("gomd: internal server error")
+	ErrParse            = errors.New("gomd: query parse error")
+	ErrQuery            = errors.New("gomd: query failed")
+	ErrCanceled         = errors.New("gomd: query canceled")
+	ErrDeadlineExceeded = errors.New("gomd: server request deadline exceeded")
+	ErrOverloaded       = errors.New("gomd: server overloaded")
+	ErrShuttingDown     = errors.New("gomd: server shutting down")
+	ErrBadRequest       = errors.New("gomd: bad request")
+	ErrProtocol         = errors.New("gomd: protocol error")
+	ErrInternal         = errors.New("gomd: internal server error")
 
-	// ErrConnClosed reports that the connection died (or Close was
-	// called) with requests still pending.
+	// ErrConnClosed reports that the connection is unusable — Close was
+	// called, or the transport died — with requests still pending.
 	ErrConnClosed = errors.New("gomd: connection closed")
+
+	// ErrConnLost is the transport-failure subset of ErrConnClosed: the
+	// server (or the network) dropped the connection mid-request — a raw
+	// io.EOF / net.OpError from the stream surfaces as this, never
+	// untyped. It wraps ErrConnClosed, so errors.Is(err, ErrConnClosed)
+	// still matches; errors.Is(err, ErrConnLost) distinguishes a lost
+	// transport (retryable against a reconnect — queries are read-only)
+	// from a deliberate local Close.
+	ErrConnLost = fmt.Errorf("gomd: connection lost: %w", ErrConnClosed)
 )
 
 var sentinelByCode = map[string]error{
-	wire.CodeParse:        ErrParse,
-	wire.CodeQuery:        ErrQuery,
-	wire.CodeCanceled:     ErrCanceled,
-	wire.CodeOverloaded:   ErrOverloaded,
-	wire.CodeShuttingDown: ErrShuttingDown,
-	wire.CodeBadRequest:   ErrBadRequest,
-	wire.CodeProtocol:     ErrProtocol,
-	wire.CodeInternal:     ErrInternal,
+	wire.CodeParse:            ErrParse,
+	wire.CodeQuery:            ErrQuery,
+	wire.CodeCanceled:         ErrCanceled,
+	wire.CodeDeadlineExceeded: ErrDeadlineExceeded,
+	wire.CodeOverloaded:       ErrOverloaded,
+	wire.CodeShuttingDown:     ErrShuttingDown,
+	wire.CodeBadRequest:       ErrBadRequest,
+	wire.CodeProtocol:         ErrProtocol,
+	wire.CodeInternal:         ErrInternal,
 }
 
 // ErrFor returns the sentinel for a wire error code (ErrInternal for
@@ -224,7 +235,11 @@ func (c *Client) roundTrip(ctx context.Context, t wire.MsgType, body any, onCtx 
 
 	f, err := wire.Marshal(t, id, body)
 	if err == nil {
-		err = c.writeFrame(f)
+		if werr := c.writeFrame(f); werr != nil {
+			// The transport failed mid-send: typed, so callers can
+			// distinguish a lost connection from a protocol error.
+			err = fmt.Errorf("%w: %v", ErrConnLost, werr)
+		}
 	}
 	if err != nil {
 		c.mu.Lock()
@@ -296,7 +311,11 @@ func (c *Client) readLoop() {
 	for {
 		f, err := wire.ReadFrame(c.conn)
 		if err != nil {
-			c.failAll(fmt.Errorf("%w: %v", ErrConnClosed, err))
+			// A raw io.EOF / net.OpError never escapes: every pending
+			// request fails with the typed ErrConnLost (which also
+			// matches ErrConnClosed for callers that only care that the
+			// connection is gone).
+			c.failAll(fmt.Errorf("%w: %v", ErrConnLost, err))
 			return
 		}
 		if f.ReqID == 0 && f.Type == wire.MsgError {

@@ -2,6 +2,8 @@ package client
 
 import (
 	"errors"
+	"fmt"
+	"io"
 	"testing"
 
 	"asr/internal/server/wire"
@@ -13,14 +15,15 @@ import (
 // contract callers branch on.
 func TestErrorMapping(t *testing.T) {
 	want := map[string]error{
-		wire.CodeParse:        ErrParse,
-		wire.CodeQuery:        ErrQuery,
-		wire.CodeCanceled:     ErrCanceled,
-		wire.CodeOverloaded:   ErrOverloaded,
-		wire.CodeShuttingDown: ErrShuttingDown,
-		wire.CodeBadRequest:   ErrBadRequest,
-		wire.CodeProtocol:     ErrProtocol,
-		wire.CodeInternal:     ErrInternal,
+		wire.CodeParse:            ErrParse,
+		wire.CodeQuery:            ErrQuery,
+		wire.CodeCanceled:         ErrCanceled,
+		wire.CodeDeadlineExceeded: ErrDeadlineExceeded,
+		wire.CodeOverloaded:       ErrOverloaded,
+		wire.CodeShuttingDown:     ErrShuttingDown,
+		wire.CodeBadRequest:       ErrBadRequest,
+		wire.CodeProtocol:         ErrProtocol,
+		wire.CodeInternal:         ErrInternal,
 	}
 	if len(want) != len(wire.Codes) {
 		t.Fatalf("mapping covers %d codes, wire defines %d — update both", len(want), len(wire.Codes))
@@ -60,5 +63,21 @@ func TestErrorMapping(t *testing.T) {
 	}
 	if !errors.Is(&ServerError{Code: "FUTURE_CODE"}, ErrInternal) {
 		t.Fatal("unknown-code ServerError should match ErrInternal")
+	}
+}
+
+// TestConnLostSemantics: ErrConnLost (transport failure) is a subset of
+// ErrConnClosed — old callers matching ErrConnClosed keep working — but
+// a deliberate local Close never reads as a lost transport.
+func TestConnLostSemantics(t *testing.T) {
+	lost := fmt.Errorf("%w: %v", ErrConnLost, io.EOF)
+	if !errors.Is(lost, ErrConnLost) {
+		t.Fatal("wrapped transport failure must match ErrConnLost")
+	}
+	if !errors.Is(lost, ErrConnClosed) {
+		t.Fatal("ErrConnLost must also match ErrConnClosed (compat)")
+	}
+	if errors.Is(ErrConnClosed, ErrConnLost) {
+		t.Fatal("a deliberate Close must not read as a lost transport")
 	}
 }

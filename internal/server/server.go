@@ -70,6 +70,24 @@ type Config struct {
 	// request does not choose its own; ≤ 0 means 1 (saturation comes
 	// from concurrent sessions, not from oversubscribing each query).
 	QueryWorkers int
+	// RequestTimeout, when positive, deadlines every query server-side:
+	// a query still running when it expires is canceled through the
+	// RunCtx plumbing and answered with a typed DEADLINE_EXCEEDED — one
+	// slow query cannot pin an inflight slot forever. 0 disables.
+	RequestTimeout time.Duration
+	// WriteTimeout bounds each response frame write, so a client that
+	// stops reading (full receive window) cannot pin a session goroutine
+	// on a blocked send — the write fails, the session's queries are
+	// canceled, and the connection is dropped. ≤ 0 means 30s.
+	WriteTimeout time.Duration
+	// IdleTimeout, when positive, arms the connection watchdog: sessions
+	// with no frame read, no response written, and no query in flight
+	// for longer than this are reaped (connection closed). 0 disables.
+	IdleTimeout time.Duration
+	// WrapListener, when set, wraps the main listener after binding —
+	// the chaos harness injects network faults here
+	// (internal/server/chaos); production leaves it nil.
+	WrapListener func(net.Listener) net.Listener
 	// Name is reported in HelloOK and /metrics; empty means "gomd".
 	Name string
 	// OnDrain runs during Shutdown after the last admitted query has
@@ -131,6 +149,9 @@ func New(engine QueryEngine, mgr *asr.Manager, cfg Config) *Server {
 	if cfg.Name == "" {
 		cfg.Name = "gomd"
 	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 30 * time.Second
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
 		cfg:      cfg,
@@ -160,6 +181,9 @@ func (s *Server) Start() error {
 	if err != nil {
 		return err
 	}
+	if s.cfg.WrapListener != nil {
+		ln = s.cfg.WrapListener(ln)
+	}
 	s.ln = ln
 	if s.cfg.AdminAddr != "" {
 		admin, err := newAdminServer(s, s.cfg.AdminAddr)
@@ -172,6 +196,10 @@ func (s *Server) Start() error {
 	s.started = true
 	s.connWG.Add(1)
 	go s.acceptLoop()
+	if s.cfg.IdleTimeout > 0 {
+		s.connWG.Add(1)
+		go s.watchdog()
+	}
 	s.logf("server: listening on %s (max inflight %d)", ln.Addr(), s.cfg.MaxInflight)
 	if s.admin != nil {
 		s.logf("server: admin endpoint on http://%s (/metrics /healthz /readyz)", s.admin.Addr())
@@ -208,6 +236,42 @@ func (s *Server) acceptLoop() {
 		}
 		s.connWG.Add(1)
 		go s.serveConn(conn)
+	}
+}
+
+// watchdog reaps idle sessions: a connection with no frame read, no
+// response written, and no query in flight for longer than IdleTimeout
+// is closed, so abandoned or wedged peers cannot accumulate session
+// goroutines forever. Runs until the server's base context is
+// canceled during Shutdown.
+func (s *Server) watchdog() {
+	defer s.connWG.Done()
+	tick := s.cfg.IdleTimeout / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+		}
+		cutoff := time.Now().Add(-s.cfg.IdleTimeout).UnixNano()
+		s.mu.Lock()
+		var reap []*session
+		for _, ss := range s.sessions {
+			if ss.lastActive.Load() < cutoff && ss.inflightCount() == 0 {
+				reap = append(reap, ss)
+			}
+		}
+		s.mu.Unlock()
+		for _, ss := range reap {
+			telIdleReaps.Inc()
+			s.logf("server: session %d idle past %s, reaping", ss.id, s.cfg.IdleTimeout)
+			ss.conn.Close() // the reader goroutine tears the session down
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"net"
+	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,7 @@ import (
 	"asr/internal/gom"
 	"asr/internal/query"
 	"asr/internal/server/wire"
+	"asr/internal/storage"
 )
 
 // session is the server side of one client connection. The reader
@@ -31,6 +33,11 @@ type session struct {
 	inflightMu sync.Mutex
 	inflight   map[uint32]context.CancelFunc
 
+	// lastActive is the UnixNano of the last frame read or response
+	// written; the idle watchdog reaps sessions whose lastActive is
+	// stale and whose inflight set is empty.
+	lastActive atomic.Int64
+
 	helloed bool // reader-goroutine only
 
 	nRequests atomic.Uint64
@@ -49,6 +56,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		cancel:   cancel,
 		inflight: map[uint32]context.CancelFunc{},
 	}
+	ss.touch()
 	s.mu.Lock()
 	if s.stopped {
 		s.mu.Unlock()
@@ -80,6 +88,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
+		ss.touch()
 		telBytesRead.Add(uint64(wire.HeaderSize + len(f.Payload)))
 		s.nRequests.Add(1)
 		ss.nRequests.Add(1)
@@ -143,7 +152,17 @@ func (ss *session) handleQuery(f wire.Frame) {
 		ss.replyError(f.ReqID, code, admissionMessage(code, srv.cfg.MaxInflight))
 		return
 	}
-	qctx, qcancel := context.WithCancel(ss.ctx)
+	// The per-request deadline rides the same context chain as
+	// cancellation: only this timer produces DeadlineExceeded on qctx
+	// (session/drain cancellation produces Canceled), which is how the
+	// error mapping below tells the two apart.
+	var qctx context.Context
+	var qcancel context.CancelFunc
+	if d := srv.cfg.RequestTimeout; d > 0 {
+		qctx, qcancel = context.WithTimeout(ss.ctx, d)
+	} else {
+		qctx, qcancel = context.WithCancel(ss.ctx)
+	}
 	ss.inflightMu.Lock()
 	if _, dup := ss.inflight[f.ReqID]; dup {
 		ss.inflightMu.Unlock()
@@ -184,15 +203,41 @@ func (ss *session) handleQuery(f wire.Frame) {
 		res, err := srv.engine.RunCtx(qctx, q, workers)
 		telQuerySeconds.Observe(time.Since(started).Seconds())
 		if err != nil {
-			code := wire.CodeQuery
-			if qctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				code = wire.CodeCanceled
-			}
-			ss.replyError(f.ReqID, code, err.Error())
+			ss.replyError(f.ReqID, queryErrorCode(qctx, err), err.Error())
 			return
 		}
 		ss.reply(wire.MsgResult, f.ReqID, wire.Result{Values: renderValues(res), Plan: res.Plan})
 	}()
+}
+
+// queryErrorCode maps an engine failure to its wire code. The mapping
+// is exact, not best-effort: the per-request timer is the only source
+// of DeadlineExceeded on qctx, so DEADLINE_EXCEEDED never masquerades
+// as CANCELED; and a storage fault surfacing mid-query (the -chaos
+// serving path, or a genuinely sick disk) is the server's problem, not
+// the query's — INTERNAL, never QUERY.
+func queryErrorCode(qctx context.Context, err error) string {
+	switch {
+	case errors.Is(qctx.Err(), context.DeadlineExceeded):
+		telDeadlineExceeded.Inc()
+		return wire.CodeDeadlineExceeded
+	case qctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return wire.CodeCanceled
+	case isStorageFault(err):
+		return wire.CodeInternal
+	default:
+		return wire.CodeQuery
+	}
+}
+
+// isStorageFault recognizes failures originating below the engine — a
+// faulted device read, a checksum mismatch, a simulated crash — all
+// transient or operational conditions a client should see as INTERNAL
+// (report / retry policy), not as a defect in its query.
+func isStorageFault(err error) bool {
+	return errors.Is(err, storage.ErrInjectedFault) ||
+		errors.Is(err, storage.ErrCorruptPage) ||
+		errors.Is(err, storage.ErrCrashed)
 }
 
 func admissionMessage(code string, maxInflight int) string {
@@ -231,12 +276,37 @@ func (ss *session) replyError(reqID uint32, code, msg string) {
 func (ss *session) writeFrame(f wire.Frame) {
 	ss.writeMu.Lock()
 	defer ss.writeMu.Unlock()
+	// The write deadline is the slow-reader guard: a client that stops
+	// draining its socket blocks this write only until the deadline,
+	// then the session is torn down — it cannot pin the writer (and
+	// with it, drain) forever.
+	ss.conn.SetWriteDeadline(time.Now().Add(ss.srv.cfg.WriteTimeout))
 	if err := wire.WriteFrame(ss.conn, f); err != nil {
-		// The connection is gone; stop any queries still running for it.
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			telWriteTimeouts.Inc()
+			ss.srv.logf("server: session %d: response write timed out after %s, dropping connection",
+				ss.id, ss.srv.cfg.WriteTimeout)
+		}
+		// The connection is gone (or judged dead); stop any queries
+		// still running for it and unblock the reader.
 		ss.cancel()
+		ss.conn.Close()
 		return
 	}
+	ss.conn.SetWriteDeadline(time.Time{})
+	ss.touch()
 	telBytesWritten.Add(uint64(wire.HeaderSize + len(f.Payload)))
+}
+
+// touch stamps the session as active now.
+func (ss *session) touch() { ss.lastActive.Store(time.Now().UnixNano()) }
+
+// inflightCount reports how many of this session's requests are
+// currently executing.
+func (ss *session) inflightCount() int {
+	ss.inflightMu.Lock()
+	defer ss.inflightMu.Unlock()
+	return len(ss.inflight)
 }
 
 func itoa(n int) string { return strconv.Itoa(n) }

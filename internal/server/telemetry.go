@@ -23,16 +23,19 @@ var (
 
 	telErrors = map[string]*telemetry.Counter{} // per error code, filled by init
 
-	telInflight       = telemetry.Default().Gauge("server_inflight_queries")
-	telOverloads      = telemetry.Default().Counter("server_overloads_total")
-	telDrainRejects   = telemetry.Default().Counter("server_drain_rejects_total")
-	telQuerySeconds   = telemetry.Default().Histogram("server_query_seconds", telemetry.LatencyBuckets)
-	telBytesRead      = telemetry.Default().Counter("server_bytes_read_total")
-	telBytesWritten   = telemetry.Default().Counter("server_bytes_written_total")
-	telDrains         = telemetry.Default().Counter("server_drains_total")
-	telDrainSeconds   = telemetry.Default().Histogram("server_drain_seconds", telemetry.LatencyBuckets)
-	telAdminScrapes   = telemetry.Default().Counter("server_metrics_scrapes_total")
-	telCheckpointErrs = telemetry.Default().Counter("server_drain_checkpoint_errors_total")
+	telInflight         = telemetry.Default().Gauge("server_inflight_queries")
+	telOverloads        = telemetry.Default().Counter("server_overloads_total")
+	telDeadlineExceeded = telemetry.Default().Counter("server_deadline_exceeded_total")
+	telWriteTimeouts    = telemetry.Default().Counter("server_write_timeouts_total")
+	telIdleReaps        = telemetry.Default().Counter("server_idle_reaped_total")
+	telDrainRejects     = telemetry.Default().Counter("server_drain_rejects_total")
+	telQuerySeconds     = telemetry.Default().Histogram("server_query_seconds", telemetry.LatencyBuckets)
+	telBytesRead        = telemetry.Default().Counter("server_bytes_read_total")
+	telBytesWritten     = telemetry.Default().Counter("server_bytes_written_total")
+	telDrains           = telemetry.Default().Counter("server_drains_total")
+	telDrainSeconds     = telemetry.Default().Histogram("server_drain_seconds", telemetry.LatencyBuckets)
+	telAdminScrapes     = telemetry.Default().Counter("server_metrics_scrapes_total")
+	telCheckpointErrs   = telemetry.Default().Counter("server_drain_checkpoint_errors_total")
 )
 
 func init() {

@@ -283,14 +283,15 @@ type StatsResult struct {
 // a typed sentinel error (client.ErrFor); a table test on the client
 // side walks Codes to keep the two in lockstep.
 const (
-	CodeParse        = "PARSE"         // the query text failed to parse
-	CodeQuery        = "QUERY"         // resolution/evaluation failed (unknown collection, type error, …)
-	CodeCanceled     = "CANCELED"      // the request's context was canceled (MsgCancel or disconnect)
-	CodeOverloaded   = "OVERLOADED"    // admission control: max-inflight reached, retry later
-	CodeShuttingDown = "SHUTTING_DOWN" // server is draining; no new work accepted
-	CodeBadRequest   = "BAD_REQUEST"   // malformed payload or unknown message type
-	CodeProtocol     = "PROTOCOL"      // handshake violation (bad version, missing Hello)
-	CodeInternal     = "INTERNAL"      // unexpected server-side failure
+	CodeParse            = "PARSE"             // the query text failed to parse
+	CodeQuery            = "QUERY"             // resolution/evaluation failed (unknown collection, type error, …)
+	CodeCanceled         = "CANCELED"          // the request's context was canceled (MsgCancel or disconnect)
+	CodeDeadlineExceeded = "DEADLINE_EXCEEDED" // the server's per-request deadline expired before the query finished
+	CodeOverloaded       = "OVERLOADED"        // admission control: max-inflight reached, retry later
+	CodeShuttingDown     = "SHUTTING_DOWN"     // server is draining; no new work accepted
+	CodeBadRequest       = "BAD_REQUEST"       // malformed payload or unknown message type
+	CodeProtocol         = "PROTOCOL"          // handshake violation (bad version, missing Hello)
+	CodeInternal         = "INTERNAL"          // unexpected server-side failure (includes storage faults during execution)
 )
 
 // Codes lists every error code the server can emit.
@@ -298,6 +299,7 @@ var Codes = []string{
 	CodeParse,
 	CodeQuery,
 	CodeCanceled,
+	CodeDeadlineExceeded,
 	CodeOverloaded,
 	CodeShuttingDown,
 	CodeBadRequest,
