@@ -54,11 +54,15 @@ crash-matrix:
 # gomd in-process on ephemeral ports, burst 30 connections, deliver a
 # real SIGTERM mid-traffic, and require byte-identical results, typed
 # rejections only, a served /metrics page, and a clean drain. Also
+# probes the admin observability plane (/debug/pprof, /traces,
+# /slowlog, /readyz load counts), the trace-propagation contract, and
+# vets that every server_*/trace_* metric in the source is documented;
 # fuzzes the wire-frame codec briefly (mirroring the WAL codec fuzz)
 # and replays the protocol saturation + drain tests.
 server-smoke:
 	$(GO) test -race -count=1 -run 'TestGomd' ./cmd/gomd/
 	$(GO) test -race -count=1 -run 'TestSaturation|TestDrain|TestCancel|TestOverload' ./internal/server/
+	$(GO) test -race -count=1 -run 'TestAdminPlane|TestSlowLog|TestTrailerOnError|TestServerGeneratesTrace|TestServerMetricsAreDocumented' ./internal/server/
 	$(GO) test -run=FuzzFrameDecode -fuzz=FuzzFrameDecode -fuzztime=10s ./internal/server/wire/
 
 # Chaos gate under the race detector (docs/ROBUSTNESS.md, "Network

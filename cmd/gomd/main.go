@@ -1,8 +1,10 @@
 // Command gomd is the object-base server: it serves one database to
 // many clients over the length-prefixed binary protocol of
 // internal/server/wire (spec: docs/SERVICE.md), with admission control,
-// graceful drain on SIGTERM/SIGINT, and an admin HTTP endpoint for
-// Prometheus metrics and health checks.
+// graceful drain on SIGTERM/SIGINT, structured logs (-log-level,
+// -log-format), a slow-query log (-slow-query), and an admin HTTP
+// endpoint for Prometheus metrics, health checks, request traces, and
+// live profiling.
 //
 // Exactly one database mode must be chosen:
 //
@@ -23,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -57,6 +60,9 @@ type options struct {
 	name           string
 	chaosDisk      float64
 	chaosSeed      int64
+	logLevel       string
+	logFormat      string
+	slowQuery      time.Duration
 }
 
 func parseFlags(args []string, errw io.Writer) (options, error) {
@@ -64,7 +70,7 @@ func parseFlags(args []string, errw io.Writer) (options, error) {
 	fs := flag.NewFlagSet("gomd", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	fs.StringVar(&o.addr, "addr", "127.0.0.1:7424", "query listener address")
-	fs.StringVar(&o.admin, "admin", "127.0.0.1:7425", "admin HTTP address for /metrics, /healthz, /readyz (empty disables)")
+	fs.StringVar(&o.admin, "admin", "127.0.0.1:7425", "admin HTTP address for /metrics, /healthz, /readyz, /traces, /slowlog, /debug/pprof (empty disables)")
 	fs.BoolVar(&o.demo, "demo", false, "serve a generated demo database")
 	fs.IntVar(&o.scale, "scale", 4, "demo database scale factor (with -demo)")
 	fs.Int64Var(&o.seed, "seed", 42, "demo database generation seed (with -demo)")
@@ -80,6 +86,9 @@ func parseFlags(args []string, errw io.Writer) (options, error) {
 	fs.StringVar(&o.name, "name", "gomd", "server name reported in handshakes and stats")
 	fs.Float64Var(&o.chaosDisk, "chaos-disk", 0, "inject transient page-read faults with this probability, 0..1 (resilience testing; with -demo or -load)")
 	fs.Int64Var(&o.chaosSeed, "chaos-seed", 1, "seed for the -chaos-disk fault schedule")
+	fs.StringVar(&o.logLevel, "log-level", "info", "minimum log level: debug, info, warn, error")
+	fs.StringVar(&o.logFormat, "log-format", "text", "log output format: text, json")
+	fs.DurationVar(&o.slowQuery, "slow-query", time.Second, "record queries slower than this in the slow-query log (admin /slowlog; 0 disables)")
 	fs.Usage = func() {
 		fmt.Fprintf(errw, `gomd — object-base server (Access Support Relations engine)
 
@@ -88,6 +97,10 @@ usage: gomd (-demo | -load FILE.gom | -db BASE) [flags]
 `)
 		fs.PrintDefaults()
 		fmt.Fprintf(errw, `
+The admin endpoint (-admin) serves /metrics (Prometheus), /healthz,
+/readyz, /traces (recent request spans), /slowlog (queries over
+-slow-query), and /debug/pprof (live profiling).
+
 Stop with SIGTERM or SIGINT: gomd stops accepting work, answers every
 admitted query, checkpoints durable state, then exits.
 
@@ -117,7 +130,39 @@ docs: docs/SERVICE.md (protocol + runbook), docs/ARCHITECTURE.md,
 	if o.chaosDisk > 0 && o.db != "" {
 		return o, errors.New("gomd: -chaos-disk applies to -demo and -load only (a durable base's recovery path must stay honest)")
 	}
+	switch o.logLevel {
+	case "debug", "info", "warn", "error":
+	default:
+		return o, fmt.Errorf("gomd: -log-level %q is not one of debug, info, warn, error", o.logLevel)
+	}
+	switch o.logFormat {
+	case "text", "json":
+	default:
+		return o, fmt.Errorf("gomd: -log-format %q is not one of text, json", o.logFormat)
+	}
 	return o, nil
+}
+
+// buildLogger constructs the process logger from -log-level and
+// -log-format. Everything gomd and the embedded server print goes
+// through it, so `gomd -log-format json | jq` works end to end.
+func buildLogger(o options, out io.Writer) *slog.Logger {
+	var level slog.Level
+	switch o.logLevel {
+	case "debug":
+		level = slog.LevelDebug
+	case "warn":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		level = slog.LevelInfo
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	if o.logFormat == "json" {
+		return slog.New(slog.NewJSONHandler(out, hopts))
+	}
+	return slog.New(slog.NewTextHandler(out, hopts))
 }
 
 func main() {
@@ -218,34 +263,33 @@ func openDatabase(opts options) (*server.Database, string, *storage.FaultInjecto
 // onReady, if non-nil, is called with the started server (tests use it
 // to learn the ephemeral addresses).
 func run(opts options, out io.Writer, onReady func(*server.Server)) error {
-	logf := func(format string, args ...any) {
-		fmt.Fprintf(out, time.Now().Format("2006-01-02T15:04:05.000Z07:00")+" "+format+"\n", args...)
-	}
+	logger := buildLogger(opts, out)
 
 	d, desc, inj, err := openDatabase(opts)
 	if err != nil {
 		return err
 	}
-	logf("gomd: %s", desc)
+	logger.Info("gomd: " + desc)
 	if inj != nil {
 		// The database and its indexes were built on a clean device; the
 		// injector was armed only after (armChaos), so every fault surfaces
 		// at query time as a typed INTERNAL response — never a corrupt build.
-		logf("gomd: CHAOS: injecting page-read faults with p=%g (seed %d) — responses may be INTERNAL",
-			opts.chaosDisk, opts.chaosSeed)
+		logger.Warn("gomd: CHAOS: injecting page-read faults — responses may be INTERNAL",
+			"p", opts.chaosDisk, "seed", opts.chaosSeed)
 	}
 
 	s := server.New(d.Engine, d.Manager, server.Config{
-		Addr:           opts.addr,
-		AdminAddr:      opts.admin,
-		MaxInflight:    opts.maxInflight,
-		QueryWorkers:   opts.workers,
-		RequestTimeout: opts.requestTimeout,
-		IdleTimeout:    opts.idleTimeout,
-		Name:           opts.name,
-		Logf:           logf,
+		Addr:               opts.addr,
+		AdminAddr:          opts.admin,
+		MaxInflight:        opts.maxInflight,
+		QueryWorkers:       opts.workers,
+		RequestTimeout:     opts.requestTimeout,
+		IdleTimeout:        opts.idleTimeout,
+		Name:               opts.name,
+		Logger:             logger,
+		SlowQueryThreshold: opts.slowQuery,
 		OnDrain: func() error {
-			logf("gomd: checkpointing on drain")
+			logger.Info("gomd: checkpointing on drain")
 			return d.Checkpoint()
 		},
 	})
@@ -272,7 +316,7 @@ func run(opts options, out io.Writer, onReady func(*server.Server)) error {
 			select {
 			case <-t.C:
 				if err := d.Checkpoint(); err != nil {
-					logf("gomd: periodic checkpoint failed: %v", err)
+					logger.Error("gomd: periodic checkpoint failed", "err", err)
 				}
 			case <-stopCheckpoints:
 				return
@@ -284,7 +328,7 @@ func run(opts options, out io.Writer, onReady func(*server.Server)) error {
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
 	defer signal.Stop(sigc)
 	sig := <-sigc
-	logf("gomd: received %s, draining", sig)
+	logger.Info(fmt.Sprintf("gomd: received %s, draining", sig))
 
 	ctx, cancel := context.WithTimeout(context.Background(), opts.drainTimeout)
 	defer cancel()
@@ -293,7 +337,7 @@ func run(opts options, out io.Writer, onReady func(*server.Server)) error {
 	<-checkpointsDone
 	closeErr := d.Close()
 	if drainErr == nil && closeErr == nil {
-		logf("gomd: clean shutdown")
+		logger.Info("gomd: clean shutdown")
 	}
 	return errors.Join(drainErr, closeErr)
 }

@@ -197,6 +197,25 @@ func (e *Engine) run(ctx context.Context, q *Query, workers int, st *runStats) (
 	if st == nil {
 		st = &runStats{}
 	}
+	// Per-request resource accounting: when the context carries a
+	// telemetry.Tally (the server scopes one per request), flush this
+	// run's object fetches and the index pool's page-access delta into it
+	// — on every exit path, so a canceled or failed query still reports
+	// what it consumed. The pool counter is process-wide, so the page
+	// delta over-attributes when other queries hit the pool concurrently;
+	// the trailer documents it as approximate.
+	if tally := telemetry.TallyFrom(ctx); tally != nil {
+		var pages0 uint64
+		if e.mgr != nil {
+			pages0 = e.mgr.Pool().Stats().LogicalAccesses
+		}
+		defer func() {
+			tally.AddObjects(st.objectReads.Load())
+			if e.mgr != nil {
+				tally.AddPages(e.mgr.Pool().Stats().LogicalAccesses - pages0)
+			}
+		}()
+	}
 	started := time.Now()
 	ctx, root := telemetry.StartSpan(ctx, "query.run")
 	defer root.End()

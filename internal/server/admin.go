@@ -1,9 +1,12 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"asr/internal/telemetry"
@@ -14,12 +17,22 @@ import (
 // split every production agent uses — cf. the DataDog agent's
 // telemetry/health listeners):
 //
-//	GET /metrics  Prometheus text exposition of the whole process
-//	              registry (server_*, query_*, asr_*, btree_*,
-//	              storage_* series)
-//	GET /healthz  liveness: 200 while the process serves HTTP
-//	GET /readyz   readiness: 200 while accepting queries; 503 once
-//	              draining or if index maintenance has failed
+//	GET /metrics        Prometheus text exposition of the whole process
+//	                    registry (server_*, trace_*, query_*, asr_*,
+//	                    btree_*, storage_* series)
+//	GET /healthz        liveness: 200 while the process serves HTTP
+//	GET /readyz         readiness: 200 while accepting queries; 503 once
+//	                    draining or if index maintenance has failed. The
+//	                    body reports open sessions and in-flight requests
+//	                    alongside the state.
+//	GET /traces         the process span ring as JSON, newest first;
+//	                    ?trace=<hex id> filters to one trace,
+//	                    ?limit=N bounds the result
+//	GET /slowlog        the slow-query ring as JSON, newest first (see
+//	                    Config.SlowQueryThreshold)
+//	GET /debug/pprof/*  the standard Go profiling endpoints (CPU, heap,
+//	                    goroutine, ... — live profiling of a serving
+//	                    process)
 type adminServer struct {
 	srv  *Server
 	ln   net.Listener
@@ -36,6 +49,13 @@ func newAdminServer(s *Server, addr string) (*adminServer, error) {
 	mux.HandleFunc("/metrics", a.handleMetrics)
 	mux.HandleFunc("/healthz", a.handleHealthz)
 	mux.HandleFunc("/readyz", a.handleReadyz)
+	mux.HandleFunc("/traces", a.handleTraces)
+	mux.HandleFunc("/slowlog", a.handleSlowlog)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	a.http = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go a.http.Serve(ln)
 	return a, nil
@@ -62,18 +82,96 @@ func (a *adminServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *adminServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	state, status := "ready", http.StatusOK
 	if a.srv.Draining() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
-	}
-	if a.srv.mgr != nil {
+		state, status = "draining", http.StatusServiceUnavailable
+	} else if a.srv.mgr != nil {
 		if err := a.srv.mgr.Healthy(); err != nil {
 			// Degraded, not down: queries still answer via fallbacks, but
 			// an orchestrator should stop routing fresh load here until
 			// Repair runs (docs/ROBUSTNESS.md).
-			http.Error(w, "degraded: "+err.Error(), http.StatusServiceUnavailable)
-			return
+			state, status = "degraded: "+err.Error(), http.StatusServiceUnavailable
 		}
 	}
-	fmt.Fprintln(w, "ready")
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(status)
+	// First line is the state (compat with line-oriented probes); the
+	// rest reports load so an operator's curl answers "is it busy?" too.
+	fmt.Fprintf(w, "%s\nsessions: %d\ninflight: %d\n",
+		state, a.srv.sessionCount(), a.srv.inflight.Load())
+}
+
+// spanView is the JSON shape of one recorded span on /traces.
+type spanView struct {
+	ID         uint64            `json:"id"`
+	Parent     uint64            `json:"parent,omitempty"`
+	TraceID    string            `json:"trace_id,omitempty"`
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	DurationUS int64             `json:"duration_us"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+func (a *adminServer) handleTraces(w http.ResponseWriter, r *http.Request) {
+	var want telemetry.TraceID
+	if q := r.URL.Query().Get("trace"); q != "" {
+		id, err := telemetry.ParseTraceID(q)
+		if err != nil {
+			http.Error(w, "bad trace parameter: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		want = id
+	}
+	limit := 0
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			http.Error(w, "bad limit parameter", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	recs := telemetry.DefaultTracer().Spans()
+	views := make([]spanView, 0, len(recs))
+	for i := len(recs) - 1; i >= 0; i-- { // newest first
+		rec := recs[i]
+		if !want.IsZero() && rec.Trace != want {
+			continue
+		}
+		v := spanView{
+			ID:         rec.ID,
+			Parent:     rec.ParentID,
+			TraceID:    rec.Trace.String(),
+			Name:       rec.Name,
+			Start:      rec.Start,
+			DurationUS: rec.Duration.Microseconds(),
+		}
+		if len(rec.Attrs) > 0 {
+			v.Attrs = make(map[string]string, len(rec.Attrs))
+			for _, at := range rec.Attrs {
+				v.Attrs[at.Key] = at.Value
+			}
+		}
+		views = append(views, v)
+		if limit > 0 && len(views) >= limit {
+			break
+		}
+	}
+	writeJSON(w, map[string]any{"spans": views, "count": len(views)})
+}
+
+func (a *adminServer) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	entries := a.srv.SlowQueries()
+	writeJSON(w, map[string]any{
+		"threshold_us": a.srv.cfg.SlowQueryThreshold.Microseconds(),
+		"entries":      entries,
+		"count":        len(entries),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
 }

@@ -23,9 +23,11 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"asr/internal/server/wire"
+	"asr/internal/telemetry"
 )
 
 // Sentinel errors, one per wire error code (wire.Codes). ServerError
@@ -79,8 +81,9 @@ func ErrFor(code string) error {
 
 // ServerError is a typed failure reported by the server.
 type ServerError struct {
-	Code    string // wire error code (wire.Code*)
-	Message string // human-readable detail
+	Code    string        // wire error code (wire.Code*)
+	Message string        // human-readable detail
+	Trailer *wire.Trailer // resource trailer (nil on non-query errors)
 }
 
 // Error renders code and message.
@@ -91,10 +94,15 @@ func (e *ServerError) Unwrap() error { return ErrFor(e.Code) }
 
 // Result is a query's answer: the projected values in the engine's
 // deterministic sorted order, each rendered with gom.ValueString, plus
-// the plan line describing index use.
+// the plan line describing index use, the request's trace ID (as echoed
+// by the server — equal to the one the request carried, or
+// server-generated when the request was untraced) and the server's
+// resource trailer.
 type Result struct {
-	Values []string
-	Plan   string
+	Values  []string
+	Plan    string
+	TraceID telemetry.TraceID
+	Trailer *wire.Trailer
 }
 
 // Stats is the in-band server stats snapshot (see wire.StatsResult).
@@ -177,7 +185,7 @@ func (c *Client) QueryWorkers(ctx context.Context, sql string, workers int) (*Re
 	if err := wire.Unmarshal(f, &res); err != nil {
 		return nil, err
 	}
-	return &Result{Values: res.Values, Plan: res.Plan}, nil
+	return &Result{Values: res.Values, Plan: res.Plan, TraceID: f.Trace, Trailer: res.Trailer}, nil
 }
 
 // Ping round-trips an empty frame — connection liveness plus protocol
@@ -235,6 +243,16 @@ func (c *Client) roundTrip(ctx context.Context, t wire.MsgType, body any, onCtx 
 
 	f, err := wire.Marshal(t, id, body)
 	if err == nil {
+		// Every request carries trace context: the caller's trace ID when
+		// one is scoped onto ctx (telemetry.WithTraceID), a fresh one
+		// otherwise, plus this hop's span ID. The server echoes the trace
+		// ID on the response and replaces the span ID with its own root
+		// span's, so the response points at the server-side spans.
+		f.Trace = telemetry.TraceIDFrom(ctx)
+		if f.Trace.IsZero() {
+			f.Trace = telemetry.NewTraceID()
+		}
+		f.Span = clientSpanSeq.Add(1)
 		if werr := c.writeFrame(f); werr != nil {
 			// The transport failed mid-send: typed, so callers can
 			// distinguish a lost connection from a protocol error.
@@ -281,6 +299,10 @@ func (c *Client) roundTrip(ctx context.Context, t wire.MsgType, body any, onCtx 
 	}
 }
 
+// clientSpanSeq issues this process's client-hop span IDs (the span
+// field of outgoing request frames).
+var clientSpanSeq atomic.Uint64
+
 func (c *Client) decodeResponse(f wire.Frame) (wire.Frame, error) {
 	if f.Type != wire.MsgError {
 		return f, nil
@@ -289,7 +311,7 @@ func (c *Client) decodeResponse(f wire.Frame) (wire.Frame, error) {
 	if err := wire.Unmarshal(f, &eb); err != nil {
 		return wire.Frame{}, err
 	}
-	return wire.Frame{}, &ServerError{Code: eb.Code, Message: eb.Message}
+	return wire.Frame{}, &ServerError{Code: eb.Code, Message: eb.Message, Trailer: eb.Trailer}
 }
 
 // cancelInflight sends a MsgCancel for the request; failures are

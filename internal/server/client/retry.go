@@ -115,7 +115,22 @@ type RetryClient struct {
 	dialed bool    // true once any dial succeeded (reconnects counted after)
 	closed bool
 
-	retries atomic.Uint64
+	retries    atomic.Uint64
+	attempts   atomic.Uint64
+	reconnects atomic.Uint64
+
+	lastErrMu sync.Mutex
+	lastErr   error
+}
+
+// RetryStats is a point-in-time snapshot of one RetryClient's behavior
+// — the client-side view of retry churn, observable without scraping
+// the server registry (which aggregates every client in the process).
+type RetryStats struct {
+	Attempts   uint64 // request attempts issued (first tries included)
+	Retries    uint64 // attempts beyond a request's first (Attempts - requests)
+	Reconnects uint64 // redials beyond the first successful connection
+	LastErr    error  // most recent attempt failure (nil if none, or cleared by a success)
 }
 
 // NewRetryClient returns a lazily-dialing retry client for addr. It
@@ -127,6 +142,27 @@ func NewRetryClient(addr string, cfg RetryConfig) *RetryClient {
 
 // Retries reports how many retried attempts this client has made.
 func (r *RetryClient) Retries() uint64 { return r.retries.Load() }
+
+// Stats snapshots this client's attempt/retry/reconnect counters and
+// the most recent failure. (The server-side stats snapshot is
+// ServerStats.)
+func (r *RetryClient) Stats() RetryStats {
+	r.lastErrMu.Lock()
+	last := r.lastErr
+	r.lastErrMu.Unlock()
+	return RetryStats{
+		Attempts:   r.attempts.Load(),
+		Retries:    r.retries.Load(),
+		Reconnects: r.reconnects.Load(),
+		LastErr:    last,
+	}
+}
+
+func (r *RetryClient) noteErr(err error) {
+	r.lastErrMu.Lock()
+	r.lastErr = err
+	r.lastErrMu.Unlock()
+}
 
 // Close closes the current connection (if any); in-flight requests fail
 // with ErrConnClosed and are not retried.
@@ -160,6 +196,7 @@ func (r *RetryClient) conn(ctx context.Context) (*Client, error) {
 	}
 	if r.dialed {
 		telReconnects.Inc()
+		r.reconnects.Add(1)
 	}
 	r.dialed = true
 	r.c = c
@@ -213,6 +250,7 @@ func (r *RetryClient) do(ctx context.Context, op func(ctx context.Context, c *Cl
 				return err
 			}
 		}
+		r.attempts.Add(1)
 		c, err := r.conn(ctx)
 		if err == nil {
 			actx := ctx
@@ -228,6 +266,7 @@ func (r *RetryClient) do(ctx context.Context, op func(ctx context.Context, c *Cl
 				r.discard(c)
 			}
 		}
+		r.noteErr(err)
 		if err == nil {
 			return nil
 		}
@@ -269,8 +308,8 @@ func (r *RetryClient) Ping(ctx context.Context) error {
 	})
 }
 
-// Stats fetches the server's in-band stats snapshot with retries.
-func (r *RetryClient) Stats(ctx context.Context) (*Stats, error) {
+// ServerStats fetches the server's in-band stats snapshot with retries.
+func (r *RetryClient) ServerStats(ctx context.Context) (*Stats, error) {
 	var st *Stats
 	err := r.do(ctx, func(ctx context.Context, c *Client) error {
 		var err error

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// metricDecl matches a registry instrument declaration and captures the
+// metric's base name (labels stripped): Counter("server_x_total"),
+// Gauge(`server_y{...`), Histogram("trace_z", ...).
+var metricDecl = regexp.MustCompile("\\.(?:Counter|Gauge|Histogram)\\([\"`]((?:server|trace)_[a-z0-9_]+)")
+
+// TestServerMetricsAreDocumented walks the repo's Go source for every
+// server_* / trace_* metric registration and requires a matching row or
+// mention in docs/SERVICE.md or docs/OBSERVABILITY.md — a new metric
+// cannot ship undocumented. CI runs this via `make server-smoke`.
+func TestServerMetricsAreDocumented(t *testing.T) {
+	root := filepath.Join("..", "..")
+
+	declared := map[string][]string{} // metric → files declaring it
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == ".git" || name == "testdata" || name == "related" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range metricDecl.FindAllStringSubmatch(string(src), -1) {
+			rel, _ := filepath.Rel(root, path)
+			declared[m[1]] = append(declared[m[1]], rel)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(declared) < 10 {
+		t.Fatalf("found only %d server_*/trace_* metric declarations — scanner broken?", len(declared))
+	}
+
+	var docs strings.Builder
+	for _, p := range []string{"docs/SERVICE.md", "docs/OBSERVABILITY.md"} {
+		b, err := os.ReadFile(filepath.Join(root, p))
+		if err != nil {
+			t.Fatalf("read %s: %v", p, err)
+		}
+		docs.Write(b)
+	}
+	corpus := docs.String()
+
+	names := make([]string, 0, len(declared))
+	for name := range declared {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !strings.Contains(corpus, name) {
+			t.Errorf("metric %s (declared in %s) is not documented in docs/SERVICE.md or docs/OBSERVABILITY.md",
+				name, strings.Join(declared[name], ", "))
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"asr/internal/query"
 	"asr/internal/server/client"
+	"asr/internal/telemetry"
 )
 
 // demoQuerySet builds a mixed workload against DemoDatabase: backward
@@ -61,9 +62,12 @@ func renderInProcessTB(t testing.TB, d *Database, sql string) ([]string, string)
 
 // TestSaturationByteIdentical drives ≥10k sequential requests across 32
 // concurrent connections and checks every response — values AND plan —
-// byte-identical to running the same query in-process. MaxInflight is
-// sized above the connection count so nothing is shed; stats afterwards
-// must account for every query with zero errors.
+// byte-identical to running the same query in-process, AND carrying the
+// tracing contract: each request scopes its own trace ID onto the
+// context, and the response must echo exactly that ID with a populated
+// resource trailer. MaxInflight is sized above the connection count so
+// nothing is shed; stats afterwards must account for every query with
+// zero errors.
 func TestSaturationByteIdentical(t *testing.T) {
 	conns, perConn := 32, 320 // 10240 requests
 	if testing.Short() {
@@ -95,7 +99,8 @@ func TestSaturationByteIdentical(t *testing.T) {
 			defer c.Close()
 			for j := 0; j < perConn; j++ {
 				sql := queries[(conn*perConn+j)%len(queries)]
-				res, err := c.Query(context.Background(), sql)
+				trace := telemetry.NewTraceID()
+				res, err := c.Query(telemetry.WithTraceID(context.Background(), trace), sql)
 				if err != nil {
 					fail("conn %d req %d: %v", conn, j, err)
 					return
@@ -106,6 +111,20 @@ func TestSaturationByteIdentical(t *testing.T) {
 				}
 				if res.Plan != plans[sql] {
 					fail("conn %d req %d: plan diverges: %q vs %q", conn, j, res.Plan, plans[sql])
+					return
+				}
+				if res.TraceID != trace {
+					fail("conn %d req %d: response trace %s, sent %s", conn, j, res.TraceID, trace)
+					return
+				}
+				tr := res.Trailer
+				if tr == nil {
+					fail("conn %d req %d: response has no trailer", conn, j)
+					return
+				}
+				if tr.TraceID != trace.String() || tr.BytesIn <= 0 || tr.BytesOut <= 0 ||
+					tr.ExecUS < 0 || tr.QueueUS < 0 {
+					fail("conn %d req %d: trailer not populated: %+v", conn, j, *tr)
 					return
 				}
 			}

@@ -23,15 +23,21 @@
 //     write its response, runs the OnDrain hook (gomd checkpoints the
 //     durable store there), and only then closes the sessions — an
 //     admitted query is never lost;
-//   - observability: server_* counters in the process registry and an
-//     admin HTTP endpoint exposing /metrics (Prometheus text via
-//     internal/telemetry), /healthz and /readyz.
+//   - observability: server_* counters in the process registry; end-to-
+//     end request tracing (every request frame carries a trace ID the
+//     response echoes, and the per-request context links the engine's
+//     spans under a server.request root span); structured logs via
+//     log/slog with trace IDs on request lines; a bounded slow-query
+//     log; and an admin HTTP endpoint exposing /metrics (Prometheus
+//     text via internal/telemetry), /healthz, /readyz, /traces,
+//     /slowlog and /debug/pprof.
 package server
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"runtime"
 	"sync"
@@ -94,8 +100,24 @@ type Config struct {
 	// answered and before sessions close — gomd checkpoints the page
 	// file and truncates the WAL here.
 	OnDrain func() error
-	// Logf receives operational log lines; nil discards them.
+	// Logger receives the server's structured log stream (session
+	// lifecycle, drain progress, slow queries — request lines carry
+	// trace_id attributes). gomd wires this to its -log-level /
+	// -log-format handler.
+	Logger *slog.Logger
+	// Logf is the legacy printf-style log callback; when Logger is nil
+	// it receives the same records rendered as "msg key=value" lines.
+	// Nil (with Logger nil) discards all logs.
 	Logf func(format string, args ...any)
+	// SlowQueryThreshold, when positive, records every query whose total
+	// latency (queue wait + execution) reaches it into the bounded
+	// slow-query log served at the admin /slowlog endpoint, with the
+	// plan, the resource trailer, and the per-stage span breakdown.
+	// 0 disables.
+	SlowQueryThreshold time.Duration
+	// SlowLogCapacity bounds the slow-query ring; ≤ 0 means
+	// DefaultSlowLogCapacity (128).
+	SlowLogCapacity int
 }
 
 // Server serves one query engine over TCP. Create with New, start with
@@ -130,6 +152,8 @@ type Server struct {
 	nOverloads atomic.Uint64
 	inflight   atomic.Int64
 
+	log   *slog.Logger
+	slow  *slowLog
 	admin *adminServer
 }
 
@@ -161,12 +185,8 @@ func New(engine QueryEngine, mgr *asr.Manager, cfg Config) *Server {
 		cancel:   cancel,
 		sem:      make(chan struct{}, cfg.MaxInflight),
 		sessions: map[uint64]*session{},
-	}
-}
-
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
+		log:      serverLogger(cfg),
+		slow:     newSlowLog(cfg.SlowLogCapacity),
 	}
 }
 
@@ -200,9 +220,12 @@ func (s *Server) Start() error {
 		s.connWG.Add(1)
 		go s.watchdog()
 	}
-	s.logf("server: listening on %s (max inflight %d)", ln.Addr(), s.cfg.MaxInflight)
+	s.log.Info("server: listening on",
+		"addr", ln.Addr().String(), "max_inflight", s.cfg.MaxInflight)
 	if s.admin != nil {
-		s.logf("server: admin endpoint on http://%s (/metrics /healthz /readyz)", s.admin.Addr())
+		s.log.Info("server: admin endpoint on",
+			"url", "http://"+s.admin.Addr(),
+			"endpoints", "/metrics /healthz /readyz /traces /slowlog /debug/pprof")
 	}
 	return nil
 }
@@ -269,7 +292,8 @@ func (s *Server) watchdog() {
 		s.mu.Unlock()
 		for _, ss := range reap {
 			telIdleReaps.Inc()
-			s.logf("server: session %d idle past %s, reaping", ss.id, s.cfg.IdleTimeout)
+			s.log.Warn("server: reaping idle session",
+				"session", ss.id, "idle_timeout", s.cfg.IdleTimeout.String())
 			ss.conn.Close() // the reader goroutine tears the session down
 		}
 	}
@@ -327,7 +351,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	started := time.Now()
 	telDrains.Inc()
-	s.logf("server: draining (inflight=%d, sessions=%d)", s.inflight.Load(), s.sessionCount())
+	s.log.Info("server: draining",
+		"inflight", s.inflight.Load(), "sessions", s.sessionCount())
 
 	if s.ln != nil {
 		s.ln.Close()
@@ -364,7 +389,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		errs = append(errs, s.admin.Close())
 	}
 	telDrainSeconds.Observe(time.Since(started).Seconds())
-	s.logf("server: drained in %s", time.Since(started).Round(time.Millisecond))
+	s.log.Info("server: drained",
+		"elapsed", time.Since(started).Round(time.Millisecond).String())
 	return errors.Join(errs...)
 }
 

@@ -14,6 +14,7 @@ import (
 	"asr/internal/query"
 	"asr/internal/server/wire"
 	"asr/internal/storage"
+	"asr/internal/telemetry"
 )
 
 // session is the server side of one client connection. The reader
@@ -68,6 +69,8 @@ func (s *Server) serveConn(conn net.Conn) {
 	s.mu.Unlock()
 	telSessions.Inc()
 	telSessionsOpen.Add(1)
+	s.log.Debug("server: session opened",
+		"session", ss.id, "remote", conn.RemoteAddr().String())
 	defer func() {
 		s.mu.Lock()
 		delete(s.sessions, ss.id)
@@ -75,6 +78,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		telSessionsOpen.Add(-1)
 		cancel() // cancels every in-flight query of this connection
 		conn.Close()
+		s.log.Debug("server: session closed",
+			"session", ss.id,
+			"requests", ss.nRequests.Load(), "queries", ss.nQueries.Load(),
+			"errors", ss.nErrors.Load())
 	}()
 
 	for {
@@ -84,7 +91,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				// The stream cannot be resynchronized after a bad length
 				// prefix; tell the client why before hanging up (request
 				// ID 0 marks a connection-level error).
-				ss.replyError(0, wire.CodeProtocol, err.Error())
+				ss.replyError(wire.Frame{}, wire.CodeProtocol, err.Error())
 			}
 			return
 		}
@@ -94,17 +101,30 @@ func (s *Server) serveConn(conn net.Conn) {
 		ss.nRequests.Add(1)
 		requestCounter(f.Type.String()).Inc()
 
+		// Trace context: the response echoes the request's trace ID, so a
+		// request that arrived untraced gets a server-generated ID here —
+		// every response carries a non-zero trace (except cancel, which
+		// has no response). The client's hop span is stashed for the
+		// request's root-span attrs; response frames carry the server's
+		// span instead (set by handleQuery; zero on span-less responses).
+		clientSpan := f.Span
+		f.Span = 0
+		if f.Trace.IsZero() && f.Type != wire.MsgCancel {
+			f.Trace = telemetry.NewTraceID()
+			telTraceGenerated.Inc()
+		}
+
 		if !ss.helloed && f.Type != wire.MsgHello {
-			ss.replyError(f.ReqID, wire.CodeProtocol, "first message must be hello")
+			ss.replyError(f, wire.CodeProtocol, "first message must be hello")
 			return
 		}
 		switch f.Type {
 		case wire.MsgHello:
 			ss.handleHello(f)
 		case wire.MsgPing:
-			ss.reply(wire.MsgPong, f.ReqID, nil)
+			ss.reply(wire.MsgPong, f, nil)
 		case wire.MsgQuery:
-			ss.handleQuery(f)
+			ss.handleQuery(f, clientSpan)
 		case wire.MsgCancel:
 			// Cancels an in-flight request; the canceled request itself
 			// answers with CANCELED, the cancel frame has no response.
@@ -114,9 +134,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			ss.inflightMu.Unlock()
 		case wire.MsgStats:
-			ss.reply(wire.MsgStatsResult, f.ReqID, s.Stats())
+			ss.reply(wire.MsgStatsResult, f, s.Stats())
 		default:
-			ss.replyError(f.ReqID, wire.CodeBadRequest, "unexpected message type "+f.Type.String())
+			ss.replyError(f, wire.CodeBadRequest, "unexpected message type "+f.Type.String())
 		}
 	}
 }
@@ -124,32 +144,33 @@ func (s *Server) serveConn(conn net.Conn) {
 func (ss *session) handleHello(f wire.Frame) {
 	var h wire.Hello
 	if err := wire.Unmarshal(f, &h); err != nil {
-		ss.replyError(f.ReqID, wire.CodeBadRequest, err.Error())
+		ss.replyError(f, wire.CodeBadRequest, err.Error())
 		return
 	}
 	if h.Proto != wire.ProtoVersion {
-		ss.replyError(f.ReqID, wire.CodeProtocol,
+		ss.replyError(f, wire.CodeProtocol,
 			"protocol version mismatch: client "+itoa(h.Proto)+", server "+itoa(wire.ProtoVersion))
 		return
 	}
 	ss.helloed = true
-	ss.reply(wire.MsgHelloOK, f.ReqID, wire.HelloOK{
+	ss.reply(wire.MsgHelloOK, f, wire.HelloOK{
 		Proto:   wire.ProtoVersion,
 		Server:  ss.srv.cfg.Name,
 		Session: ss.id,
 	})
 }
 
-func (ss *session) handleQuery(f wire.Frame) {
+func (ss *session) handleQuery(f wire.Frame, clientSpan uint64) {
+	received := time.Now()
 	var req wire.Query
 	if err := wire.Unmarshal(f, &req); err != nil {
-		ss.replyError(f.ReqID, wire.CodeBadRequest, err.Error())
+		ss.replyError(f, wire.CodeBadRequest, err.Error())
 		return
 	}
 	srv := ss.srv
 	release, code := srv.admit()
 	if code != "" {
-		ss.replyError(f.ReqID, code, admissionMessage(code, srv.cfg.MaxInflight))
+		ss.replyError(f, code, admissionMessage(code, srv.cfg.MaxInflight))
 		return
 	}
 	// The per-request deadline rides the same context chain as
@@ -163,12 +184,23 @@ func (ss *session) handleQuery(f wire.Frame) {
 	} else {
 		qctx, qcancel = context.WithCancel(ss.ctx)
 	}
+	// The request context carries the full tracing kit: the wire trace ID
+	// (so every engine span links to it), a resource tally the engine
+	// flushes its object/page counts into, and — only when the slow log
+	// is armed — a span capture scoped to this one request (its
+	// per-stage breakdown; pure overhead otherwise).
+	qctx = telemetry.WithTraceID(qctx, f.Trace)
+	qctx, tally := telemetry.WithTally(qctx)
+	var capture *telemetry.Capture
+	if srv.cfg.SlowQueryThreshold > 0 {
+		qctx, capture = telemetry.WithCapture(qctx)
+	}
 	ss.inflightMu.Lock()
 	if _, dup := ss.inflight[f.ReqID]; dup {
 		ss.inflightMu.Unlock()
 		qcancel()
 		release()
-		ss.replyError(f.ReqID, wire.CodeBadRequest, "request ID already in flight")
+		ss.replyError(f, wire.CodeBadRequest, "request ID already in flight")
 		return
 	}
 	ss.inflight[f.ReqID] = qcancel
@@ -177,10 +209,23 @@ func (ss *session) handleQuery(f wire.Frame) {
 	ss.nQueries.Add(1)
 
 	go func() {
+		// The server-side root span for this request. Its ID is the span
+		// the response frame carries, so a response points at the exact
+		// span subtree in /traces that produced it.
+		qctx, root := telemetry.StartSpan(qctx, "server.request")
+		root.SetAttr("session", ss.id)
+		root.SetAttr("req", f.ReqID)
+		if clientSpan != 0 {
+			root.SetAttr("client_span", clientSpan)
+		}
+		f.Span = root.ID() // goroutine-local copy; reply echoes it
+
 		defer func() {
 			if r := recover(); r != nil {
-				ss.replyError(f.ReqID, wire.CodeInternal, "query handler panicked")
-				srv.logf("server: session %d request %d panicked: %v", ss.id, f.ReqID, r)
+				ss.replyError(f, wire.CodeInternal, "query handler panicked")
+				srv.log.Error("server: query handler panicked",
+					"session", ss.id, "req", f.ReqID,
+					"trace_id", f.Trace.String(), "panic", r)
 			}
 			ss.inflightMu.Lock()
 			delete(ss.inflight, f.ReqID)
@@ -190,10 +235,33 @@ func (ss *session) handleQuery(f wire.Frame) {
 			// reqWG drains, every admitted answer is on the wire.
 			release()
 		}()
+
+		// Queue wait: frame receipt to execution start (admission plus
+		// goroutine scheduling — admission itself never blocks, so this
+		// is scheduling pressure).
 		started := time.Now()
+		trailer := &wire.Trailer{
+			TraceID: f.Trace.String(),
+			QueueUS: started.Sub(received).Microseconds(),
+			BytesIn: wire.HeaderSize + len(f.Payload),
+		}
+		finish := func(plan, code, errMsg string) {
+			trailer.ExecUS = time.Since(started).Microseconds()
+			trailer.Pages = tally.Pages()
+			trailer.Objects = tally.Objects()
+			root.SetAttr("queue_us", trailer.QueueUS)
+			if code != "" {
+				root.SetAttr("error", code)
+			}
+			root.End()
+			srv.noteSlow(ss, f, req.SQL, plan, code, errMsg,
+				trailer, capture, time.Since(received))
+		}
+
 		q, err := query.Parse(req.SQL)
 		if err != nil {
-			ss.replyError(f.ReqID, wire.CodeParse, err.Error())
+			finish("", wire.CodeParse, err.Error())
+			ss.replyErrorT(f, wire.CodeParse, err.Error(), trailer)
 			return
 		}
 		workers := req.Workers
@@ -203,10 +271,19 @@ func (ss *session) handleQuery(f wire.Frame) {
 		res, err := srv.engine.RunCtx(qctx, q, workers)
 		telQuerySeconds.Observe(time.Since(started).Seconds())
 		if err != nil {
-			ss.replyError(f.ReqID, queryErrorCode(qctx, err), err.Error())
+			code := queryErrorCode(qctx, err)
+			finish("", code, err.Error())
+			ss.replyErrorT(f, code, err.Error(), trailer)
 			return
 		}
-		ss.reply(wire.MsgResult, f.ReqID, wire.Result{Values: renderValues(res), Plan: res.Plan})
+		vals := renderValues(res)
+		for _, v := range vals {
+			trailer.BytesOut += len(v)
+		}
+		trailer.BytesOut += len(res.Plan)
+		root.SetAttr("rows", len(vals))
+		finish(res.Plan, "", "")
+		ss.reply(wire.MsgResult, f, wire.Result{Values: vals, Plan: res.Plan, Trailer: trailer})
 	}()
 }
 
@@ -251,26 +328,39 @@ func admissionMessage(code string, maxInflight int) string {
 	}
 }
 
-func (ss *session) reply(t wire.MsgType, reqID uint32, body any) {
-	f, err := wire.Marshal(t, reqID, body)
+// reply answers the request frame req: the response echoes req's
+// request ID and trace ID, and carries req.Span as its span field —
+// handleQuery sets that to its server-side root span ID before
+// replying; span-less responses (pong, hello_ok, stats) carry zero.
+func (ss *session) reply(t wire.MsgType, req wire.Frame, body any) {
+	f, err := wire.Marshal(t, req.ReqID, body)
 	if err != nil {
 		// Encoding failed (e.g. a result larger than MaxPayload): the
 		// request still gets a response, just a typed error.
 		if t != wire.MsgError {
-			ss.replyError(reqID, wire.CodeInternal, "response encoding failed: "+err.Error())
+			ss.replyError(req, wire.CodeInternal, "response encoding failed: "+err.Error())
 		} else {
-			ss.srv.logf("server: session %d: dropping unencodable error frame: %v", ss.id, err)
+			ss.srv.log.Error("server: dropping unencodable error frame",
+				"session", ss.id, "trace_id", req.Trace.String(), "err", err.Error())
 		}
 		return
 	}
+	f.Trace = req.Trace
+	f.Span = req.Span
 	ss.writeFrame(f)
 }
 
-func (ss *session) replyError(reqID uint32, code, msg string) {
+func (ss *session) replyError(req wire.Frame, code, msg string) {
+	ss.replyErrorT(req, code, msg, nil)
+}
+
+// replyErrorT is replyError with a resource trailer — query failures
+// report what they consumed, just like results do.
+func (ss *session) replyErrorT(req wire.Frame, code, msg string, tr *wire.Trailer) {
 	ss.srv.nErrors.Add(1)
 	ss.nErrors.Add(1)
 	errorCounter(code).Inc()
-	ss.reply(wire.MsgError, reqID, wire.ErrorBody{Code: code, Message: msg})
+	ss.reply(wire.MsgError, req, wire.ErrorBody{Code: code, Message: msg, Trailer: tr})
 }
 
 func (ss *session) writeFrame(f wire.Frame) {
@@ -284,8 +374,9 @@ func (ss *session) writeFrame(f wire.Frame) {
 	if err := wire.WriteFrame(ss.conn, f); err != nil {
 		if errors.Is(err, os.ErrDeadlineExceeded) {
 			telWriteTimeouts.Inc()
-			ss.srv.logf("server: session %d: response write timed out after %s, dropping connection",
-				ss.id, ss.srv.cfg.WriteTimeout)
+			ss.srv.log.Warn("server: response write timed out, dropping connection",
+				"session", ss.id, "trace_id", f.Trace.String(),
+				"write_timeout", ss.srv.cfg.WriteTimeout.String())
 		}
 		// The connection is gone (or judged dead); stop any queries
 		// still running for it and unblock the reader.

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"asr/internal/server/wire"
+	"asr/internal/telemetry"
+)
+
+// The slow-query log is a bounded in-memory ring of the most recent
+// queries whose total latency (queue wait + execution) crossed
+// Config.SlowQueryThreshold. Each entry captures everything needed to
+// diagnose the request after the fact without re-running it: the query
+// text, the plan (or the error it died with), the resource trailer the
+// client saw, and the per-stage span breakdown from the request's
+// scoped telemetry capture. The admin /slowlog endpoint serves the ring
+// as JSON, newest first; server_slow_queries_total counts entries ever
+// recorded (the ring itself is bounded).
+
+// SlowSpan is one stage of a slow request's span breakdown.
+type SlowSpan struct {
+	Name       string            `json:"name"`
+	DurationUS int64             `json:"duration_us"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// SlowQueryEntry is one recorded slow request.
+type SlowQueryEntry struct {
+	Time      time.Time    `json:"time"`
+	Session   uint64       `json:"session"`
+	TraceID   string       `json:"trace_id"`
+	SQL       string       `json:"sql"`
+	Plan      string       `json:"plan,omitempty"`
+	Code      string       `json:"code,omitempty"`  // wire error code when the query failed
+	Error     string       `json:"error,omitempty"` // error message when the query failed
+	ElapsedUS int64        `json:"elapsed_us"`      // queue wait + execution
+	Trailer   wire.Trailer `json:"trailer"`
+	Spans     []SlowSpan   `json:"spans"`
+}
+
+// DefaultSlowLogCapacity is the ring size when Config.SlowLogCapacity
+// is unset.
+const DefaultSlowLogCapacity = 128
+
+type slowLog struct {
+	mu    sync.Mutex
+	ring  []SlowQueryEntry
+	next  int
+	total uint64
+}
+
+func newSlowLog(capacity int) *slowLog {
+	if capacity <= 0 {
+		capacity = DefaultSlowLogCapacity
+	}
+	return &slowLog{ring: make([]SlowQueryEntry, capacity)}
+}
+
+func (l *slowLog) add(e SlowQueryEntry) {
+	l.mu.Lock()
+	l.ring[l.next] = e
+	l.next = (l.next + 1) % len(l.ring)
+	l.total++
+	l.mu.Unlock()
+}
+
+// entries returns the retained entries, newest first.
+func (l *slowLog) entries() []SlowQueryEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := int(l.total)
+	if n > len(l.ring) {
+		n = len(l.ring)
+	}
+	out := make([]SlowQueryEntry, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, l.ring[(l.next-i+len(l.ring))%len(l.ring)])
+	}
+	return out
+}
+
+// slowSpans converts a request capture's span records to the entry
+// form, in completion order.
+func slowSpans(recs []telemetry.SpanRecord) []SlowSpan {
+	out := make([]SlowSpan, 0, len(recs))
+	for _, rec := range recs {
+		s := SlowSpan{Name: rec.Name, DurationUS: rec.Duration.Microseconds()}
+		if len(rec.Attrs) > 0 {
+			s.Attrs = make(map[string]string, len(rec.Attrs))
+			for _, a := range rec.Attrs {
+				s.Attrs[a.Key] = a.Value
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// SlowQueries snapshots the slow-query ring, newest first — the same
+// entries the admin /slowlog endpoint serves.
+func (s *Server) SlowQueries() []SlowQueryEntry { return s.slow.entries() }
+
+// noteSlow records the request in the slow log if it crossed the
+// configured threshold.
+func (s *Server) noteSlow(ss *session, f wire.Frame, sql, plan, code, errMsg string,
+	tr *wire.Trailer, capture *telemetry.Capture, elapsed time.Duration) {
+	if s.cfg.SlowQueryThreshold <= 0 || elapsed < s.cfg.SlowQueryThreshold {
+		return
+	}
+	telSlowQueries.Inc()
+	e := SlowQueryEntry{
+		Time:      time.Now(),
+		Session:   ss.id,
+		TraceID:   f.Trace.String(),
+		SQL:       sql,
+		Plan:      plan,
+		Code:      code,
+		Error:     errMsg,
+		ElapsedUS: elapsed.Microseconds(),
+	}
+	if capture != nil {
+		e.Spans = slowSpans(capture.Spans())
+	}
+	if tr != nil {
+		e.Trailer = *tr
+	}
+	s.slow.add(e)
+	s.log.Warn("server: slow query",
+		"trace_id", f.Trace.String(),
+		"session", ss.id,
+		"elapsed", elapsed.Round(time.Microsecond).String(),
+		"threshold", s.cfg.SlowQueryThreshold.String(),
+		"code", code,
+		"sql", sql)
+}

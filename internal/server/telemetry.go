@@ -36,6 +36,8 @@ var (
 	telDrainSeconds     = telemetry.Default().Histogram("server_drain_seconds", telemetry.LatencyBuckets)
 	telAdminScrapes     = telemetry.Default().Counter("server_metrics_scrapes_total")
 	telCheckpointErrs   = telemetry.Default().Counter("server_drain_checkpoint_errors_total")
+	telSlowQueries      = telemetry.Default().Counter("server_slow_queries_total")
+	telTraceGenerated   = telemetry.Default().Counter("trace_server_generated_total")
 )
 
 func init() {

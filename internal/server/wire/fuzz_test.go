@@ -16,6 +16,8 @@ import (
 // contract.
 func FuzzFrameDecode(f *testing.F) {
 	q, _ := Marshal(MsgQuery, 7, Query{SQL: "select r from r in OurRobots"})
+	q.Trace = TraceID{0xAB, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 0xCD}
+	q.Span = 0xFEEDFACE
 	qb, _ := EncodeFrame(q)
 	e, _ := Marshal(MsgError, 7, ErrorBody{Code: CodeParse, Message: "no"})
 	eb, _ := EncodeFrame(e)
@@ -29,7 +31,10 @@ func FuzzFrameDecode(f *testing.F) {
 	flipped[HeaderSize+2] ^= 0x20 // bit flip inside the body
 	f.Add(flipped)
 	f.Add([]byte{})
-	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 3, 0, 0, 0, 1}) // hostile length
+	hostile := make([]byte, HeaderSize) // hostile length, full header
+	copy(hostile, []byte{0xFF, 0xFF, 0xFF, 0xFF, 3, 0, 0, 0, 1})
+	f.Add(hostile)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 3, 0, 0, 0, 1}) // hostile length, torn header
 	f.Add(bytes.Repeat([]byte{0x00}, HeaderSize))        // empty payload, type 0
 
 	f.Fuzz(func(t *testing.T, b []byte) {
@@ -59,7 +64,8 @@ func FuzzFrameDecode(f *testing.F) {
 		if rerr != nil {
 			t.Fatalf("ReadFrame disagrees with DecodeFrame: %v", rerr)
 		}
-		if rf.Type != fr.Type || rf.ReqID != fr.ReqID || !bytes.Equal(rf.Payload, fr.Payload) {
+		if rf.Type != fr.Type || rf.ReqID != fr.ReqID || rf.Trace != fr.Trace ||
+			rf.Span != fr.Span || !bytes.Equal(rf.Payload, fr.Payload) {
 			t.Fatalf("ReadFrame mismatch: %+v vs %+v", rf, fr)
 		}
 	})

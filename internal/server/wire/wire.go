@@ -13,12 +13,24 @@
 //	0      4     payload length (bytes following the header)
 //	4      1     message type (MsgType)
 //	5      4     request ID (echoed verbatim in the response)
-//	9      n     payload (JSON body, may be empty)
+//	9      16    trace ID (opaque; all-zero = absent)
+//	25     8     span ID (sender's hop; 0 = absent)
+//	33     n     payload (JSON body, may be empty)
 //
 // Every request frame carries a client-chosen request ID; the matching
 // response echoes it, so one connection can have several requests in
 // flight and responses may arrive in any order. MsgCancel references an
 // earlier request's ID instead of opening its own exchange.
+//
+// The trace bytes are the wire half of end-to-end request tracing
+// (docs/OBSERVABILITY.md): the client stamps each request with a fresh
+// 16-byte trace ID (or one the caller supplied) plus its own hop's span
+// ID; the server echoes the trace ID on every response — generating one
+// first when the request arrived without — and replaces the span ID
+// with the ID of the server-side root span it executed under, so a
+// response frame points straight at its spans in the server's /traces
+// ring. An all-zero trace ID simply means "untraced"; the codec carries
+// it opaquely either way.
 //
 // The decoder is total: any byte sequence either decodes to a frame or
 // fails with one of the typed errors below — it never panics and never
@@ -32,14 +44,26 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"asr/internal/telemetry"
 )
 
+// TraceID is the header's 16-byte trace identifier — the telemetry
+// package's type, so a decoded frame's trace drops straight onto a
+// context with telemetry.WithTraceID and every span the request starts
+// links to it.
+type TraceID = telemetry.TraceID
+
 // ProtoVersion is the protocol generation negotiated by Hello/HelloOK.
-// Servers reject clients whose version does not match.
-const ProtoVersion = 1
+// Servers reject clients whose version does not match. Version 2 widened
+// the frame header with trace context (trace ID + span ID).
+const ProtoVersion = 2
 
 // HeaderSize is the fixed frame header length in bytes.
-const HeaderSize = 9
+const HeaderSize = 33
+
+// TraceIDSize is the width of the header's trace ID field.
+const TraceIDSize = 16
 
 // MaxPayload bounds a single frame's payload. Frames above it are a
 // protocol error on decode and a caller bug on encode; the bound keeps
@@ -107,6 +131,8 @@ var (
 type Frame struct {
 	Type    MsgType
 	ReqID   uint32
+	Trace   TraceID // end-to-end trace ID; zero = untraced
+	Span    uint64  // sender hop's span ID; 0 = absent
 	Payload []byte
 }
 
@@ -120,6 +146,8 @@ func EncodeFrame(f Frame) ([]byte, error) {
 	binary.BigEndian.PutUint32(b[0:4], uint32(len(f.Payload)))
 	b[4] = byte(f.Type)
 	binary.BigEndian.PutUint32(b[5:9], f.ReqID)
+	copy(b[9:25], f.Trace[:])
+	binary.BigEndian.PutUint64(b[25:33], f.Span)
 	copy(b[HeaderSize:], f.Payload)
 	return b, nil
 }
@@ -139,11 +167,14 @@ func DecodeFrame(b []byte) (Frame, int, error) {
 	if len(b) < total {
 		return Frame{}, 0, ErrFrameTruncated
 	}
-	return Frame{
+	f := Frame{
 		Type:    MsgType(b[4]),
 		ReqID:   binary.BigEndian.Uint32(b[5:9]),
+		Span:    binary.BigEndian.Uint64(b[25:33]),
 		Payload: b[HeaderSize:total],
-	}, total, nil
+	}
+	copy(f.Trace[:], b[9:25])
+	return f, total, nil
 }
 
 // WriteFrame writes one frame to w.
@@ -174,7 +205,9 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	f := Frame{
 		Type:  MsgType(hdr[4]),
 		ReqID: binary.BigEndian.Uint32(hdr[5:9]),
+		Span:  binary.BigEndian.Uint64(hdr[25:33]),
 	}
+	copy(f.Trace[:], hdr[9:25])
 	if n > 0 {
 		f.Payload = make([]byte, n)
 		if _, err := io.ReadFull(r, f.Payload); err != nil {
@@ -236,19 +269,39 @@ type Query struct {
 	Workers int    `json:"workers,omitempty"`
 }
 
+// Trailer is the compact per-request resource accounting the server
+// attaches to every query response (result and error alike). Times are
+// microseconds; BytesOut counts the rendered result bytes (values +
+// plan), not frame overhead; PagesRead is the buffer-pool fetch delta
+// attributed to the request (approximate when the pool is shared by
+// concurrent queries).
+type Trailer struct {
+	TraceID  string `json:"trace_id,omitempty"`
+	QueueUS  int64  `json:"queue_us"`
+	ExecUS   int64  `json:"exec_us"`
+	Pages    uint64 `json:"pages_read"`
+	Objects  uint64 `json:"objects_fetched"`
+	BytesIn  int    `json:"bytes_in"`
+	BytesOut int    `json:"bytes_out"`
+}
+
 // Result carries a query's projected values — each rendered with
 // gom.ValueString, in the engine's deterministic sorted order, so a
 // wire result is byte-comparable with an in-process run — plus the
-// plan line.
+// plan line and the request's resource trailer.
 type Result struct {
-	Values []string `json:"values"`
-	Plan   string   `json:"plan"`
+	Values  []string `json:"values"`
+	Plan    string   `json:"plan"`
+	Trailer *Trailer `json:"trailer,omitempty"`
 }
 
-// ErrorBody is the payload of a MsgError response.
+// ErrorBody is the payload of a MsgError response. Query errors carry
+// the resource trailer too — a canceled or deadline-exceeded request
+// still reports what it consumed.
 type ErrorBody struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
+	Code    string   `json:"code"`
+	Message string   `json:"message"`
+	Trailer *Trailer `json:"trailer,omitempty"`
 }
 
 // StatsResult is a server-level observability snapshot (MsgStats

@@ -8,12 +8,22 @@ import (
 )
 
 func TestFrameRoundTrip(t *testing.T) {
+	var trace TraceID
+	for i := range trace {
+		trace[i] = byte(i + 1)
+	}
 	frames := []Frame{
 		{Type: MsgHello, ReqID: 1, Payload: []byte(`{"proto":1}`)},
-		{Type: MsgQuery, ReqID: 0xDEADBEEF, Payload: []byte(`{"sql":"select r from r in OurRobots"}`)},
-		{Type: MsgPing, ReqID: 7},
-		{Type: MsgCancel, ReqID: 42},
+		{Type: MsgQuery, ReqID: 0xDEADBEEF, Trace: trace, Span: 0x0102030405060708,
+			Payload: []byte(`{"sql":"select r from r in OurRobots"}`)},
+		{Type: MsgPing, ReqID: 7, Span: 99},
+		{Type: MsgCancel, ReqID: 42, Trace: trace},
 		{Type: MsgError, ReqID: 3, Payload: []byte(`{"code":"PARSE","message":"x"}`)},
+	}
+	eq := func(got, want Frame) bool {
+		return got.Type == want.Type && got.ReqID == want.ReqID &&
+			got.Trace == want.Trace && got.Span == want.Span &&
+			bytes.Equal(got.Payload, want.Payload)
 	}
 	var stream bytes.Buffer
 	for _, f := range frames {
@@ -28,7 +38,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("frame %d: DecodeFrame: %v", i, err)
 		}
-		if got.Type != want.Type || got.ReqID != want.ReqID || !bytes.Equal(got.Payload, want.Payload) {
+		if !eq(got, want) {
 			t.Fatalf("frame %d: got %+v want %+v", i, got, want)
 		}
 		b = b[n:]
@@ -43,7 +53,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("frame %d: ReadFrame: %v", i, err)
 		}
-		if got.Type != want.Type || got.ReqID != want.ReqID || !bytes.Equal(got.Payload, want.Payload) {
+		if !eq(got, want) {
 			t.Fatalf("frame %d: got %+v want %+v", i, got, want)
 		}
 	}
@@ -73,7 +83,8 @@ func TestFrameTooLarge(t *testing.T) {
 		t.Fatalf("encode oversize: %v", err)
 	}
 	// A hostile length prefix must fail before allocating the payload.
-	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF, byte(MsgQuery), 0, 0, 0, 1}
+	hdr := make([]byte, HeaderSize)
+	copy(hdr, []byte{0xFF, 0xFF, 0xFF, 0xFF, byte(MsgQuery), 0, 0, 0, 1})
 	if _, n, err := DecodeFrame(hdr); !errors.Is(err, ErrFrameTooLarge) || n != 0 {
 		t.Fatalf("decode oversize: n=%d err=%v", n, err)
 	}

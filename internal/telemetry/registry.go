@@ -218,6 +218,53 @@ func (r *Registry) Snapshot() map[string]float64 {
 	return out
 }
 
+// EscapeLabelValue escapes a label value for the Prometheus text
+// exposition format: backslash, double quote and newline must be
+// escaped, everything else passes through. Use it (or Labels) whenever
+// a label value is not a known-clean literal.
+func EscapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Labels renders key/value pairs as an inline label set suitable for
+// appending to a metric name — `name + Labels("k", v)` — with values
+// escaped. Odd or empty pairs render as no label set.
+func Labels(pairs ...string) string {
+	if len(pairs) < 2 || len(pairs)%2 != 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(pairs[i+1]))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
 // splitName separates an inline label set from the metric base name.
 func splitName(name string) (base, labels string) {
 	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
@@ -280,7 +327,12 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 		cum += h.buckets[len(h.bounds)].Load()
 		lines = append(lines, fmt.Sprintf("%s %d", series(base+"_bucket", labels, `le="+Inf"`), cum))
 		lines = append(lines, fmt.Sprintf("%s %s", series(base+"_sum", labels, ""), formatFloat(h.Sum())))
-		lines = append(lines, fmt.Sprintf("%s %d", series(base+"_count", labels, ""), h.Count()))
+		// The exposition format requires `le="+Inf"` == `_count`. The
+		// bucket loads and the count are separate atomics, so under
+		// concurrent Observes h.Count() can disagree with the cumulative
+		// sum just read; emit the cumulative value for both so every
+		// scrape is internally consistent.
+		lines = append(lines, fmt.Sprintf("%s %d", series(base+"_count", labels, ""), cum))
 		rows = append(rows, row{base, "histogram", lines})
 	}
 	r.mu.Unlock()

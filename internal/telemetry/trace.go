@@ -3,6 +3,7 @@ package telemetry
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,7 +18,8 @@ type Attr struct {
 // SpanRecord is the immutable record of a finished span.
 type SpanRecord struct {
 	ID       uint64
-	ParentID uint64 // 0 for root spans
+	ParentID uint64  // 0 for root spans
+	Trace    TraceID // zero when no trace context was scoped onto ctx
 	Name     string
 	Start    time.Time
 	Duration time.Duration
@@ -35,12 +37,42 @@ type Span struct {
 	ended   bool
 }
 
+// ID returns the span's tracer-unique ID (0 on nil) — the per-hop span
+// identifier the wire protocol carries, so a response frame points at
+// the exact server-side span that produced it.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.rec.ID
+}
+
 // SetAttr adds a key/value annotation (values are rendered with %v).
 func (s *Span) SetAttr(key string, value any) {
 	if s == nil || s.ended {
 		return
 	}
-	s.rec.Attrs = append(s.rec.Attrs, Attr{Key: key, Value: fmt.Sprint(value)})
+	s.rec.Attrs = append(s.rec.Attrs, Attr{Key: key, Value: renderAttr(value)})
+}
+
+// renderAttr formats an attribute value, fast-pathing the types the
+// hot request path actually passes so span annotation stays off the
+// reflection-based fmt machinery.
+func renderAttr(value any) string {
+	switch v := value.(type) {
+	case string:
+		return v
+	case int:
+		return strconv.Itoa(v)
+	case int64:
+		return strconv.FormatInt(v, 10)
+	case uint64:
+		return strconv.FormatUint(v, 10)
+	case uint32:
+		return strconv.FormatUint(uint64(v), 10)
+	default:
+		return fmt.Sprint(value)
+	}
 }
 
 // End finishes the span, recording its duration. Subsequent calls are
@@ -87,7 +119,14 @@ var defaultTracer = NewTracer(DefaultTracerCapacity)
 // DefaultTracer returns the process-wide tracer StartSpan records into.
 func DefaultTracer() *Tracer { return defaultTracer }
 
+// telSpans counts every span recorded into the default tracer's ring
+// (the ring itself is bounded; the counter says how much it has seen).
+var telSpans = Default().Counter("trace_spans_recorded_total")
+
 func (t *Tracer) record(rec SpanRecord) {
+	if t == defaultTracer {
+		telSpans.Inc()
+	}
 	t.mu.Lock()
 	t.ring[t.next] = rec
 	t.next = (t.next + 1) % len(t.ring)
@@ -141,6 +180,7 @@ func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *
 		tracer: t,
 		rec: SpanRecord{
 			ID:    t.nextID.Add(1),
+			Trace: TraceIDFrom(ctx),
 			Name:  name,
 			Start: time.Now(),
 		},

@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+)
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	id := NewTraceID()
+	if id.IsZero() {
+		t.Fatal("NewTraceID returned the zero ID")
+	}
+	s := id.String()
+	if len(s) != 32 {
+		t.Fatalf("rendered trace ID %q, want 32 hex digits", s)
+	}
+	back, err := ParseTraceID(s)
+	if err != nil || back != id {
+		t.Fatalf("parse round trip: %v %v", back, err)
+	}
+	if (TraceID{}).String() != "" {
+		t.Fatal("zero ID must render empty")
+	}
+	if z, err := ParseTraceID(""); err != nil || !z.IsZero() {
+		t.Fatalf("empty string must parse to the zero ID: %v %v", z, err)
+	}
+	for _, bad := range []string{"xyz", "00", "0123456789abcdef0123456789abcdef00"} {
+		if _, err := ParseTraceID(bad); err == nil {
+			t.Fatalf("ParseTraceID(%q) accepted", bad)
+		}
+	}
+	if NewTraceID() == NewTraceID() {
+		t.Fatal("two fresh trace IDs collided")
+	}
+}
+
+// TestSpanRecordsTraceID: spans started under a traced context carry the
+// trace ID into the ring, including through parent/child derivation —
+// the property /traces filtering depends on.
+func TestSpanRecordsTraceID(t *testing.T) {
+	tr := NewTracer(8)
+	id := NewTraceID()
+	ctx := WithTraceID(context.Background(), id)
+	ctx, root := tr.StartSpan(ctx, "root")
+	_, child := tr.StartSpan(ctx, "child")
+	child.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	for _, sp := range spans {
+		if sp.Trace != id {
+			t.Fatalf("span %s trace = %s, want %s", sp.Name, sp.Trace, id)
+		}
+	}
+	// Without a trace on ctx the record stays zero.
+	_, plain := tr.StartSpan(context.Background(), "plain")
+	plain.End()
+	spans = tr.Spans()
+	if got := spans[len(spans)-1].Trace; !got.IsZero() {
+		t.Fatalf("untraced span carries trace %s", got)
+	}
+}
+
+func TestTallyNilSafeAndConcurrent(t *testing.T) {
+	// All methods are nil-safe so layers add unconditionally.
+	var nilT *Tally
+	nilT.AddPages(3)
+	nilT.AddObjects(2)
+	if nilT.Pages() != 0 || nilT.Objects() != 0 {
+		t.Fatal("nil tally must read zero")
+	}
+	if TallyFrom(context.Background()) != nil {
+		t.Fatal("TallyFrom on a bare context must be nil")
+	}
+
+	ctx, tally := WithTally(context.Background())
+	if TallyFrom(ctx) != tally {
+		t.Fatal("TallyFrom did not return the scoped tally")
+	}
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 1000; j++ {
+				tally.AddPages(1)
+				tally.AddObjects(2)
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if tally.Pages() != 8000 || tally.Objects() != 16000 {
+		t.Fatalf("tally = %d pages / %d objects", tally.Pages(), tally.Objects())
+	}
+}
