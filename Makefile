@@ -29,18 +29,16 @@ bench-smoke:
 	$(GO) run ./cmd/asrbench -experiment explain-calib -metrics
 	$(MAKE) bench-compare
 
-# Refresh the machine-readable perf snapshot (BENCH_4.json) and, when a
-# previous snapshot exists, print a per-metric wall-time diff against
-# it. The diff is informational — wall times on shared runners are
-# noisy; the speedup columns inside the snapshot are the target.
+# Refresh the machine-readable perf+startup snapshot (BENCH_9.json),
+# diff it against the PR-4 era snapshot (informational — wall times on
+# shared runners are noisy), then run the trajectory gate: the new
+# snapshot's speedup and tree-shape metrics must be within
+# -gate-threshold of the best of the last -gate-keep snapshots in
+# bench-history/, or the target exits nonzero. A pass records the
+# snapshot into the history. CI caches bench-history/ across runs and
+# uploads it as an artifact (docs/PERFORMANCE.md, "Trajectory gate").
 bench-compare:
-	@if [ -f BENCH_4.json ]; then \
-		cp BENCH_4.json BENCH_4.prev.json; \
-		$(GO) run ./cmd/asrbench -snapshot BENCH_4.json -compare BENCH_4.prev.json; \
-		rm -f BENCH_4.prev.json; \
-	else \
-		$(GO) run ./cmd/asrbench -snapshot BENCH_4.json; \
-	fi
+	$(GO) run ./cmd/asrbench -snapshot BENCH_9.json -compare BENCH_4.json -gate bench-history
 
 # Durability suite under the race detector: crash the page file and WAL
 # at every admitted physical write (storage level) and across the

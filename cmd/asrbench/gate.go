@@ -1,0 +1,198 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Trajectory gate: compares a fresh snapshot against the last N
+// snapshots kept in a history directory and fails (nonzero exit) when a
+// pinned section regresses by more than the threshold against the best
+// historical value. On pass, the fresh snapshot is appended to the
+// history (snap-NNNN.json) and old entries beyond the keep limit are
+// pruned, so the baseline is a rolling window of the repo's own best
+// recent results rather than a single hand-updated file.
+//
+// Only machine-stable quantities are gated — speedup ratios for timed
+// sections and structural values (keys/leaf, height, compression ratio)
+// for shape sections. Raw wall times are recorded in snapshots for
+// humans but never gated: CI runners vary too much for an absolute-time
+// gate to be anything but flaky.
+
+// gateConfig carries the -gate* flag values.
+type gateConfig struct {
+	dir       string  // history directory
+	threshold float64 // max allowed regression, percent
+	pinned    string  // comma-separated sections to enforce
+	keep      int     // history snapshots to retain
+}
+
+// gateVerdict is the outcome for one gated metric.
+type gateVerdict struct {
+	key      string
+	baseline float64
+	current  float64
+	better   string
+	deltaPct float64 // signed; positive = regression
+	pinned   bool
+	failed   bool
+}
+
+// historySnapshots lists the history files in order (snap-0001.json,
+// snap-0002.json, ...). Non-matching files are ignored so the directory
+// can hold a README or CI bookkeeping.
+func historySnapshots(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), "snap-") && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	paths := make([]string, len(names))
+	for i, n := range names {
+		paths[i] = filepath.Join(dir, n)
+	}
+	return paths, nil
+}
+
+// gateBaseline folds the history down to the best seen value per metric
+// key. "Best" follows each metric's direction: max for better=more,
+// min for better=less. Schema-1 history files contribute through the
+// Speedup fallback in gateQuantity, so an old history keeps gating the
+// sections it covered.
+func gateBaseline(paths []string) (map[string]gateVerdict, error) {
+	base := map[string]gateVerdict{}
+	for _, p := range paths {
+		snap, err := loadSnapshot(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range snap.Metrics {
+			val, better, ok := m.gateQuantity()
+			if !ok {
+				continue
+			}
+			k := m.key()
+			cur, seen := base[k]
+			if !seen ||
+				(better == "more" && val > cur.baseline) ||
+				(better == "less" && val < cur.baseline) {
+				base[k] = gateVerdict{key: k, baseline: val, better: better}
+			}
+		}
+	}
+	return base, nil
+}
+
+// runGate evaluates cur against the history in cfg.dir. It prints a
+// verdict table and returns the list of failed metrics (empty = pass).
+// On pass it records cur into the history and prunes old entries; on
+// fail the history is left untouched so the regression cannot poison
+// the baseline.
+func runGate(cfg gateConfig, cur *Snapshot) ([]gateVerdict, error) {
+	paths, err := historySnapshots(cfg.dir)
+	if err != nil {
+		return nil, err
+	}
+	base, err := gateBaseline(paths)
+	if err != nil {
+		return nil, err
+	}
+
+	pinned := map[string]bool{}
+	for _, s := range strings.Split(cfg.pinned, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			pinned[s] = true
+		}
+	}
+
+	var verdicts []gateVerdict
+	for _, m := range cur.Metrics {
+		val, better, ok := m.gateQuantity()
+		if !ok {
+			continue
+		}
+		v := gateVerdict{key: m.key(), current: val, better: better, pinned: pinned[m.Section]}
+		if b, seen := base[m.key()]; seen {
+			v.baseline = b.baseline
+			// Normalise delta so positive always means "got worse".
+			if better == "more" {
+				v.deltaPct = 100 * (b.baseline - val) / b.baseline
+			} else {
+				v.deltaPct = 100 * (val - b.baseline) / b.baseline
+			}
+			v.failed = v.pinned && v.deltaPct > cfg.threshold
+		}
+		verdicts = append(verdicts, v)
+	}
+
+	fmt.Printf("\ntrajectory gate: %d history snapshot(s) in %s, threshold %.0f%%, pinned sections [%s]\n",
+		len(paths), cfg.dir, cfg.threshold, cfg.pinned)
+	fmt.Printf("%-40s %10s %10s %9s  %s\n", "metric", "baseline", "current", "delta", "verdict")
+	var failures []gateVerdict
+	for _, v := range verdicts {
+		verdict := "ok"
+		switch {
+		case v.baseline == 0:
+			verdict = "new (no baseline)"
+		case !v.pinned:
+			verdict = "unpinned"
+		case v.failed:
+			verdict = fmt.Sprintf("FAIL (> %.0f%%)", cfg.threshold)
+			failures = append(failures, v)
+		}
+		baseStr := "-"
+		if v.baseline != 0 {
+			baseStr = fmt.Sprintf("%.2f", v.baseline)
+		}
+		fmt.Printf("%-40s %10s %10.2f %+8.1f%%  %s\n", v.key, baseStr, v.current, v.deltaPct, verdict)
+	}
+
+	if len(failures) > 0 {
+		fmt.Printf("gate: FAIL — %d pinned metric(s) regressed; history not updated\n", len(failures))
+		return failures, nil
+	}
+	if err := recordHistory(cfg, cur, paths); err != nil {
+		return nil, err
+	}
+	fmt.Println("gate: PASS")
+	return nil, nil
+}
+
+// recordHistory writes cur as the next snap-NNNN.json and prunes the
+// oldest entries beyond cfg.keep.
+func recordHistory(cfg gateConfig, cur *Snapshot, paths []string) error {
+	if err := os.MkdirAll(cfg.dir, 0o755); err != nil {
+		return err
+	}
+	next := 1
+	if len(paths) > 0 {
+		last := filepath.Base(paths[len(paths)-1])
+		fmt.Sscanf(last, "snap-%d.json", &next)
+		next++
+	}
+	out := filepath.Join(cfg.dir, fmt.Sprintf("snap-%04d.json", next))
+	if err := writeSnapshot(cur, out); err != nil {
+		return err
+	}
+	paths = append(paths, out)
+	for len(paths) > cfg.keep {
+		if err := os.Remove(paths[0]); err != nil {
+			return err
+		}
+		paths = paths[1:]
+	}
+	fmt.Printf("gate: recorded %s (history now %d/%d)\n", out, len(paths), cfg.keep)
+	return nil
+}

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// mkSnap builds a schema-2 snapshot with one pinned timed metric
+// (probe/batch, gated via Speedup), one pinned structural metric
+// (shape/keys-per-leaf, gated via Value with better=more), and one
+// unpinned wall-only metric (startup).
+func mkSnap(probeSpeedup, keysPerLeaf float64) *Snapshot {
+	return &Snapshot{
+		Schema:     snapshotSchema,
+		Experiment: "perf+startup",
+		Metrics: []SnapshotMetric{
+			{Section: "probe", Variant: "sorted batch (32k probes)", WallNS: 1e6, Speedup: probeSpeedup, Better: "more"},
+			{Section: "shape", Variant: "fwd keys/leaf", Value: keysPerLeaf, Unit: "keys", Better: "more"},
+			{Section: "startup", Variant: "recover+openfrom (4403 rows)", WallNS: 5e6, Better: "less"},
+		},
+	}
+}
+
+func seedHistory(t *testing.T, dir string, snaps ...*Snapshot) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range snaps {
+		p := filepath.Join(dir, "snap-000"+string(rune('1'+i))+".json")
+		if err := writeSnapshot(s, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func defaultCfg(dir string) gateConfig {
+	return gateConfig{dir: dir, threshold: 25, pinned: "probe,build,shape", keep: 5}
+}
+
+func TestGateFailsOnPinnedRegression(t *testing.T) {
+	dir := t.TempDir()
+	seedHistory(t, dir, mkSnap(4.0, 60))
+
+	// Probe speedup collapses 4.0 -> 2.0 (-50%): must fail, and the
+	// regressed snapshot must not enter the history.
+	failures, err := runGate(defaultCfg(dir), mkSnap(2.0, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 1 || failures[0].key != "probe/sorted batch" {
+		t.Fatalf("failures = %+v, want exactly probe/sorted batch", failures)
+	}
+	paths, _ := historySnapshots(dir)
+	if len(paths) != 1 {
+		t.Fatalf("history grew to %d entries on a failed gate", len(paths))
+	}
+
+	// Structural regression gates too: keys/leaf 60 -> 30.
+	failures, err = runGate(defaultCfg(dir), mkSnap(4.0, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 1 || failures[0].key != "shape/fwd keys/leaf" {
+		t.Fatalf("failures = %+v, want exactly shape/fwd keys/leaf", failures)
+	}
+}
+
+func TestGateWithinThresholdPassesAndRecords(t *testing.T) {
+	dir := t.TempDir()
+	seedHistory(t, dir, mkSnap(4.0, 60))
+
+	// 10% down on a 25% threshold: pass, record snap-0002.json.
+	failures, err := runGate(defaultCfg(dir), mkSnap(3.6, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 0 {
+		t.Fatalf("failures = %+v, want none", failures)
+	}
+	paths, _ := historySnapshots(dir)
+	if len(paths) != 2 || filepath.Base(paths[1]) != "snap-0002.json" {
+		t.Fatalf("history = %v, want [snap-0001 snap-0002]", paths)
+	}
+
+	// Baseline stays the best of history (4.0, not the newer 3.6), so a
+	// slow drift cannot ratchet the bar down: 2.9 is within 25% of 3.6
+	// but not of 4.0.
+	failures, err = runGate(defaultCfg(dir), mkSnap(2.9, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 1 {
+		t.Fatalf("failures = %+v, want drift caught against best-of-history", failures)
+	}
+}
+
+func TestGateEmptyHistoryPassesAndSeeds(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "fresh") // does not exist yet
+	failures, err := runGate(defaultCfg(dir), mkSnap(4.0, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 0 {
+		t.Fatalf("failures on empty history: %+v", failures)
+	}
+	paths, _ := historySnapshots(dir)
+	if len(paths) != 1 || filepath.Base(paths[0]) != "snap-0001.json" {
+		t.Fatalf("history = %v, want seeded snap-0001.json", paths)
+	}
+}
+
+func TestGatePrunesHistoryToKeep(t *testing.T) {
+	dir := t.TempDir()
+	cfg := defaultCfg(dir)
+	cfg.keep = 3
+	for i := 0; i < 5; i++ {
+		if failures, err := runGate(cfg, mkSnap(4.0, 60)); err != nil || len(failures) != 0 {
+			t.Fatalf("run %d: failures=%v err=%v", i, failures, err)
+		}
+	}
+	paths, _ := historySnapshots(dir)
+	if len(paths) != 3 {
+		t.Fatalf("history = %d entries, want pruned to 3", len(paths))
+	}
+	// Numbering keeps advancing past pruned entries.
+	if filepath.Base(paths[2]) != "snap-0005.json" {
+		t.Fatalf("latest = %s, want snap-0005.json", paths[2])
+	}
+}
+
+func TestGateToleratesSchema1History(t *testing.T) {
+	dir := t.TempDir()
+	// A schema-1 snapshot has only Section/Variant/WallNS/Speedup — the
+	// shape of the checked-in BENCH_4.json. Its speedup rows must still
+	// act as baselines; its wall-only rows must not.
+	old := &Snapshot{Schema: 1, Experiment: "perf", Metrics: []SnapshotMetric{
+		{Section: "probe", Variant: "sorted batch (32k probes)", WallNS: 1e6, Speedup: 4.0},
+		{Section: "build", Variant: "incremental inserts", WallNS: 9e6, Speedup: 1.0},
+	}}
+	seedHistory(t, dir, old)
+
+	failures, err := runGate(defaultCfg(dir), mkSnap(2.0, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 1 || failures[0].key != "probe/sorted batch" {
+		t.Fatalf("failures = %+v, want probe regression vs schema-1 baseline", failures)
+	}
+}
+
+func TestGateUnpinnedSectionNeverFails(t *testing.T) {
+	dir := t.TempDir()
+	cfg := defaultCfg(dir)
+	cfg.pinned = "shape" // probe explicitly unpinned
+	seedHistory(t, dir, mkSnap(4.0, 60))
+	failures, err := runGate(cfg, mkSnap(0.5, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 0 {
+		t.Fatalf("unpinned section failed the gate: %+v", failures)
+	}
+}

@@ -8,8 +8,9 @@
 //	asrbench -experiment fig6      # run one experiment
 //	asrbench -all                  # run everything
 //	asrbench -experiment fig6 -csv # machine-readable output
-//	asrbench -snapshot BENCH_4.json                         # perf snapshot
-//	asrbench -snapshot BENCH_4.json -compare BENCH_4.prev.json
+//	asrbench -snapshot BENCH_9.json                         # perf+startup snapshot
+//	asrbench -snapshot BENCH_9.json -compare BENCH_4.json   # informational diff
+//	asrbench -snapshot BENCH_9.json -gate bench-history     # trajectory gate (CI)
 package main
 
 import (
@@ -28,8 +29,12 @@ func main() {
 		all     = flag.Bool("all", false, "run every experiment")
 		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		metrics = flag.Bool("metrics", false, "emit a telemetry snapshot (Prometheus text) after each experiment")
-		snap    = flag.String("snapshot", "", "run the perf experiment and write a machine-readable snapshot to this file")
+		snap    = flag.String("snapshot", "", "run the perf+startup experiments and write a machine-readable snapshot to this file")
 		compare = flag.String("compare", "", "with -snapshot: diff the fresh snapshot against this previous snapshot file")
+		gateDir = flag.String("gate", "", "with -snapshot: trajectory-gate the snapshot against the history in this directory (fails on regression)")
+		gateThr = flag.Float64("gate-threshold", 25, "max allowed regression (percent) for pinned sections before the gate fails")
+		gatePin = flag.String("gate-pin", "probe,build,shape", "comma-separated snapshot sections the gate enforces; others are recorded but informational")
+		gateN   = flag.Int("gate-keep", 5, "number of history snapshots to retain in the gate directory")
 	)
 	flag.Usage = func() {
 		fmt.Fprint(flag.CommandLine.Output(), `asrbench — run the paper-reproduction experiments.
@@ -38,7 +43,12 @@ usage:
   asrbench -list                       enumerate experiments (fig/tab ids)
   asrbench -experiment ID [-csv] [-metrics]
   asrbench -all
-  asrbench -snapshot OUT.json [-compare PREV.json]   perf snapshot + diff
+  asrbench -snapshot OUT.json [-compare PREV.json]   perf+startup snapshot + diff
+  asrbench -snapshot OUT.json -gate DIR              snapshot, then gate against
+                                                     the last -gate-keep history
+                                                     snapshots; exits 1 if a
+                                                     pinned section regresses
+                                                     more than -gate-threshold %
 
 flags:
 `)
@@ -64,6 +74,16 @@ docs: EXPERIMENTS.md (measured output per paper claim), docs/PERFORMANCE.md
 		if *compare != "" {
 			if err := compareSnapshots(*compare, cur); err != nil {
 				fail(err)
+			}
+		}
+		if *gateDir != "" {
+			cfg := gateConfig{dir: *gateDir, threshold: *gateThr, pinned: *gatePin, keep: *gateN}
+			failures, err := runGate(cfg, cur)
+			if err != nil {
+				fail(err)
+			}
+			if len(failures) > 0 {
+				os.Exit(1)
 			}
 		}
 	case *list:

@@ -11,29 +11,74 @@ import (
 	"asr/internal/bench"
 )
 
-// Snapshot is the machine-readable form of the perf experiment: one
-// metric per table row, wall times in nanoseconds. Written by
-// `asrbench -snapshot BENCH_4.json`, diffed by -compare / `make
-// bench-compare`.
+// Snapshot is the machine-readable form of the perf + startup
+// experiments: one metric per row. Written by `asrbench -snapshot
+// BENCH_9.json`, diffed by -compare, and gated against history by
+// -gate (see gate.go / `make bench-compare`).
+//
+// Schema history:
+//
+//	1 — perf experiment only: Section/Variant/WallNS/Speedup
+//	2 — adds the startup experiment and the Value/Unit/Better fields
+//	    for structural (non-wall) metrics; Better records which
+//	    direction is an improvement ("more" or "less")
+//
+// Schema-1 files (BENCH_4.json) still load: the new fields are zero,
+// and the gate falls back to the Speedup column for them.
 type Snapshot struct {
 	Schema     int              `json:"schema"`
 	Experiment string           `json:"experiment"`
 	Metrics    []SnapshotMetric `json:"metrics"`
 }
 
-// SnapshotMetric is one measured variant.
+// snapshotSchema is the schema version this binary writes.
+const snapshotSchema = 2
+
+// SnapshotMetric is one measured variant. WallNS and Speedup come from
+// timed sections; Value/Unit carry structural measurements (keys per
+// leaf, tree height, compression ratio) that do not depend on the
+// machine the snapshot was taken on.
 type SnapshotMetric struct {
 	Section string  `json:"section"`
 	Variant string  `json:"variant"`
-	WallNS  int64   `json:"wall_ns"`
-	Speedup float64 `json:"speedup"`
+	WallNS  int64   `json:"wall_ns,omitempty"`
+	Speedup float64 `json:"speedup,omitempty"`
+	Value   float64 `json:"value,omitempty"`
+	Unit    string  `json:"unit,omitempty"`
+	Better  string  `json:"better,omitempty"`
 }
 
-// key identifies a metric across snapshots.
-func (m SnapshotMetric) key() string { return m.Section + "/" + m.Variant }
+// key identifies a metric across snapshots. Variants may embed run
+// details in parentheses (row counts, rep counts); those are stripped
+// so the key stays stable when only the annotation changes.
+func (m SnapshotMetric) key() string {
+	v := m.Variant
+	if i := strings.IndexByte(v, '('); i > 0 {
+		v = strings.TrimSpace(v[:i])
+	}
+	return m.Section + "/" + v
+}
 
-// takeSnapshot runs the perf experiment and converts its table into a
-// snapshot.
+// gateQuantity returns the value the trajectory gate compares for this
+// metric, with its improvement direction. Structural metrics gate on
+// Value; timed sections gate on the machine-independent Speedup column;
+// raw wall times are never gated (noisy on shared runners).
+func (m SnapshotMetric) gateQuantity() (val float64, better string, ok bool) {
+	if m.Value != 0 {
+		b := m.Better
+		if b == "" {
+			b = "more"
+		}
+		return m.Value, b, true
+	}
+	if m.Speedup > 0 {
+		return m.Speedup, "more", true
+	}
+	return 0, "", false
+}
+
+// takeSnapshot runs the perf and startup experiments and merges their
+// measurements into one snapshot.
 func takeSnapshot() (*Snapshot, error) {
 	e, ok := bench.Lookup("perf")
 	if !ok {
@@ -43,7 +88,7 @@ func takeSnapshot() (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	snap := &Snapshot{Schema: 1, Experiment: e.ID}
+	snap := &Snapshot{Schema: snapshotSchema, Experiment: "perf+startup"}
 	for _, row := range tab.Rows {
 		if len(row) < 4 {
 			return nil, fmt.Errorf("perf row %v: want 4 cells", row)
@@ -61,6 +106,21 @@ func takeSnapshot() (*Snapshot, error) {
 			Variant: row[1],
 			WallNS:  wall.Nanoseconds(),
 			Speedup: sp,
+			Better:  "more",
+		})
+	}
+	startup, err := bench.StartupMetrics()
+	if err != nil {
+		return nil, fmt.Errorf("startup metrics: %w", err)
+	}
+	for _, m := range startup {
+		snap.Metrics = append(snap.Metrics, SnapshotMetric{
+			Section: m.Section,
+			Variant: m.Variant,
+			WallNS:  m.WallNS,
+			Value:   m.Value,
+			Unit:    m.Unit,
+			Better:  m.Better,
 		})
 	}
 	return snap, nil
@@ -75,7 +135,7 @@ func writeSnapshot(snap *Snapshot, path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// loadSnapshot reads a snapshot file.
+// loadSnapshot reads a snapshot file (any schema).
 func loadSnapshot(path string) (*Snapshot, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -90,8 +150,8 @@ func loadSnapshot(path string) (*Snapshot, error) {
 
 // compareSnapshots prints a per-metric diff of cur against the snapshot
 // at oldPath. Wall times on shared machines are noisy; the comparison
-// is informational and never fails the run — it exists so regressions
-// are visible in CI logs, not to gate on them.
+// is informational and never fails the run — regression enforcement is
+// the -gate flag's job, over the stable (speedup/structural) columns.
 func compareSnapshots(oldPath string, cur *Snapshot) error {
 	old, err := loadSnapshot(oldPath)
 	if err != nil {
@@ -105,20 +165,34 @@ func compareSnapshots(oldPath string, cur *Snapshot) error {
 	for _, m := range cur.Metrics {
 		p, ok := prev[m.key()]
 		if !ok {
-			fmt.Printf("%-50s %12s %12s %8s\n", m.key(), "-", fmtNS(m.WallNS), "new")
+			fmt.Printf("%-50s %12s %12s %8s\n", m.key(), "-", fmtMetric(m), "new")
 			continue
 		}
 		delta := "n/a"
-		if p.WallNS > 0 {
+		if p.WallNS > 0 && m.WallNS > 0 {
 			delta = fmt.Sprintf("%+.0f%%", 100*float64(m.WallNS-p.WallNS)/float64(p.WallNS))
+		} else if p.Value != 0 && m.Value != 0 {
+			delta = fmt.Sprintf("%+.0f%%", 100*(m.Value-p.Value)/p.Value)
 		}
-		fmt.Printf("%-50s %12s %12s %8s\n", m.key(), fmtNS(p.WallNS), fmtNS(m.WallNS), delta)
+		fmt.Printf("%-50s %12s %12s %8s\n", m.key(), fmtMetric(p), fmtMetric(m), delta)
 		delete(prev, m.key())
 	}
 	for k, p := range prev {
-		fmt.Printf("%-50s %12s %12s %8s\n", k, fmtNS(p.WallNS), "-", "gone")
+		fmt.Printf("%-50s %12s %12s %8s\n", k, fmtMetric(p), "-", "gone")
 	}
 	return nil
+}
+
+// fmtMetric renders a metric's headline figure: wall time for timed
+// rows, value+unit for structural rows.
+func fmtMetric(m SnapshotMetric) string {
+	if m.WallNS > 0 {
+		return fmtNS(m.WallNS)
+	}
+	if m.Unit != "" {
+		return fmt.Sprintf("%.1f %s", m.Value, m.Unit)
+	}
+	return fmt.Sprintf("%.2f", m.Value)
 }
 
 func fmtNS(ns int64) string {

@@ -59,8 +59,22 @@ type Partition struct {
 // not. Reference counts are not in the meta page: they live as the
 // forward tree's values (4-byte big-endian counts), so OpenFrom can
 // rebuild the in-memory row maps with one clustered scan.
+//
+// Meta page layout (current):
+//
+//	magic(4) formatVersion(4) arity(4) pad(4) state(6×8)
+//
+// formatVersion is the B⁺-tree page-format version the partition's
+// trees were written with (btree.FormatVersion). Pre-compression files
+// carry the old magic partMetaMagicV1 (whose layout had no version
+// field); openPartition soft-rejects them — the partition comes up
+// empty and quarantined, wrapping btree.ErrPageFormat, and
+// Index.Repair/Manager.Repair rebuilds it from the live object base in
+// the current format. The old trees' pages cannot be parsed for
+// reclamation and are leaked, exactly like pages behind a corrupt node.
 const (
-	partMetaMagic = 0x41535250 // "ASRP"
+	partMetaMagic   = 0x41535251 // "ASRQ" — versioned layout
+	partMetaMagicV1 = 0x41535250 // "ASRP" — format v1, pre-compression
 )
 
 // refcntVal encodes a row's reference count as the forward tree value.
@@ -117,9 +131,11 @@ func (p *Partition) syncMetaLocked() error {
 	}
 	buf := fr.Data()
 	binary.BigEndian.PutUint32(buf[0:], partMetaMagic)
-	binary.BigEndian.PutUint32(buf[4:], uint32(p.arity))
+	binary.BigEndian.PutUint32(buf[4:], uint32(btree.FormatVersion()))
+	binary.BigEndian.PutUint32(buf[8:], uint32(p.arity))
+	binary.BigEndian.PutUint32(buf[12:], 0)
 	for i, v := range st {
-		binary.BigEndian.PutUint64(buf[8+8*i:], v)
+		binary.BigEndian.PutUint64(buf[16+8*i:], v)
 	}
 	fr.MarkDirty()
 	fr.Unpin()
@@ -132,24 +148,40 @@ func (p *Partition) syncMetaLocked() error {
 // reference-count values. On a scan error (for example a corrupt page
 // that recovery could not heal) the partially loaded partition is
 // returned WITH the error, so the caller can wire it up and quarantine
-// the owning index for Repair.
+// the owning index for Repair. A meta page in a pre-compression format
+// (or an unknown future one) takes the same soft path: the partition
+// comes up empty with an error wrapping btree.ErrPageFormat, and Repair
+// rebuilds it in the current format.
 func openPartition(pool *storage.BufferPool, name string, arity int, meta storage.PageID) (*Partition, error) {
 	fr, err := pool.Get(meta)
 	if err != nil {
 		return nil, fmt.Errorf("asr: partition %s: meta page %v: %w", name, meta, err)
 	}
 	buf := fr.Data()
-	if binary.BigEndian.Uint32(buf[0:]) != partMetaMagic {
+	magic := binary.BigEndian.Uint32(buf[0:])
+	if magic == partMetaMagicV1 {
+		fr.Unpin()
+		return emptyFormatReject(pool, name, arity, meta,
+			fmt.Errorf("asr: partition %s: meta page %v predates prefix compression (format v1): %w",
+				name, meta, btree.ErrPageFormat))
+	}
+	if magic != partMetaMagic {
 		fr.Unpin()
 		return nil, fmt.Errorf("asr: partition %s: page %v is not a partition meta page", name, meta)
 	}
-	if got := int(binary.BigEndian.Uint32(buf[4:])); got != arity {
+	if got := int(binary.BigEndian.Uint32(buf[4:])); got != btree.FormatVersion() {
+		fr.Unpin()
+		return emptyFormatReject(pool, name, arity, meta,
+			fmt.Errorf("asr: partition %s: meta page %v records page-format v%d, this build reads v%d: %w",
+				name, meta, got, btree.FormatVersion(), btree.ErrPageFormat))
+	}
+	if got := int(binary.BigEndian.Uint32(buf[8:])); got != arity {
 		fr.Unpin()
 		return nil, fmt.Errorf("asr: partition %s: meta arity %d, manifest says %d", name, got, arity)
 	}
 	var st [6]uint64
 	for i := range st {
-		st[i] = binary.BigEndian.Uint64(buf[8+8*i:])
+		st[i] = binary.BigEndian.Uint64(buf[16+8*i:])
 	}
 	fr.Unpin()
 	p := &Partition{
@@ -187,6 +219,25 @@ func openPartition(pool *storage.BufferPool, name string, arity int, meta storag
 		return p, fmt.Errorf("asr: partition %s: loading rows: %w", name, err)
 	}
 	return p, nil
+}
+
+// emptyFormatReject wires up a partition whose stored trees are in an
+// unreadable page format: empty NilPage-rooted trees (so Drop during a
+// later reloadBulk is a no-op — the unreadable pages cannot be walked
+// for reclamation and leak), the original meta page retained so Repair
+// rewrites it in place in the current layout. Returned WITH the format
+// error so OpenFrom quarantines the owning indexes.
+func emptyFormatReject(pool *storage.BufferPool, name string, arity int, meta storage.PageID, ferr error) (*Partition, error) {
+	return &Partition{
+		name:     name,
+		arity:    arity,
+		pool:     pool,
+		meta:     meta,
+		fwd:      btree.Open(pool, name+".fwd", storage.NilPage, 0, 0),
+		bwd:      btree.Open(pool, name+".bwd", storage.NilPage, 0, 0),
+		refcnt:   map[string]int{},
+		rowByKey: map[string]relation.Tuple{},
+	}, ferr
 }
 
 // NewPartition creates an empty stored partition of the given arity
@@ -591,12 +642,13 @@ func (p *Partition) reloadBulk(pool *storage.BufferPool, rows map[string]relatio
 	return errors.Join(dropTolerant(oldFwd), dropTolerant(oldBwd))
 }
 
-// dropTolerant reclaims a tree's pages, swallowing corruption (and
-// post-crash) errors: the pages leak, which is recorded nowhere but
+// dropTolerant reclaims a tree's pages, swallowing corruption, crash,
+// and page-format errors: the pages leak, which is recorded nowhere but
 // harms nothing — the tree is unreachable.
 func dropTolerant(t *btree.Tree) error {
 	err := t.Drop()
-	if err == nil || errors.Is(err, storage.ErrCorruptPage) || errors.Is(err, storage.ErrCrashed) {
+	if err == nil || errors.Is(err, storage.ErrCorruptPage) || errors.Is(err, storage.ErrCrashed) ||
+		errors.Is(err, btree.ErrPageFormat) {
 		return nil
 	}
 	return err

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"asr/internal/asr"
+	"asr/internal/gendb"
+	"asr/internal/storage"
+)
+
+// Executable experiment: fixed startup cost and physical tree shape.
+// Not part of the paper's evaluation — it measures what a process pays
+// before it can serve its first query (storage.Recover over the page
+// file and WAL, then asr.OpenFrom reattaching every partition from its
+// meta page, including the clustered refcount scan), kept separate from
+// steady-state throughput so the bench trajectory gate can watch both
+// independently. The shape section reports the prefix-compressed
+// B⁺-tree geometry — keys per leaf, height, stored-vs-uncompressed
+// ratio — the structural quantities behind the cost model's ht and pg.
+
+func init() {
+	register(Experiment{
+		ID:          "startup",
+		Title:       "Fixed startup cost and compressed tree shape",
+		Ref:         "implementation (recovery + §5.2 storage)",
+		Description: "Times Recover+OpenFrom on a saved durable index (min over reps), and reports the forward tree's keys/leaf, height, and prefix-compression ratio.",
+		Run:         runStartup,
+	})
+}
+
+// Metric is one machine-readable measurement, consumed by the asrbench
+// snapshot/gate tooling. Exactly one of WallNS or Value is meaningful;
+// Better says which direction is an improvement ("more" or "less").
+type Metric struct {
+	Section string
+	Variant string
+	WallNS  int64
+	Value   float64
+	Unit    string
+	Better  string
+}
+
+// startupSpec sizes the saved database: big enough that OpenFrom's
+// refcount scan dominates process-start noise, small enough for the CI
+// smoke job.
+var startupSpec = gendb.Spec{
+	N:    3,
+	C:    []int{300, 800, 1500, 3000},
+	D:    []int{270, 650, 1200},
+	Fan:  []int{3, 2, 2},
+	Seed: 17,
+}
+
+const startupReps = 5
+
+// StartupMetrics builds a durable database once, then measures the
+// cold-start path (storage.Recover + asr.OpenFrom) startupReps times,
+// reporting the minimum — the fixed cost with OS caches warm — plus the
+// reopened forward tree's physical shape.
+func StartupMetrics() ([]Metric, error) {
+	dir, err := os.MkdirTemp("", "asrbench-startup-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	pages := filepath.Join(dir, "pages")
+	man := filepath.Join(dir, "manifest")
+
+	// Build and save the durable index (one-time cost, not measured).
+	db, err := gendb.Generate(startupSpec)
+	if err != nil {
+		return nil, err
+	}
+	fd, err := storage.OpenFileDisk(pages, 0)
+	if err != nil {
+		return nil, err
+	}
+	w, err := storage.OpenWAL(pages + ".wal")
+	if err != nil {
+		return nil, err
+	}
+	pool := storage.NewBufferPool(fd, 0, storage.LRU)
+	pool.AttachWAL(w)
+	mgr := asr.NewManager(db.Base, pool)
+	// Undecomposed: one partition with full composite-OID keys, the
+	// layout prefix compression targets (long shared leading columns).
+	mcol := db.Path.Arity() - 1
+	if _, err := mgr.CreateIndex(db.Path, asr.Full, asr.NoDecomposition(mcol)); err != nil {
+		return nil, err
+	}
+	rows := mgr.Indexes()[0].TotalRows()[0]
+	if err := mgr.SaveTo(man); err != nil {
+		return nil, err
+	}
+	if err := fd.Close(); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+
+	best := time.Duration(1<<63 - 1)
+	var stats struct {
+		keysPerLeaf float64
+		height      int
+		ratio       float64
+		leaves      int
+	}
+	for rep := 0; rep < startupReps; rep++ {
+		// Fresh ObjectBase per rep: OpenFrom registers maintainers as
+		// observers, and startup must not accumulate them across reps.
+		repDB, err := gendb.Generate(startupSpec)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		rfd, rw, _, err := storage.Recover(pages)
+		if err != nil {
+			return nil, fmt.Errorf("startup rep %d: %w", rep, err)
+		}
+		rpool := storage.NewBufferPool(rfd, 0, storage.LRU)
+		rpool.AttachWAL(rw)
+		rmgr, err := asr.OpenFrom(repDB.Base, rpool, man)
+		if err != nil {
+			return nil, fmt.Errorf("startup rep %d: %w", rep, err)
+		}
+		d := time.Since(start)
+		if d < best {
+			best = d
+		}
+		ix := rmgr.Indexes()[0]
+		if ix.Quarantined() {
+			return nil, fmt.Errorf("startup rep %d: reopened index quarantined: %w", rep, ix.QuarantineReason())
+		}
+		if rep == 0 {
+			// Shape of the widest partition's forward tree (outside the
+			// timed section).
+			st, err := ix.Partitions()[0].Part.Forward().ComputeStats()
+			if err != nil {
+				return nil, err
+			}
+			stats.keysPerLeaf = st.KeysPerLeaf()
+			stats.height = st.Height
+			stats.leaves = st.LeafPages
+			if st.UncompressedBytes > 0 {
+				stats.ratio = float64(st.UsedBytes) / float64(st.UncompressedBytes)
+			}
+		}
+		if err := rfd.Close(); err != nil {
+			return nil, err
+		}
+		if err := rw.Close(); err != nil {
+			return nil, err
+		}
+	}
+
+	return []Metric{
+		{Section: "startup", Variant: fmt.Sprintf("recover+openfrom (%d rows, min of %d)", rows, startupReps),
+			WallNS: best.Nanoseconds(), Better: "less"},
+		{Section: "shape", Variant: "fwd keys/leaf", Value: stats.keysPerLeaf, Unit: "keys", Better: "more"},
+		{Section: "shape", Variant: "fwd height", Value: float64(stats.height), Unit: "levels", Better: "less"},
+		{Section: "shape", Variant: "fwd leaf pages", Value: float64(stats.leaves), Unit: "pages", Better: "less"},
+		{Section: "shape", Variant: "stored/uncompressed", Value: stats.ratio, Unit: "ratio", Better: "less"},
+	}, nil
+}
+
+func runStartup() (*Table, error) {
+	ms, err := StartupMetrics()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "startup",
+		Title:   "Fixed startup cost and compressed tree shape",
+		Ref:     "implementation",
+		Columns: []string{"section", "variant", "wall time", "value"},
+	}
+	for _, m := range ms {
+		wall, val := "-", "-"
+		if m.WallNS > 0 {
+			wall = time.Duration(m.WallNS).Round(time.Microsecond).String()
+		}
+		if m.Value != 0 {
+			val = fmt.Sprintf("%.1f %s", m.Value, m.Unit)
+		}
+		t.AddRow(m.Section, m.Variant, wall, val)
+	}
+	t.Note = "startup wall time is machine-dependent (unpinned in the bench gate); the shape rows are structural and gate-pinned — they move only when the page format or fill strategy changes"
+	return t, nil
+}

@@ -16,7 +16,9 @@ const maxBatchHops = 4
 
 // VisitIndexed is called with the index of the matching prefix and each
 // matching entry; returning false stops the whole scan. Key and value
-// slices are copies owned by the callee.
+// slices are BORROWED under the same zero-copy contract as Visit: valid
+// only until the callback returns, never retained. Wrap with
+// CopiedIndexed to receive owned copies.
 type VisitIndexed func(i int, key, val []byte) bool
 
 // ScanPrefixes visits, for every prefix, each entry whose key starts
@@ -84,23 +86,31 @@ func (t *Tree) ScanPrefixes(prefixes [][]byte, fn VisitIndexed) error {
 			pid = next
 		}
 	}
-	// advance moves the cursor to the next leaf in the chain, leaving
-	// fr == nil at the end of the chain.
+	// advance moves the cursor to the next non-empty leaf in the chain,
+	// leaving fr == nil at the end of the chain. Empty leaves left
+	// behind by deletion are hopped over for free — they never count
+	// against the maxBatchHops budget, only against the telemetry
+	// counter that makes the deferred-compaction cost observable.
 	advance := func() error {
-		if len(n.keys) > 0 {
-			passed = append(passed[:0], n.keys[len(n.keys)-1]...)
+		for {
+			if len(n.keys) > 0 {
+				passed = append(passed[:0], n.keys[len(n.keys)-1]...)
+			}
+			next := n.next
+			release()
+			if next.IsNil() {
+				return nil
+			}
+			f, nd, err := t.load(next)
+			if err != nil {
+				return err
+			}
+			fr, n = f, nd
+			if len(nd.keys) > 0 {
+				return nil
+			}
+			telEmptyLeafHops.Inc()
 		}
-		next := n.next
-		release()
-		if next.IsNil() {
-			return nil
-		}
-		f, nd, err := t.load(next)
-		if err != nil {
-			return err
-		}
-		fr, n = f, nd
-		return nil
 	}
 
 	for _, oi := range order {
@@ -151,7 +161,9 @@ func (t *Tree) ScanPrefixes(prefixes [][]byte, fn VisitIndexed) error {
 					done = true
 					break
 				}
-				if !fn(oi, append([]byte(nil), n.keys[pos]...), append([]byte(nil), n.vals[pos]...)) {
+				// Zero-copy: borrowed slices, valid while this leaf
+				// stays pinned (i.e. until fn returns).
+				if !fn(oi, n.keys[pos], n.vals[pos]) {
 					return nil
 				}
 			}

@@ -12,10 +12,10 @@ type kvPair struct{ k, v []byte }
 func collectPrefix(t *testing.T, tr *Tree, prefix []byte) []kvPair {
 	t.Helper()
 	var out []kvPair
-	if err := tr.ScanPrefix(prefix, func(k, v []byte) bool {
+	if err := tr.ScanPrefix(prefix, Copied(func(k, v []byte) bool {
 		out = append(out, kvPair{k, v})
 		return true
-	}); err != nil {
+	})); err != nil {
 		t.Fatal(err)
 	}
 	return out
@@ -24,10 +24,10 @@ func collectPrefix(t *testing.T, tr *Tree, prefix []byte) []kvPair {
 func checkBatchAgainstSingle(t *testing.T, tr *Tree, prefixes [][]byte) {
 	t.Helper()
 	batch := make([][]kvPair, len(prefixes))
-	if err := tr.ScanPrefixes(prefixes, func(i int, k, v []byte) bool {
+	if err := tr.ScanPrefixes(prefixes, CopiedIndexed(func(i int, k, v []byte) bool {
 		batch[i] = append(batch[i], kvPair{k, v})
 		return true
-	}); err != nil {
+	})); err != nil {
 		t.Fatal(err)
 	}
 	for i, p := range prefixes {

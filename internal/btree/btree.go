@@ -6,28 +6,67 @@
 // through the buffer pool and comparable with the analytical quantities
 // ht, pg and nlp of the paper's cost model.
 //
+// Pages use prefix truncation (format version 2): every entry after the
+// first stores only the length of the prefix it shares with the page's
+// low key plus the remaining suffix. Composite-OID keys share long
+// leading prefixes within a partition, so compressed pages hold
+// substantially more keys — which directly lowers the cost model's ht
+// and pg. Internal separators are additionally suffix-truncated at
+// splits and bulk loads: the stored separator is the shortest byte
+// string that still divides the two children. Format-v1 pages (written
+// before compression) are rejected with ErrPageFormat; the owning
+// partition is rebuilt via BulkLoad (see asr.OpenFrom / Index.Repair).
+//
 // Deletion removes entries without merging underfull nodes; empty leaves
 // remain in the chain until the tree is rebuilt. This mirrors the
 // deferred-compaction behaviour of production B-trees (e.g. PostgreSQL
 // only reclaims entirely empty pages asynchronously) and keeps deletion
-// strictly local.
+// strictly local. Scans skip empty leaves; the hops they cost are
+// counted in btree_empty_leaf_hops_total.
 package btree
 
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"sync"
 
 	"asr/internal/storage"
 )
 
+// On-page node layout, format version 2.
+//
+//	header:  tag(1) count(2) ptr0(8)            — 11 bytes
+//	leaf:    tag = leafTag, ptr0 = right sibling
+//	         entry_i: prefixLen(2) suffixLen(2) valLen(2) suffix val
+//	inner:   tag = internalTag, ptr0 = children[0]
+//	         entry_i: prefixLen(2) suffixLen(2) suffix child(8)
+//
+// key_i = lowKey[:prefixLen_i] + suffix_i, where lowKey is the page's
+// first key (entry 0, stored with prefixLen 0). Keys are sorted, so
+// prefix lengths against the low key are non-increasing — decoding can
+// rebuild each key by truncating the previous one.
 const (
-	leafNode              = 0
+	pageFormatVersion     = 2
+	leafNode              = 0 // in-memory node kind
 	internalNode          = 1
-	headerSize            = 11 // type byte + count uint16 + first pointer uint64
-	entryOverheadLeaf     = 4  // keyLen + valLen uint16s
-	entryOverheadInternal = 10 // keyLen uint16 + child uint64
+	leafTag               = 0x02 // on-page tag: kind | version<<1
+	internalTag           = 0x03
+	headerSize            = 11 // tag byte + count uint16 + first pointer uint64
+	entryOverheadLeaf     = 6  // prefixLen + suffixLen + valLen uint16s
+	entryOverheadInternal = 12 // prefixLen + suffixLen uint16s + child uint64
 )
+
+// ErrPageFormat reports a page holding a node in an unsupported on-disk
+// format — typically a file written before prefix compression (format
+// version 1). The data is not damaged, just unreadable by this code:
+// reopening quarantines the owning index and Repair rebuilds it in the
+// current format from the live object base.
+var ErrPageFormat = errors.New("btree: unsupported page format")
+
+// FormatVersion returns the page-format version this package writes.
+func FormatVersion() int { return pageFormatVersion }
 
 // Tree is a B⁺-tree rooted at a page. The zero value is not usable; use
 // New.
@@ -41,16 +80,26 @@ type Tree struct {
 	maxItem int
 }
 
+// derivedLimits computes the per-tree key and entry bounds from the page
+// size. maxKey applies to the full (uncompressed) key: a page's low key
+// is always stored without a prefix, so the limit must hold even when
+// compression saves nothing — a quarter page keeps several separators
+// per internal node in the worst case. maxItem bounds one stored leaf
+// entry at prefixLen 0 (key + value + overhead on an otherwise empty
+// page).
+func derivedLimits(pageSize int) (maxKey, maxItem int) {
+	return pageSize / 4, pageSize - headerSize - entryOverheadLeaf
+}
+
 // New creates an empty tree whose pages come from pool. Keys are limited
 // to a quarter page so internal nodes always hold several separators.
 func New(pool *storage.BufferPool, name string) (*Tree, error) {
 	t := &Tree{
-		pool:    pool,
-		name:    name,
-		height:  1,
-		maxKey:  pool.Disk().PageSize() / 4,
-		maxItem: pool.Disk().PageSize() - headerSize - entryOverheadLeaf,
+		pool:   pool,
+		name:   name,
+		height: 1,
 	}
+	t.maxKey, t.maxItem = derivedLimits(pool.Disk().PageSize())
 	fr, err := pool.GetNew()
 	if err != nil {
 		return nil, err
@@ -66,15 +115,15 @@ func New(pool *storage.BufferPool, name string) (*Tree, error) {
 // page), the pages themselves from pool's device. No pages are read —
 // the first lookup validates the root the usual way.
 func Open(pool *storage.BufferPool, name string, root storage.PageID, height, count int) *Tree {
-	return &Tree{
-		pool:    pool,
-		name:    name,
-		root:    root,
-		height:  height,
-		count:   count,
-		maxKey:  pool.Disk().PageSize() / 4,
-		maxItem: pool.Disk().PageSize() - headerSize - entryOverheadLeaf,
+	t := &Tree{
+		pool:   pool,
+		name:   name,
+		root:   root,
+		height: height,
+		count:  count,
 	}
+	t.maxKey, t.maxItem = derivedLimits(pool.Disk().PageSize())
+	return t
 }
 
 // Name returns the tree name.
@@ -115,7 +164,11 @@ func (t *Tree) Height() int { return t.height }
 // Root returns the root page id.
 func (t *Tree) Root() storage.PageID { return t.root }
 
-// node is the in-memory form of a tree page.
+// node is the in-memory form of a tree page. Decoded keys live in one
+// arena allocation per node; decoded leaf values alias the pinned
+// frame's bytes directly (zero-copy) and are valid only while the frame
+// stays pinned. writeNode serializes through a scratch buffer, so a
+// node whose values alias the very frame being rewritten is safe.
 type node struct {
 	typ      byte
 	keys     [][]byte
@@ -126,87 +179,236 @@ type node struct {
 
 func (n *node) isLeaf() bool { return n.typ == leafNode }
 
-// size returns the serialized byte size.
+// lcp returns the length of the longest common prefix of a and b.
+func lcp(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// shortestSeparator returns the shortest key s with last < s ≤ first —
+// the suffix-truncated separator stored in internal nodes at splits and
+// bulk loads. Requires last < first (strictly); a nil last means no
+// left bound, so first itself is the tightest choice.
+func shortestSeparator(last, first []byte) []byte {
+	if len(last) == 0 {
+		return append([]byte(nil), first...)
+	}
+	// last < first, so either last is a proper prefix of first or the
+	// two differ at byte n with first[n] > last[n]; either way the first
+	// n+1 bytes of first are strictly above last and at most first.
+	n := lcp(last, first) + 1
+	if n > len(first) {
+		n = len(first)
+	}
+	return append([]byte(nil), first[:n]...)
+}
+
+// size returns the serialized byte size under prefix truncation against
+// the node's current low key.
 func (n *node) size() int {
 	s := headerSize
-	if n.isLeaf() {
-		for i, k := range n.keys {
-			s += entryOverheadLeaf + len(k) + len(n.vals[i])
+	if len(n.keys) == 0 {
+		return s
+	}
+	low := n.keys[0]
+	for i, k := range n.keys {
+		pl := 0
+		if i > 0 {
+			pl = lcp(low, k)
 		}
-	} else {
-		for _, k := range n.keys {
-			s += entryOverheadInternal + len(k)
+		if n.isLeaf() {
+			s += entryOverheadLeaf + len(k) - pl + len(n.vals[i])
+		} else {
+			s += entryOverheadInternal + len(k) - pl
 		}
 	}
 	return s
 }
 
+// uncompressedSize returns what the node would occupy without prefix
+// truncation (full keys, format-v1 overheads) — the before-compression
+// yardstick reported by Stats.
+func (n *node) uncompressedSize() int {
+	const v1OverheadLeaf, v1OverheadInternal = 4, 10
+	s := headerSize
+	for i, k := range n.keys {
+		if n.isLeaf() {
+			s += v1OverheadLeaf + len(k) + len(n.vals[i])
+		} else {
+			s += v1OverheadInternal + len(k)
+		}
+	}
+	return s
+}
+
+func corruptNode(id storage.PageID, what string) error {
+	return fmt.Errorf("btree: page %v: corrupt node: %s", id, what)
+}
+
 func readNode(fr *storage.Frame) (*node, error) {
 	data := fr.Data()
-	n := &node{typ: data[0]}
+	n := &node{}
+	switch data[0] {
+	case leafTag:
+		n.typ = leafNode
+	case internalTag:
+		n.typ = internalNode
+	case 0x00, 0x01:
+		return nil, fmt.Errorf("btree: page %v holds a format-v1 (uncompressed) node; rebuild the index: %w",
+			fr.ID(), ErrPageFormat)
+	default:
+		return nil, fmt.Errorf("btree: page %v: unknown node tag 0x%02x: %w", fr.ID(), data[0], ErrPageFormat)
+	}
 	cnt := int(binary.BigEndian.Uint16(data[1:3]))
 	ptr0 := storage.PageID(binary.BigEndian.Uint64(data[3:11]))
+
+	// Pass 1: walk the entry headers, validating bounds and summing the
+	// decoded key bytes so the arena is allocated exactly once (appends
+	// below must never reallocate: decoded keys reference it).
+	total := 0
 	off := headerSize
+	for i := 0; i < cnt; i++ {
+		if off+entryOverheadHdr(n.typ) > len(data) {
+			return nil, corruptNode(fr.ID(), "entry header past page end")
+		}
+		pl := int(binary.BigEndian.Uint16(data[off : off+2]))
+		sl := int(binary.BigEndian.Uint16(data[off+2 : off+4]))
+		body := sl
+		if n.isLeaf() {
+			body += int(binary.BigEndian.Uint16(data[off+4 : off+6]))
+		} else {
+			body += 8
+		}
+		off += entryOverheadHdr(n.typ)
+		if off+body > len(data) {
+			return nil, corruptNode(fr.ID(), "entry body past page end")
+		}
+		if i == 0 && pl != 0 {
+			return nil, corruptNode(fr.ID(), "low key stored with nonzero prefix length")
+		}
+		total += pl + sl
+		off += body
+	}
+
+	arena := make([]byte, 0, total)
+	var low []byte
+	n.keys = make([][]byte, cnt)
 	if n.isLeaf() {
 		n.next = ptr0
-		n.keys = make([][]byte, cnt)
 		n.vals = make([][]byte, cnt)
-		for i := 0; i < cnt; i++ {
-			kl := int(binary.BigEndian.Uint16(data[off : off+2]))
-			vl := int(binary.BigEndian.Uint16(data[off+2 : off+4]))
-			off += 4
-			n.keys[i] = append([]byte(nil), data[off:off+kl]...)
-			off += kl
-			n.vals[i] = append([]byte(nil), data[off:off+vl]...)
-			off += vl
-		}
-		return n, nil
+	} else {
+		n.children = make([]storage.PageID, cnt+1)
+		n.children[0] = ptr0
 	}
-	n.children = make([]storage.PageID, cnt+1)
-	n.children[0] = ptr0
-	n.keys = make([][]byte, cnt)
+	off = headerSize
 	for i := 0; i < cnt; i++ {
-		kl := int(binary.BigEndian.Uint16(data[off : off+2]))
-		off += 2
-		n.keys[i] = append([]byte(nil), data[off:off+kl]...)
-		off += kl
-		n.children[i+1] = storage.PageID(binary.BigEndian.Uint64(data[off : off+8]))
-		off += 8
+		pl := int(binary.BigEndian.Uint16(data[off : off+2]))
+		sl := int(binary.BigEndian.Uint16(data[off+2 : off+4]))
+		vl := 0
+		if n.isLeaf() {
+			vl = int(binary.BigEndian.Uint16(data[off+4 : off+6]))
+		}
+		off += entryOverheadHdr(n.typ)
+		if pl > len(low) {
+			return nil, corruptNode(fr.ID(), "prefix length exceeds low key")
+		}
+		start := len(arena)
+		arena = append(arena, low[:pl]...)
+		arena = append(arena, data[off:off+sl]...)
+		k := arena[start:len(arena):len(arena)]
+		if i == 0 {
+			low = k
+		}
+		n.keys[i] = k
+		off += sl
+		if n.isLeaf() {
+			n.vals[i] = data[off : off+vl : off+vl]
+			off += vl
+		} else {
+			n.children[i+1] = storage.PageID(binary.BigEndian.Uint64(data[off : off+8]))
+			off += 8
+		}
 	}
 	return n, nil
 }
 
+// entryOverheadHdr returns the fixed per-entry header size preceding the
+// suffix bytes (the child pointer of internal entries trails the suffix).
+func entryOverheadHdr(typ byte) int {
+	if typ == leafNode {
+		return 6
+	}
+	return 4
+}
+
+// scratch pools serialization buffers: writeNode renders the node off to
+// the side first, because a node decoded from the very frame being
+// rewritten holds values aliasing that frame's bytes.
+var scratch = sync.Pool{New: func() any { b := make([]byte, 0, storage.DefaultPageSize); return &b }}
+
 func writeNode(fr *storage.Frame, n *node) {
 	telNodeWrites.Inc()
 	data := fr.Data()
-	for i := range data {
+	bufp := scratch.Get().(*[]byte)
+	buf := (*bufp)[:0]
+
+	tag := byte(leafTag)
+	if !n.isLeaf() {
+		tag = internalTag
+	}
+	var hdr [headerSize]byte
+	hdr[0] = tag
+	binary.BigEndian.PutUint16(hdr[1:3], uint16(len(n.keys)))
+	if n.isLeaf() {
+		binary.BigEndian.PutUint64(hdr[3:11], uint64(n.next))
+	} else {
+		binary.BigEndian.PutUint64(hdr[3:11], uint64(n.children[0]))
+	}
+	buf = append(buf, hdr[:]...)
+
+	var low []byte
+	if len(n.keys) > 0 {
+		low = n.keys[0]
+	}
+	var u16 [2]byte
+	put16 := func(v int) {
+		binary.BigEndian.PutUint16(u16[:], uint16(v))
+		buf = append(buf, u16[:]...)
+	}
+	for i, k := range n.keys {
+		pl := 0
+		if i > 0 {
+			pl = lcp(low, k)
+		}
+		put16(pl)
+		put16(len(k) - pl)
+		if n.isLeaf() {
+			put16(len(n.vals[i]))
+			buf = append(buf, k[pl:]...)
+			buf = append(buf, n.vals[i]...)
+		} else {
+			buf = append(buf, k[pl:]...)
+			var c [8]byte
+			binary.BigEndian.PutUint64(c[:], uint64(n.children[i+1]))
+			buf = append(buf, c[:]...)
+		}
+	}
+	if len(buf) > len(data) {
+		panic(fmt.Sprintf("btree: node of %d bytes overflows %d-byte page", len(buf), len(data)))
+	}
+	copy(data, buf)
+	for i := len(buf); i < len(data); i++ {
 		data[i] = 0
 	}
-	data[0] = n.typ
-	binary.BigEndian.PutUint16(data[1:3], uint16(len(n.keys)))
-	off := headerSize
-	if n.isLeaf() {
-		binary.BigEndian.PutUint64(data[3:11], uint64(n.next))
-		for i, k := range n.keys {
-			binary.BigEndian.PutUint16(data[off:off+2], uint16(len(k)))
-			binary.BigEndian.PutUint16(data[off+2:off+4], uint16(len(n.vals[i])))
-			off += 4
-			copy(data[off:], k)
-			off += len(k)
-			copy(data[off:], n.vals[i])
-			off += len(n.vals[i])
-		}
-	} else {
-		binary.BigEndian.PutUint64(data[3:11], uint64(n.children[0]))
-		for i, k := range n.keys {
-			binary.BigEndian.PutUint16(data[off:off+2], uint16(len(k)))
-			off += 2
-			copy(data[off:], k)
-			off += len(k)
-			binary.BigEndian.PutUint64(data[off:off+8], uint64(n.children[i+1]))
-			off += 8
-		}
-	}
+	*bufp = buf[:0]
+	scratch.Put(bufp)
 	fr.MarkDirty()
 }
 
@@ -220,7 +422,7 @@ func (t *Tree) load(pid storage.PageID) (*storage.Frame, *node, error) {
 	n, err := readNode(fr)
 	if err != nil {
 		fr.Unpin()
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("btree %s: %w", t.name, err)
 	}
 	return fr, n, nil
 }
@@ -311,8 +513,9 @@ func (t *Tree) insert(pid storage.PageID, key, val []byte) (bool, *splitResult, 
 	return added, split, err
 }
 
-// splitLeaf moves the upper half of a leaf to a fresh page; the
-// separator is the first key of the right node.
+// splitLeaf moves the upper half of a leaf to a fresh page. The
+// separator is suffix-truncated: the shortest key strictly above the
+// left node's last key and at most the right node's first key.
 func (t *Tree) splitLeaf(fr *storage.Frame, n *node) (*splitResult, error) {
 	telSplits.Inc()
 	mid := splitPoint(n)
@@ -332,11 +535,14 @@ func (t *Tree) splitLeaf(fr *storage.Frame, n *node) (*splitResult, error) {
 	n.next = rightFr.ID()
 	writeNode(rightFr, right)
 	writeNode(fr, n)
-	return &splitResult{sep: append([]byte(nil), right.keys[0]...), right: rightFr.ID()}, nil
+	sep := shortestSeparator(n.keys[len(n.keys)-1], right.keys[0])
+	return &splitResult{sep: sep, right: rightFr.ID()}, nil
 }
 
 // splitInternal promotes the middle key and moves the upper half of an
-// internal node to a fresh page.
+// internal node to a fresh page. The promoted separator is passed up
+// as-is: it already bounds the two halves, and without the subtree's
+// extreme keys no tighter truncation is possible.
 func (t *Tree) splitInternal(fr *storage.Frame, n *node) (*splitResult, error) {
 	telSplits.Inc()
 	mid := splitPoint(n)
@@ -346,7 +552,7 @@ func (t *Tree) splitInternal(fr *storage.Frame, n *node) (*splitResult, error) {
 	if mid < 1 {
 		mid = 1
 	}
-	sep := n.keys[mid]
+	sep := append([]byte(nil), n.keys[mid]...)
 	rightFr, err := t.pool.GetNew()
 	if err != nil {
 		return nil, err
@@ -361,20 +567,27 @@ func (t *Tree) splitInternal(fr *storage.Frame, n *node) (*splitResult, error) {
 	n.children = n.children[:mid+1]
 	writeNode(rightFr, right)
 	writeNode(fr, n)
-	return &splitResult{sep: append([]byte(nil), sep...), right: rightFr.ID()}, nil
+	return &splitResult{sep: sep, right: rightFr.ID()}, nil
 }
 
-// splitPoint picks the index at which the serialized first half is
-// nearest to half the node size.
+// splitPoint picks the index at which the serialized (compressed) first
+// half is nearest to half the node size. Entry sizes use prefix lengths
+// against the current low key — exact for the left half, conservative
+// for the right (its prefixes only grow against its new low key).
 func splitPoint(n *node) int {
 	total := n.size() - headerSize
 	half := total / 2
+	low := n.keys[0]
 	acc := 0
 	for i, k := range n.keys {
+		pl := 0
+		if i > 0 {
+			pl = lcp(low, k)
+		}
 		if n.isLeaf() {
-			acc += entryOverheadLeaf + len(k) + len(n.vals[i])
+			acc += entryOverheadLeaf + len(k) - pl + len(n.vals[i])
 		} else {
-			acc += entryOverheadInternal + len(k)
+			acc += entryOverheadInternal + len(k) - pl
 		}
 		if acc >= half {
 			// Keep at least one entry on each side.
@@ -387,7 +600,8 @@ func splitPoint(n *node) int {
 	return len(n.keys) / 2
 }
 
-// Get returns the value stored under key.
+// Get returns the value stored under key. The returned slice is an
+// owned copy.
 func (t *Tree) Get(key []byte) ([]byte, bool, error) {
 	pid := t.root
 	for {

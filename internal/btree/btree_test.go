@@ -288,7 +288,7 @@ func TestVariableLengthKeys(t *testing.T) {
 			t.Error("scan out of order")
 			return false
 		}
-		prev = k
+		prev = append(prev[:0], k...) // k is borrowed (Visit contract)
 		return true
 	})
 }

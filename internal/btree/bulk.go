@@ -22,14 +22,20 @@ const bulkFillFactor = 0.9
 // derived from the one below. Building an access support relation this
 // way replaces one random insert per tuple with a single sequential
 // pass.
+//
+// Fill accounting uses the prefix-compressed entry sizes, so leaves pack
+// as many keys as the format-v2 layout allows. Internal separators are
+// suffix-truncated: between two adjacent subtrees the stored separator
+// is shortestSeparator(left subtree's last key, right subtree's first
+// key) — the builder tracks both extremes per built node exactly so the
+// truncation is as tight as the key set permits.
 func BulkLoad(pool *storage.BufferPool, name string, entries []KV) (*Tree, error) {
 	t := &Tree{
-		pool:    pool,
-		name:    name,
-		height:  1,
-		maxKey:  pool.Disk().PageSize() / 4,
-		maxItem: pool.Disk().PageSize() - headerSize - entryOverheadLeaf,
+		pool:   pool,
+		name:   name,
+		height: 1,
 	}
+	t.maxKey, t.maxItem = derivedLimits(pool.Disk().PageSize())
 	limit := int(float64(pool.Disk().PageSize()) * bulkFillFactor)
 
 	for i, e := range entries {
@@ -48,10 +54,12 @@ func BulkLoad(pool *storage.BufferPool, name string, entries []KV) (*Tree, error
 		}
 	}
 
-	// Build the leaf level.
+	// builtNode carries the extreme keys of the finished subtree so the
+	// level above can compute minimal separators between neighbours.
 	type builtNode struct {
-		pid      storage.PageID
-		firstKey []byte
+		pid   storage.PageID
+		first []byte
+		last  []byte
 	}
 	var leaves []builtNode
 	writeLeaf := func(n *node, prev *storage.Frame) (*storage.Frame, error) {
@@ -71,28 +79,38 @@ func BulkLoad(pool *storage.BufferPool, name string, entries []KV) (*Tree, error
 			prev.Unpin()
 		}
 		writeNode(fr, n)
-		var first []byte
+		b := builtNode{pid: fr.ID()}
 		if len(n.keys) > 0 {
-			first = append([]byte(nil), n.keys[0]...)
+			b.first = append([]byte(nil), n.keys[0]...)
+			b.last = append([]byte(nil), n.keys[len(n.keys)-1]...)
 		}
-		leaves = append(leaves, builtNode{pid: fr.ID(), firstKey: first})
+		leaves = append(leaves, b)
 		return fr, nil
 	}
 
 	var prev *storage.Frame
 	cur := &node{typ: leafNode}
+	curSize := headerSize
 	for _, e := range entries {
+		// Compressed size of this entry on the current page: the prefix
+		// shared with the page's low key is not stored.
 		add := entryOverheadLeaf + len(e.Key) + len(e.Val)
-		if len(cur.keys) > 0 && cur.size()+add > limit {
+		if len(cur.keys) > 0 {
+			add -= lcp(cur.keys[0], e.Key)
+		}
+		if len(cur.keys) > 0 && curSize+add > limit {
 			fr, err := writeLeaf(cur, prev)
 			if err != nil {
 				return nil, err
 			}
 			prev = fr
 			cur = &node{typ: leafNode}
+			curSize = headerSize
+			add = entryOverheadLeaf + len(e.Key) + len(e.Val)
 		}
 		cur.keys = append(cur.keys, append([]byte(nil), e.Key...))
 		cur.vals = append(cur.vals, append([]byte(nil), e.Val...))
+		curSize += add
 	}
 	if len(cur.keys) > 0 || len(leaves) == 0 {
 		fr, err := writeLeaf(cur, prev)
@@ -110,34 +128,45 @@ func BulkLoad(pool *storage.BufferPool, name string, entries []KV) (*Tree, error
 	for len(level) > 1 {
 		var next []builtNode
 		var inner *node
-		var innerFirst []byte
+		var innerFirst, innerLast []byte
+		innerSize := 0
 		flush := func() error {
 			fr, err := pool.GetNew()
 			if err != nil {
 				return err
 			}
 			writeNode(fr, inner)
-			next = append(next, builtNode{pid: fr.ID(), firstKey: innerFirst})
+			next = append(next, builtNode{pid: fr.ID(), first: innerFirst, last: innerLast})
 			fr.Unpin()
 			return nil
 		}
 		for _, child := range level {
 			if inner == nil {
 				inner = &node{typ: internalNode, children: []storage.PageID{child.pid}}
-				innerFirst = child.firstKey
+				innerFirst, innerLast = child.first, child.last
+				innerSize = headerSize
 				continue
 			}
-			add := entryOverheadInternal + len(child.firstKey)
-			if inner.size()+add > limit {
+			// Minimal separator between the previous subtree and this
+			// one (suffix truncation).
+			sep := shortestSeparator(innerLast, child.first)
+			add := entryOverheadInternal + len(sep)
+			if len(inner.keys) > 0 {
+				add -= lcp(inner.keys[0], sep)
+			}
+			if innerSize+add > limit {
 				if err := flush(); err != nil {
 					return nil, err
 				}
 				inner = &node{typ: internalNode, children: []storage.PageID{child.pid}}
-				innerFirst = child.firstKey
+				innerFirst, innerLast = child.first, child.last
+				innerSize = headerSize
 				continue
 			}
-			inner.keys = append(inner.keys, append([]byte(nil), child.firstKey...))
+			inner.keys = append(inner.keys, sep)
 			inner.children = append(inner.children, child.pid)
+			innerSize += add
+			innerLast = child.last
 		}
 		if err := flush(); err != nil {
 			return nil, err

@@ -41,10 +41,11 @@ func TestBulkLoadEqualsIncrementalBuild(t *testing.T) {
 		for _, e := range entries {
 			incr.Insert(e.Key, e.Val)
 		}
-		// Same contents in the same order.
+		// Same contents in the same order. (Copied: the slices are
+		// retained past the callback, see the Visit contract.)
 		var got, want [][2][]byte
-		bulk.Scan(func(k, v []byte) bool { got = append(got, [2][]byte{k, v}); return true })
-		incr.Scan(func(k, v []byte) bool { want = append(want, [2][]byte{k, v}); return true })
+		bulk.Scan(Copied(func(k, v []byte) bool { got = append(got, [2][]byte{k, v}); return true }))
+		incr.Scan(Copied(func(k, v []byte) bool { want = append(want, [2][]byte{k, v}); return true }))
 		if len(got) != len(want) {
 			t.Fatalf("n=%d: %d vs %d entries", n, len(got), len(want))
 		}
@@ -180,8 +181,8 @@ func TestBulkLoadEqualsInsertRandomRows(t *testing.T) {
 			t.Errorf("seed %d: bulk height %d exceeds incremental %d", seed, bulk.Height(), incr.Height())
 		}
 		var got, want [][2][]byte
-		bulk.Scan(func(k, v []byte) bool { got = append(got, [2][]byte{k, v}); return true })
-		incr.Scan(func(k, v []byte) bool { want = append(want, [2][]byte{k, v}); return true })
+		bulk.Scan(Copied(func(k, v []byte) bool { got = append(got, [2][]byte{k, v}); return true }))
+		incr.Scan(Copied(func(k, v []byte) bool { want = append(want, [2][]byte{k, v}); return true }))
 		if len(got) != len(want) {
 			t.Fatalf("seed %d: %d vs %d scanned entries", seed, len(got), len(want))
 		}

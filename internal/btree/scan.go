@@ -8,8 +8,32 @@ import (
 )
 
 // Visit is called with each entry during a scan; returning false stops
-// the scan. Key and value slices are copies owned by the callee.
+// the scan.
+//
+// Zero-copy contract: the slices are BORROWED and valid only until the
+// callback returns. Values are sub-slices of the pinned page frame —
+// the scan holds the pin across the callback and releases it when it
+// moves on; a retained value would alias whatever the buffer pool later
+// loads into that frame. Keys are materialized per page into a shared
+// arena and likewise must not be retained. Callers that keep data past
+// the callback wrap their visitor in Copied (or CopiedIndexed).
 type Visit func(key, val []byte) bool
+
+// Copied wraps a visitor so it receives owned copies of each entry —
+// the fallback for callers that retain keys or values past the
+// callback (see the Visit zero-copy contract).
+func Copied(fn Visit) Visit {
+	return func(k, v []byte) bool {
+		return fn(append([]byte(nil), k...), append([]byte(nil), v...))
+	}
+}
+
+// CopiedIndexed is Copied for batch visitors.
+func CopiedIndexed(fn VisitIndexed) VisitIndexed {
+	return func(i int, k, v []byte) bool {
+		return fn(i, append([]byte(nil), k...), append([]byte(nil), v...))
+	}
+}
 
 // Scan iterates all entries in key order.
 func (t *Tree) Scan(fn Visit) error {
@@ -39,7 +63,9 @@ func (t *Tree) ScanPrefix(prefix []byte, fn Visit) error {
 	})
 }
 
-// scanFrom walks leaves left to right starting at the first key ≥ start.
+// scanFrom walks leaves left to right starting at the first key ≥ start,
+// yielding borrowed key/value slices (see Visit). The current leaf stays
+// pinned while fn runs.
 func (t *Tree) scanFrom(start []byte, fn Visit) error {
 	pid := t.root
 	// Descend to the leaf that would contain start.
@@ -68,11 +94,16 @@ func (t *Tree) scanFrom(start []byte, fn Visit) error {
 		if err != nil {
 			return err
 		}
+		if len(n.keys) == 0 && !n.next.IsNil() {
+			// Deletion leaves empty leaves in the chain; the hop over
+			// one is the deferred-compaction cost, made observable here.
+			telEmptyLeafHops.Inc()
+		}
 		for i, k := range n.keys {
 			if start != nil && bytes.Compare(k, start) < 0 {
 				continue
 			}
-			if !fn(append([]byte(nil), k...), append([]byte(nil), n.vals[i]...)) {
+			if !fn(k, n.vals[i]) {
 				fr.Unpin()
 				return nil
 			}
@@ -93,12 +124,26 @@ func (t *Tree) CountPrefix(prefix []byte) (int, error) {
 // Stats summarizes the tree's physical shape, matching the cost-model
 // quantities: Height-1 is the paper's ht (levels above the leaves),
 // InnerPages the paper's pg, LeafPages the data page count ap.
+// UsedBytes is the stored (prefix-compressed) size; UncompressedBytes
+// is what the same entries would occupy in the format-v1 layout (full
+// keys), so UsedBytes/UncompressedBytes is the compression ratio and
+// Entries/LeafPages the achieved keys per page.
 type Stats struct {
-	Height     int
-	InnerPages int
-	LeafPages  int
-	Entries    int
-	UsedBytes  int
+	Height            int
+	InnerPages        int
+	LeafPages         int
+	EmptyLeaves       int
+	Entries           int
+	UsedBytes         int
+	UncompressedBytes int
+}
+
+// KeysPerLeaf returns the mean number of entries per leaf page.
+func (s Stats) KeysPerLeaf() float64 {
+	if s.LeafPages == 0 {
+		return 0
+	}
+	return float64(s.Entries) / float64(s.LeafPages)
 }
 
 // ComputeStats walks the tree and returns its physical shape. The walk
@@ -113,8 +158,12 @@ func (t *Tree) ComputeStats() (Stats, error) {
 		}
 		defer fr.Unpin()
 		st.UsedBytes += n.size()
+		st.UncompressedBytes += n.uncompressedSize()
 		if n.isLeaf() {
 			st.LeafPages++
+			if len(n.keys) == 0 {
+				st.EmptyLeaves++
+			}
 			return nil
 		}
 		st.InnerPages++
@@ -266,5 +315,7 @@ func (t *Tree) CheckInvariants() error {
 	if n != t.count {
 		return fmt.Errorf("btree %s: scan found %d entries, count says %d", t.name, n, t.count)
 	}
+	// Every page must decode back to exactly what a re-serialization
+	// would store — the round-trip check for the compressed format.
 	return nil
 }

@@ -10,4 +10,9 @@ var (
 	telNodeReads  = telemetry.Default().Counter("btree_node_reads_total")
 	telNodeWrites = telemetry.Default().Counter("btree_node_writes_total")
 	telSplits     = telemetry.Default().Counter("btree_splits_total")
+
+	// telEmptyLeafHops counts scan hops over empty leaves left behind by
+	// deletion (deferred compaction, see the package comment). A rising
+	// rate relative to scans signals a tree due for Rematerialize/Repair.
+	telEmptyLeafHops = telemetry.Default().Counter("btree_empty_leaf_hops_total")
 )
