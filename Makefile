@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-compare vet repro ci crash-matrix server-smoke chaos-smoke
+.PHONY: all build test race bench bench-smoke bench-compare vet repro ci crash-matrix server-smoke chaos-smoke backup-smoke
 
 all: build test
 
 # What CI runs (.github/workflows/ci.yml): build, vet, tests, race
-# suite, crash matrix, bench smoke, server smoke, chaos smoke.
-ci: build vet test race crash-matrix bench-smoke server-smoke chaos-smoke
+# suite, crash matrix, bench smoke, server smoke, chaos smoke, backup
+# smoke.
+ci: build vet test race crash-matrix bench-smoke server-smoke chaos-smoke backup-smoke
 
 build:
 	$(GO) build ./...
@@ -74,6 +75,22 @@ chaos-smoke:
 	$(GO) test -race -count=1 -run 'TestChaos|TestRequestDeadline|TestClientCancelBeats|TestIdleWatchdog|TestSlowReader' ./internal/server/
 	$(GO) test -race -count=1 ./internal/server/chaos/ ./internal/server/client/
 	CHAOS_SEED=$$$$ $(GO) test -race -count=1 -short -run 'TestChaosSaturation' -v ./internal/server/
+
+# Backup/PITR/scrub gate under the race detector (docs/ROBUSTNESS.md,
+# "Backup, PITR, and scrubbing"): WAL segment archiving (torn-seal
+# crash matrix, typed gap/corruption detection, retention), online
+# fuzzy backup + restore to every committed LSN, crash-mid-restore
+# rerun convergence, the scrubber racing live writers, the manifest
+# fsync crash stages, the admin /backup + /healthz plane, the gomd and
+# gomshell surfaces, and the end-to-end PITR gate: online backup under
+# an 8-worker query load, planted corruption healed mid-stream, then
+# restores to three LSNs verified against a dump-replay oracle.
+backup-smoke:
+	$(GO) test -race -count=1 -run 'TestArchive|TestBackup|TestRestore|TestScrub|TestSaveToCrash' ./internal/storage/ ./internal/asr/
+	$(GO) test -race -count=1 -run 'TestPITREndToEnd' ./internal/asr/
+	$(GO) test -race -count=1 -run 'TestAdminBackup|TestAdminHealthz' ./internal/server/
+	$(GO) test -race -count=1 -run 'TestGomdDurableBackupAndScrub' ./cmd/gomd/
+	$(GO) test -race -count=1 -run 'TestShellBackupRestore' ./cmd/gomshell/
 
 vet:
 	$(GO) vet ./internal/telemetry/

@@ -63,6 +63,8 @@ type options struct {
 	logLevel       string
 	logFormat      string
 	slowQuery      time.Duration
+	archiveDir     string
+	scrubInterval  time.Duration
 }
 
 func parseFlags(args []string, errw io.Writer) (options, error) {
@@ -89,6 +91,8 @@ func parseFlags(args []string, errw io.Writer) (options, error) {
 	fs.StringVar(&o.logLevel, "log-level", "info", "minimum log level: debug, info, warn, error")
 	fs.StringVar(&o.logFormat, "log-format", "text", "log output format: text, json")
 	fs.DurationVar(&o.slowQuery, "slow-query", time.Second, "record queries slower than this in the slow-query log (admin /slowlog; 0 disables)")
+	fs.StringVar(&o.archiveDir, "archive-dir", "", "archive sealed WAL segments into this directory (with -db); required for POST /backup restores to arbitrary LSNs")
+	fs.DurationVar(&o.scrubInterval, "scrub-interval", 5*time.Minute, "background integrity scrub cadence for durable bases (with -db; 0 disables)")
 	fs.Usage = func() {
 		fmt.Fprintf(errw, `gomd — object-base server (Access Support Relations engine)
 
@@ -99,7 +103,12 @@ usage: gomd (-demo | -load FILE.gom | -db BASE) [flags]
 		fmt.Fprintf(errw, `
 The admin endpoint (-admin) serves /metrics (Prometheus), /healthz,
 /readyz, /traces (recent request spans), /slowlog (queries over
--slow-query), and /debug/pprof (live profiling).
+-slow-query), POST /backup?dest=DIR (online backup of a -db base), and
+/debug/pprof (live profiling).
+
+Durable bases (-db) also run a background integrity scrubber
+(-scrub-interval) that heals corrupt pages from the WAL and its
+archive (-archive-dir) and degrades /healthz when it cannot.
 
 Stop with SIGTERM or SIGINT: gomd stops accepting work, answers every
 admitted query, checkpoints durable state, then exits.
@@ -126,6 +135,16 @@ docs: docs/SERVICE.md (protocol + runbook), docs/ARCHITECTURE.md,
 	}
 	if o.chaosDisk < 0 || o.chaosDisk > 1 {
 		return o, errors.New("gomd: -chaos-disk must be a probability in [0, 1]")
+	}
+	if o.db == "" {
+		explicit := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if explicit["archive-dir"] {
+			return o, errors.New("gomd: -archive-dir only applies to -db (nothing to archive without a WAL)")
+		}
+		if explicit["scrub-interval"] {
+			return o, errors.New("gomd: -scrub-interval only applies to -db (nothing to scrub without a page file)")
+		}
 	}
 	if o.chaosDisk > 0 && o.db != "" {
 		return o, errors.New("gomd: -chaos-disk applies to -demo and -load only (a durable base's recovery path must stay honest)")
@@ -243,7 +262,7 @@ func openDatabase(opts options) (*server.Database, string, *storage.FaultInjecto
 		}
 		return d, fmt.Sprintf("loaded %s: %d objects, %d indexes", opts.load, d.Base.Count(), len(d.Manager.Indexes())), inj, nil
 	default:
-		d, info, err := server.OpenDurableBase(opts.db)
+		d, info, err := server.OpenDurableBaseArchived(opts.db, opts.archiveDir)
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -254,6 +273,9 @@ func openDatabase(opts options) (*server.Database, string, *storage.FaultInjecto
 		}
 		if n := len(info.QuarantinedPages); n > 0 {
 			desc += fmt.Sprintf("; WARNING: %d pages quarantined, run Repair", n)
+		}
+		if opts.archiveDir != "" {
+			desc += fmt.Sprintf("; archiving WAL segments to %s", opts.archiveDir)
 		}
 		return d, desc, nil, nil
 	}
@@ -278,7 +300,11 @@ func run(opts options, out io.Writer, onReady func(*server.Server)) error {
 			"p", opts.chaosDisk, "seed", opts.chaosSeed)
 	}
 
-	s := server.New(d.Engine, d.Manager, server.Config{
+	// Durable bases get the full robustness plane: a background integrity
+	// scrubber whose unhealed findings degrade /healthz, and online
+	// backup over the admin endpoint (docs/ROBUSTNESS.md).
+	var scrubber *storage.Scrubber
+	cfg := server.Config{
 		Addr:               opts.addr,
 		AdminAddr:          opts.admin,
 		MaxInflight:        opts.maxInflight,
@@ -292,8 +318,37 @@ func run(opts options, out io.Writer, onReady func(*server.Server)) error {
 			logger.Info("gomd: checkpointing on drain")
 			return d.Checkpoint()
 		},
-	})
+	}
+	if d.Durable() {
+		cfg.OnBackup = func(dest string) (any, error) { return d.Backup(dest) }
+		if opts.scrubInterval > 0 {
+			scrubber = storage.NewScrubber(d.Disk(), d.WAL(), storage.ScrubConfig{
+				Interval:       opts.scrubInterval,
+				PagesPerSecond: 256,
+				OnCorrupt: func(id storage.PageID, healed bool) {
+					if healed {
+						logger.Warn("gomd: scrub healed a corrupt page from the log", "page", id)
+					} else {
+						logger.Error("gomd: scrub found an unhealable corrupt page — Repair or restore from backup", "page", id)
+					}
+				},
+			})
+			cfg.HealthCheck = func() error {
+				if n := len(scrubber.Unhealed()); n > 0 {
+					return fmt.Errorf("scrub: %d unhealed corrupt pages", n)
+				}
+				return nil
+			}
+			scrubber.Start()
+			logger.Info("gomd: integrity scrubber running", "interval", opts.scrubInterval)
+		}
+	}
+
+	s := server.New(d.Engine, d.Manager, cfg)
 	if err := s.Start(); err != nil {
+		if scrubber != nil {
+			scrubber.Stop()
+		}
 		d.Close()
 		return err
 	}
@@ -335,6 +390,9 @@ func run(opts options, out io.Writer, onReady func(*server.Server)) error {
 	drainErr := s.Shutdown(ctx)
 	close(stopCheckpoints)
 	<-checkpointsDone
+	if scrubber != nil {
+		scrubber.Stop()
+	}
 	closeErr := d.Close()
 	if drainErr == nil && closeErr == nil {
 		logger.Info("gomd: clean shutdown")

@@ -14,9 +14,11 @@ import (
 	"testing"
 	"time"
 
+	"asr/internal/asr"
 	"asr/internal/dump"
 	"asr/internal/server"
 	"asr/internal/server/client"
+	"asr/internal/storage"
 )
 
 func TestParseFlags(t *testing.T) {
@@ -32,6 +34,12 @@ func TestParseFlags(t *testing.T) {
 	}
 	if _, err := parseFlags([]string{"-db", "base", "-chaos-disk", "0.5"}, &errw); err == nil {
 		t.Fatal("-chaos-disk with -db should be rejected")
+	}
+	if _, err := parseFlags([]string{"-demo", "-archive-dir", "arch"}, &errw); err == nil {
+		t.Error("-archive-dir without -db should fail")
+	}
+	if _, err := parseFlags([]string{"-demo", "-scrub-interval", "1m"}, &errw); err == nil {
+		t.Error("-scrub-interval without -db should fail")
 	}
 	if _, err := parseFlags([]string{"-demo", "-chaos-disk", "1.5"}, &errw); err == nil {
 		t.Fatal("-chaos-disk out of [0,1] should be rejected")
@@ -320,4 +328,139 @@ func (l *lockedBuffer) String() string {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.b.String()
+}
+
+// saveDurableBase persists a demo database the way gomshell \save does
+// (logical dump + page file + WAL + manifest) and returns its base path.
+func saveDurableBase(t *testing.T, dir string) string {
+	t.Helper()
+	d, err := server.DemoDatabase(1, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(dir, "db")
+	fd, err := storage.OpenFileDisk(base+".pages", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wal, err := storage.OpenWAL(base + ".pages.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := storage.NewBufferPool(fd, 0, storage.LRU)
+	pool.AttachWAL(wal)
+	mgr := asr.NewManager(d.Base, pool)
+	for _, old := range d.Manager.Indexes() {
+		if _, err := mgr.CreateIndex(old.Path(), old.Extension(), old.Decomposition()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mgr.SaveTo(base + ".manifest"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(base + ".gom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dump.Save(d.Base, f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := pool.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	wal.Close()
+	fd.Close()
+	return base
+}
+
+// TestGomdDurableBackupAndScrub boots gomd in -db mode with WAL
+// archiving and a fast scrub cadence, takes an online backup over the
+// admin endpoint while querying, and requires a healthy /healthz, a
+// readable backup chain on disk, and a clean drain.
+func TestGomdDurableBackupAndScrub(t *testing.T) {
+	dir := t.TempDir()
+	base := saveDurableBase(t, dir)
+
+	opts, err := parseFlags([]string{
+		"-db", base, "-archive-dir", filepath.Join(dir, "archive"),
+		"-scrub-interval", "50ms",
+		"-addr", "127.0.0.1:0", "-admin", "127.0.0.1:0",
+	}, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out lockedBuffer
+	ready := make(chan *server.Server, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(opts, &out, func(s *server.Server) { ready <- s })
+	}()
+	var srv *server.Server
+	select {
+	case srv = <-ready:
+	case err := <-runErr:
+		t.Fatalf("gomd exited before ready: %v\n%s", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("gomd never became ready")
+	}
+
+	// Healthy before and while the scrubber runs.
+	resp, err := http.Get("http://" + srv.AdminAddr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", resp.StatusCode)
+	}
+
+	// A real query keeps answering while the backup streams out.
+	c, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const sql = `select x.Payload from x in All where x.Next.Next.Next.Payload = "L3-1"`
+	if _, err := c.Query(context.Background(), sql); err != nil {
+		t.Fatal(err)
+	}
+
+	bdir := filepath.Join(dir, "bk")
+	resp, err = http.Post("http://"+srv.AdminAddr()+"/backup?dest="+bdir, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(bytes.Buffer)
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /backup = %d: %s", resp.StatusCode, body.String())
+	}
+	man, err := storage.ReadBackupManifest(bdir)
+	if err != nil {
+		t.Fatalf("backup chain unreadable: %v", err)
+	}
+	if man.NumPages == 0 {
+		t.Fatalf("empty backup manifest: %+v", man)
+	}
+	if _, err := c.Query(context.Background(), sql); err != nil {
+		t.Fatalf("query after backup: %v", err)
+	}
+
+	// Let at least one scrub pass complete before draining.
+	time.Sleep(120 * time.Millisecond)
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-runErr; err != nil {
+		t.Fatalf("gomd exit: %v\n%s", err, out.String())
+	}
+	log := out.String()
+	for _, want := range []string{"archiving WAL segments", "integrity scrubber running", "online backup complete", "clean shutdown"} {
+		if !strings.Contains(log, want) {
+			t.Errorf("gomd log missing %q:\n%s", want, log)
+		}
+	}
 }

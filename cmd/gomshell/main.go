@@ -185,6 +185,10 @@ func (sh *shell) exec(line string) error {
 		return sh.cmdOpenBase(fields[1:])
 	case `\checkpoint`:
 		return sh.cmdCheckpoint()
+	case `\backup`:
+		return sh.cmdBackup(fields[1:])
+	case `\restore`:
+		return sh.cmdRestore(fields[1:])
 	case `\metrics`:
 		_, err := telemetry.Default().WriteTo(sh.out)
 		return err
@@ -222,6 +226,11 @@ func (sh *shell) help() {
   \open BASE                       crash-recover BASE.pages via the WAL and
                                    reopen the session (objects, indexes, vars)
   \checkpoint                      flush dirty pages, sync, truncate the WAL
+  \backup DIR                      online backup of the durable session into DIR
+                                   (page file + manifest + dump + watermarks)
+  \restore BK ARCH BASE [LSN]      lay backup BK down at BASE and replay the WAL
+                                   archive ARCH up to LSN (omit: everything);
+                                   then \open BASE
   help                             this list
   quit (or exit)                   leave the shell; lines starting -- or # are comments
 
@@ -749,5 +758,76 @@ func (sh *shell) cmdCheckpoint() error {
 	st := sh.wal.Stats()
 	fmt.Fprintf(sh.out, "checkpoint complete: wal records=%d commits=%d syncs=%d truncations=%d\n",
 		st.Records, st.Commits, st.Syncs, st.Truncations)
+	return nil
+}
+
+// cmdBackup streams an online backup of the durable session into DIR:
+// the page file copied under per-page latches, plus the manifest and
+// logical dump (re-saved first, so the chain reflects the session as
+// it stands). Restore it with \restore.
+func (sh *shell) cmdBackup(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf(`usage: \backup DIR`)
+	}
+	if sh.dbPath == "" {
+		return fmt.Errorf(`\backup needs a durable session (\save or \open first)`)
+	}
+	if err := sh.manager.SaveTo(sh.dbPath + ".manifest"); err != nil {
+		return err
+	}
+	f, err := os.Create(sh.dbPath + ".gom")
+	if err != nil {
+		return err
+	}
+	if err := dump.Save(sh.base, f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	info, err := storage.Backup(sh.fdisk, sh.wal, args[0], map[string]string{
+		"manifest": sh.dbPath + ".manifest",
+		"gom":      sh.dbPath + ".gom",
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(sh.out, "backed up %d pages (%d bytes, %d torn) to %s; watermarks %d..%d\n",
+		info.Pages, info.Bytes, info.TornPages, info.Dir, info.StartLSN, info.EndLSN)
+	return nil
+}
+
+// cmdRestore performs point-in-time recovery outside any session: it
+// lays the backup down at BASE and replays the WAL archive up to the
+// target LSN (omitted: everything archived). The restored base is then
+// a normal durable base — \open BASE (or gomd -db BASE) runs recovery
+// and routes anything the archive could not supply through quarantine
+// → Repair.
+func (sh *shell) cmdRestore(args []string) error {
+	if len(args) != 3 && len(args) != 4 {
+		return fmt.Errorf(`usage: \restore BACKUP_DIR ARCHIVE_DIR BASE [TARGET_LSN]`)
+	}
+	var target uint64
+	if len(args) == 4 {
+		n, err := strconv.ParseUint(args[3], 10, 64)
+		if err != nil {
+			return fmt.Errorf("target LSN %q: %w", args[3], err)
+		}
+		target = n
+	}
+	info, err := storage.Restore(args[0], args[1], args[2], target)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(sh.out, "restored %s to LSN %d: %d records applied, %d pages healed\n",
+		args[2], info.TargetLSN, info.RecordsApplied, info.HealedPages)
+	if n := len(info.PastTargetPages); n > 0 {
+		fmt.Fprintf(sh.out, "%d pages were past the target and are quarantined for Repair\n", n)
+	}
+	if n := len(info.QuarantinedPages); n > 0 {
+		fmt.Fprintf(sh.out, "WARNING: %d pages unhealable from the archive (quarantined)\n", n)
+	}
+	fmt.Fprintf(sh.out, `open it with \open %s (or serve it: gomd -db %s)`+"\n", args[2], args[2])
 	return nil
 }

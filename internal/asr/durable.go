@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"asr/internal/gom"
@@ -118,15 +119,76 @@ func (m *Manager) SaveTo(path string) error {
 	if err != nil {
 		return fmt.Errorf("asr: save %s: %w", path, err)
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
-		return fmt.Errorf("asr: save %s: %w", path, err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := atomicWriteFile(path, append(data, '\n')); err != nil {
 		return fmt.Errorf("asr: save %s: %w", path, err)
 	}
 	return nil
+}
+
+// manifestWriteHook, when non-nil, is invoked between the stages of
+// atomicWriteFile ("written", "synced", "renamed") so crash-injection
+// tests can kill the process-equivalent at any point of the
+// write→fsync→rename→dir-fsync sequence.
+var manifestWriteHook func(stage string) error
+
+// atomicWriteFile replaces path with data crash-safely: the bytes are
+// written to a temp file and fsynced *before* the rename (so the rename
+// can never install an empty or partial manifest), then the parent
+// directory is fsynced (so the rename itself survives a power cut).
+// Rename-without-sync leaves a window where the old file is gone and
+// the new one is zero-length after a crash — the classic
+// "rename is not a barrier" bug.
+func atomicWriteFile(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := hookStage("written"); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := hookStage("synced"); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := hookStage("renamed"); err != nil {
+		return err
+	}
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	derr := dir.Sync()
+	cerr := dir.Close()
+	if derr != nil {
+		return derr
+	}
+	return cerr
+}
+
+func hookStage(stage string) error {
+	if manifestWriteHook == nil {
+		return nil
+	}
+	return manifestWriteHook(stage)
 }
 
 // OpenFrom rebuilds a Manager from a manifest written by SaveTo: every

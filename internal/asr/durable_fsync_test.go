@@ -1,0 +1,94 @@
+package asr
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"asr/internal/gendb"
+	"asr/internal/storage"
+)
+
+// TestSaveToCrashAtEveryWriteStage aborts the manifest rewrite at each
+// stage of the write→fsync→rename→dir-fsync sequence and asserts the
+// invariant the fsyncs exist to protect: at every stage the manifest on
+// disk is a complete, parseable document — either the old one (crash
+// before the rename) or the new one (crash after) — never empty, never
+// partial. A rewrite without the pre-rename fsync fails this exact test
+// under a real power cut.
+func TestSaveToCrashAtEveryWriteStage(t *testing.T) {
+	dir := t.TempDir()
+	db, err := gendb.Generate(crashSceneSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := storage.OpenFileDisk(filepath.Join(dir, "pages"), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fd.Close()
+	pool := storage.NewBufferPool(fd, 0, storage.LRU)
+	mgr := NewManager(db.Base, pool)
+	if _, err := mgr.CreateIndex(db.Path, Full, BinaryDecomposition(db.Path.Arity()-1)); err != nil {
+		t.Fatal(err)
+	}
+	manifestPath := filepath.Join(dir, "manifest")
+	if err := mgr.SaveTo(manifestPath); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	checkIntact := func(stage string) {
+		t.Helper()
+		data, err := os.ReadFile(manifestPath)
+		if err != nil {
+			t.Fatalf("crash at %q: manifest unreadable: %v", stage, err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("crash at %q: manifest is empty", stage)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatalf("crash at %q: manifest is not valid JSON: %v", stage, err)
+		}
+	}
+
+	errCrash := errors.New("injected crash")
+	for _, stage := range []string{"written", "synced", "renamed"} {
+		stage := stage
+		manifestWriteHook = func(at string) error {
+			if at == stage {
+				return fmt.Errorf("%w at %s", errCrash, at)
+			}
+			return nil
+		}
+		err := mgr.SaveTo(manifestPath)
+		manifestWriteHook = nil
+		if !errors.Is(err, errCrash) {
+			t.Fatalf("crash at %q: SaveTo returned %v, want the injected crash", stage, err)
+		}
+		checkIntact(stage)
+		if stage != "renamed" {
+			// Crash before the rename: the old manifest must be untouched.
+			data, _ := os.ReadFile(manifestPath)
+			if string(data) != string(before) {
+				t.Fatalf("crash at %q replaced the manifest before the new bytes were durable", stage)
+			}
+		}
+	}
+
+	// After all the aborted attempts, a clean SaveTo still works and the
+	// result reopens.
+	if err := mgr.SaveTo(manifestPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFrom(db.Base, pool, manifestPath); err != nil {
+		t.Fatalf("OpenFrom after aborted rewrites: %v", err)
+	}
+}

@@ -30,6 +30,10 @@ import (
 //	                    ?limit=N bounds the result
 //	GET /slowlog        the slow-query ring as JSON, newest first (see
 //	                    Config.SlowQueryThreshold)
+//	POST /backup        online backup of a durable database into
+//	                    ?dest=DIR on the server's filesystem (see
+//	                    Config.OnBackup); queries keep answering while
+//	                    the page file streams out
 //	GET /debug/pprof/*  the standard Go profiling endpoints (CPU, heap,
 //	                    goroutine, ... — live profiling of a serving
 //	                    process)
@@ -51,6 +55,7 @@ func newAdminServer(s *Server, addr string) (*adminServer, error) {
 	mux.HandleFunc("/readyz", a.handleReadyz)
 	mux.HandleFunc("/traces", a.handleTraces)
 	mux.HandleFunc("/slowlog", a.handleSlowlog)
+	mux.HandleFunc("/backup", a.handleBackup)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -78,7 +83,48 @@ func (a *adminServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *adminServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if hc := a.srv.cfg.HealthCheck; hc != nil {
+		if err := hc(); err != nil {
+			// Degraded, not dead: the process still serves, but stored
+			// data failed an integrity check the scrubber could not heal.
+			// An operator (or orchestrator alert) should Repair or
+			// restore from backup (docs/ROBUSTNESS.md).
+			http.Error(w, "degraded: "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+	}
 	fmt.Fprintln(w, "ok")
+}
+
+// handleBackup serves POST /backup?dest=DIR: an online backup into a
+// server-local directory, streamed under per-page latches so queries
+// keep answering throughout. The response reports the watermarks and
+// sizes the restore runbook needs.
+func (a *adminServer) handleBackup(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "backup requires POST", http.StatusMethodNotAllowed)
+		return
+	}
+	if a.srv.cfg.OnBackup == nil {
+		http.Error(w, "backup not configured (serve a durable database with -db)", http.StatusNotImplemented)
+		return
+	}
+	dest := r.URL.Query().Get("dest")
+	if dest == "" {
+		http.Error(w, "missing dest parameter", http.StatusBadRequest)
+		return
+	}
+	telAdminBackups.Inc()
+	start := time.Now()
+	info, err := a.srv.cfg.OnBackup(dest)
+	if err != nil {
+		a.srv.log.Error("server: online backup failed", "dest", dest, "err", err)
+		http.Error(w, "backup failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	a.srv.log.Info("server: online backup complete", "dest", dest, "elapsed", time.Since(start))
+	writeJSON(w, map[string]any{"backup": info, "elapsed_us": time.Since(start).Microseconds()})
 }
 
 func (a *adminServer) handleReadyz(w http.ResponseWriter, r *http.Request) {

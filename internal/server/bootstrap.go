@@ -25,6 +25,57 @@ type Database struct {
 
 	checkpoint func() error
 	closers    []func() error // closed in order on Close
+
+	// Durable-database handles (nil for in-memory databases): the page
+	// file and WAL behind the pool, the base path the files live at, and
+	// the optional WAL archive. Backup and the scrubber need them.
+	basePath string
+	disk     *storage.FileDisk
+	wal      *storage.WAL
+	archive  *storage.Archive
+}
+
+// Durable reports whether this database is backed by a page file and
+// WAL (opened via OpenDurableBase) — the precondition for Backup and
+// for scrubbing.
+func (d *Database) Durable() bool { return d.disk != nil }
+
+// Disk exposes the page file of a durable database (nil otherwise).
+func (d *Database) Disk() *storage.FileDisk { return d.disk }
+
+// WAL exposes the log of a durable database (nil otherwise).
+func (d *Database) WAL() *storage.WAL { return d.wal }
+
+// Archive exposes the WAL archive, when one is attached.
+func (d *Database) Archive() *storage.Archive { return d.archive }
+
+// Backup streams an online backup of a durable database into dstDir:
+// the page file copied under per-page latches (queries keep running),
+// plus the index manifest and the logical dump, with the WAL watermarks
+// recorded for restore. The index manifest is re-saved first so the
+// copy reflects the current index topology.
+func (d *Database) Backup(dstDir string) (*storage.BackupInfo, error) {
+	if !d.Durable() {
+		return nil, fmt.Errorf("server: backup: database is in-memory (start with -db to back up)")
+	}
+	if err := d.Manager.SaveTo(d.basePath + ".manifest"); err != nil {
+		return nil, err
+	}
+	info, err := storage.Backup(d.disk, d.wal, dstDir, map[string]string{
+		"manifest": d.basePath + ".manifest",
+		"gom":      d.basePath + ".gom",
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Retention rides the backup chain: history before this backup's
+	// start watermark can no longer be needed by it.
+	if d.archive != nil {
+		if _, err := d.archive.Prune(info.StartLSN); err != nil {
+			return info, fmt.Errorf("server: backup succeeded but pruning the archive failed: %w", err)
+		}
+	}
+	return info, nil
 }
 
 // Checkpoint flushes dirty pages to the device, syncs, and truncates
@@ -165,7 +216,24 @@ func LoadDumpFileWith(path string, indexSpecs []string, pool *storage.BufferPool
 // without rebuilding. The returned RecoveryInfo says what recovery did
 // — gomd logs it at startup (the runbook's recovery-on-start step).
 func OpenDurableBase(base string) (*Database, *storage.RecoveryInfo, error) {
-	fd, wal, info, err := storage.Recover(base + ".pages")
+	return OpenDurableBaseArchived(base, "")
+}
+
+// OpenDurableBaseArchived is OpenDurableBase with WAL segment archiving:
+// when archiveDir is non-empty, recovery seals the crashed log's records
+// into the archive (instead of discarding them) and every later
+// checkpoint archives too — the prerequisite for online backup and
+// point-in-time recovery.
+func OpenDurableBaseArchived(base, archiveDir string) (*Database, *storage.RecoveryInfo, error) {
+	var arch *storage.Archive
+	if archiveDir != "" {
+		var err error
+		arch, err = storage.OpenArchive(archiveDir)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	fd, wal, info, err := storage.RecoverArchived(base+".pages", arch)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -196,6 +264,10 @@ func OpenDurableBase(base string) (*Database, *storage.RecoveryInfo, error) {
 		Engine:     query.New(ob, mgr),
 		checkpoint: pool.Checkpoint,
 		closers:    []func() error{wal.Close, fd.Close},
+		basePath:   base,
+		disk:       fd,
+		wal:        wal,
+		archive:    arch,
 	}
 	return d, info, nil
 }

@@ -13,12 +13,13 @@ import (
 // metricDecl matches a registry instrument declaration and captures the
 // metric's base name (labels stripped): Counter("server_x_total"),
 // Gauge(`server_y{...`), Histogram("trace_z", ...).
-var metricDecl = regexp.MustCompile("\\.(?:Counter|Gauge|Histogram)\\([\"`]((?:server|trace)_[a-z0-9_]+)")
+var metricDecl = regexp.MustCompile("\\.(?:Counter|Gauge|Histogram)\\([\"`]((?:server|trace|archive|backup|scrub)_[a-z0-9_]+)")
 
 // TestServerMetricsAreDocumented walks the repo's Go source for every
-// server_* / trace_* metric registration and requires a matching row or
-// mention in docs/SERVICE.md or docs/OBSERVABILITY.md — a new metric
-// cannot ship undocumented. CI runs this via `make server-smoke`.
+// server_* / trace_* / archive_* / backup_* / scrub_* metric
+// registration and requires a matching row or mention in
+// docs/SERVICE.md or docs/OBSERVABILITY.md — a new metric cannot ship
+// undocumented. CI runs this via `make server-smoke`.
 func TestServerMetricsAreDocumented(t *testing.T) {
 	root := filepath.Join("..", "..")
 

@@ -118,6 +118,16 @@ type Config struct {
 	// SlowLogCapacity bounds the slow-query ring; ≤ 0 means
 	// DefaultSlowLogCapacity (128).
 	SlowLogCapacity int
+	// OnBackup, when set, enables the admin POST /backup endpoint: it
+	// receives the request's destination directory and performs an
+	// online backup (gomd wires Database.Backup here). Nil answers the
+	// endpoint with 501.
+	OnBackup func(dest string) (any, error)
+	// HealthCheck, when set, gates /healthz: a non-nil error degrades
+	// the endpoint to 503 with the error text (while the process keeps
+	// serving). gomd wires the integrity scrubber's unhealed-corruption
+	// state here.
+	HealthCheck func() error
 }
 
 // Server serves one query engine over TCP. Create with New, start with

@@ -37,6 +37,7 @@ var (
 	telAdminScrapes     = telemetry.Default().Counter("server_metrics_scrapes_total")
 	telCheckpointErrs   = telemetry.Default().Counter("server_drain_checkpoint_errors_total")
 	telSlowQueries      = telemetry.Default().Counter("server_slow_queries_total")
+	telAdminBackups     = telemetry.Default().Counter("server_backup_requests_total")
 	telTraceGenerated   = telemetry.Default().Counter("trace_server_generated_total")
 )
 

@@ -434,6 +434,137 @@ func (d *FileDisk) Close() error {
 	return err
 }
 
+// MaxPageID returns the highest page id ever allocated (pages on the
+// free list included — the physical extent of the file). The backup
+// sweep and the scrubber walk 1..MaxPageID.
+func (d *FileDisk) MaxPageID() PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.nextID - 1
+}
+
+// SnapshotHeader returns a copy of the superblock region — the first
+// fileHeaderBytes of the file — read under the disk mutex.
+func (d *FileDisk) SnapshotHeader() ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b := make([]byte, fileHeaderBytes)
+	if n, err := d.f.ReadAt(b, 0); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("storage: snapshot header: %w", err)
+	} else if err == io.EOF {
+		for i := n; i < len(b); i++ {
+			b[i] = 0
+		}
+	}
+	return b, nil
+}
+
+// SnapshotPage reads one raw physical page record (header + payload)
+// under the disk mutex, without enforcing the checksum: ok reports
+// whether the record verifies. The per-page latch discipline of an
+// online backup — each page is copied atomically with respect to
+// writers, and queries proceed between pages.
+func (d *FileDisk) SnapshotPage(id PageID) (phys []byte, ok bool, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id == NilPage || id >= d.nextID {
+		return nil, false, fmt.Errorf("storage: SnapshotPage(%v): no such page", id)
+	}
+	phys = make([]byte, d.physSize())
+	if d.fresh[id] {
+		return phys, true, nil // allocated this run, never written: reads as zeros
+	}
+	n, rerr := d.f.ReadAt(phys, d.pageOffset(id))
+	if rerr != nil && rerr != io.EOF {
+		return nil, false, fmt.Errorf("storage: SnapshotPage(%v): %w", id, rerr)
+	}
+	for i := n; i < len(phys); i++ {
+		phys[i] = 0
+	}
+	if allZero(phys) {
+		return phys, true, nil
+	}
+	hdr := phys[:pageHeaderSize]
+	ok = binary.LittleEndian.Uint32(hdr[0:]) == crc32.Checksum(phys[4:], castagnoli) &&
+		binary.LittleEndian.Uint64(hdr[16:]) == uint64(id)
+	return phys, ok, nil
+}
+
+// writePhys stores one raw physical record verbatim (used by Restore to
+// lay down backup copies); must be called with d.mu held or before the
+// disk is shared.
+func (d *FileDisk) writePhys(id PageID, phys []byte) error {
+	if len(phys) != int(d.physSize()) {
+		return fmt.Errorf("storage: writePhys(%v): record size %d, want %d", id, len(phys), d.physSize())
+	}
+	if err := d.writeAt(phys, d.pageOffset(id)); err != nil {
+		return fmt.Errorf("storage: writePhys(%v): %w", id, err)
+	}
+	delete(d.fresh, id)
+	return nil
+}
+
+// zapPage deliberately marks a stored page unreadable (a record whose
+// checksum can never verify), so every later read reports
+// ErrCorruptPage and the quarantine/Repair machinery takes over.
+// Restore uses it on pages whose state is past the PITR target.
+func (d *FileDisk) zapPage(id PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	phys := make([]byte, d.physSize())
+	binary.LittleEndian.PutUint64(phys[16:], uint64(id))
+	phys[pageHeaderSize] = 0xA5 // non-zero payload so the record is not read as "fresh"
+	// Store the complement of the true checksum: guaranteed mismatch.
+	binary.LittleEndian.PutUint32(phys[0:], ^crc32.Checksum(phys[4:], castagnoli))
+	return d.writePhys(id, phys)
+}
+
+// HealPage rewrites page id with data stamped at lsn, but only if the
+// stored record currently fails its checksum — checked and written
+// atomically under the disk latch, so a heal sourced from an older WAL
+// image can never regress a page a concurrent writer just fixed.
+// Returns whether the heal was applied.
+func (d *FileDisk) HealPage(id PageID, data []byte, lsn uint64) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(data) != d.pageSize {
+		return false, fmt.Errorf("storage: HealPage(%v): buffer size %d, want %d", id, len(data), d.pageSize)
+	}
+	if id == NilPage || id >= d.nextID {
+		return false, fmt.Errorf("storage: HealPage(%v): no such page", id)
+	}
+	if d.fresh[id] {
+		return false, nil
+	}
+	if _, _, err := d.readPhys(id, nil); !errors.Is(err, ErrCorruptPage) {
+		return false, err // nil (page is fine now) or a real I/O error
+	}
+	phys := make([]byte, d.physSize())
+	binary.LittleEndian.PutUint32(phys[4:], 0) // flags
+	binary.LittleEndian.PutUint64(phys[8:], lsn)
+	binary.LittleEndian.PutUint64(phys[16:], uint64(id))
+	copy(phys[pageHeaderSize:], data)
+	binary.LittleEndian.PutUint32(phys[0:], crc32.Checksum(phys[4:], castagnoli))
+	if err := d.writePhys(id, phys); err != nil {
+		return false, err
+	}
+	if lsn > d.maxLSN {
+		d.maxLSN = lsn
+	}
+	return true, nil
+}
+
+// bumpMaxLSN raises the superblock LSN watermark (never lowers it);
+// Restore seats it at the PITR target so post-restore LSNs stay
+// monotonic.
+func (d *FileDisk) bumpMaxLSN(lsn uint64) {
+	d.mu.Lock()
+	if lsn > d.maxLSN {
+		d.maxLSN = lsn
+	}
+	d.mu.Unlock()
+}
+
 // CorruptPage deliberately damages stored page bytes starting at off
 // within the payload (bypassing the checksum), so tests can prove
 // corruption is detected. The in-memory fresh mark is cleared, making

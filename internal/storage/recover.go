@@ -37,6 +37,15 @@ type RecoveryInfo struct {
 // The returned FileDisk and WAL are ready for use: attach them to a
 // BufferPool with AttachWAL.
 func Recover(path string) (*FileDisk, *WAL, *RecoveryInfo, error) {
+	return RecoverArchived(path, nil)
+}
+
+// RecoverArchived is Recover with a WAL archive attached before the
+// final log reset, so the records the crash left behind are sealed into
+// the archive chain instead of discarded — without this, a restart
+// would punch a hole in point-in-time recovery's history. The archive
+// stays attached on the returned WAL: every later checkpoint seals too.
+func RecoverArchived(path string, arch *Archive) (*FileDisk, *WAL, *RecoveryInfo, error) {
 	fd, err := OpenFileDisk(path, 0)
 	if err != nil {
 		return nil, nil, nil, err
@@ -45,6 +54,9 @@ func Recover(path string) (*FileDisk, *WAL, *RecoveryInfo, error) {
 	if err != nil {
 		fd.Close()
 		return nil, nil, nil, err
+	}
+	if arch != nil {
+		w.SetArchive(arch)
 	}
 	recs, tailDamaged, err := w.Records()
 	if err != nil {

@@ -32,4 +32,26 @@ var (
 	telRecoveryCommitted   = telemetry.Default().Counter("storage_recovery_committed_txns_total")
 	telRecoveryDiscarded   = telemetry.Default().Counter("storage_recovery_discarded_txns_total")
 	telRecoveryQuarantined = telemetry.Default().Counter("storage_recovery_quarantined_pages_total")
+
+	// Durability-beyond-crash instruments: WAL segment archiving, online
+	// backup / point-in-time restore, and the background integrity
+	// scrubber (docs/ROBUSTNESS.md, "Backup, PITR, and scrubbing").
+	telArchiveSealed  = telemetry.Default().Counter("archive_segments_sealed_total")
+	telArchiveBytes   = telemetry.Default().Counter("archive_bytes_sealed_total")
+	telArchivePruned  = telemetry.Default().Counter("archive_segments_pruned_total")
+	telArchiveCorrupt = telemetry.Default().Counter("archive_corrupt_segments_total")
+
+	telBackupRuns     = telemetry.Default().Counter("backup_runs_total")
+	telBackupFailures = telemetry.Default().Counter("backup_failures_total")
+	telBackupPages    = telemetry.Default().Counter("backup_pages_copied_total")
+	telBackupTorn     = telemetry.Default().Counter("backup_torn_pages_total")
+	telBackupBytes    = telemetry.Default().Counter("backup_bytes_total")
+	telRestoreRuns    = telemetry.Default().Counter("backup_restores_total")
+	telRestoreHealed  = telemetry.Default().Counter("backup_restore_healed_pages_total")
+
+	telScrubChecked  = telemetry.Default().Counter("scrub_pages_checked_total")
+	telScrubFound    = telemetry.Default().Counter("scrub_corruptions_found_total")
+	telScrubHealed   = telemetry.Default().Counter("scrub_corruptions_healed_total")
+	telScrubPasses   = telemetry.Default().Counter("scrub_passes_total")
+	telScrubUnhealed = telemetry.Default().Gauge("scrub_unhealed_pages")
 )

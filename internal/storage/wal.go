@@ -154,6 +154,7 @@ type WAL struct {
 
 	stats WALStats
 	cp    *Crashpoint
+	arch  *Archive // when set, Reset seals the log into it instead of discarding
 }
 
 // OpenWAL opens (or creates) a log file, scanning it to find the valid
@@ -196,6 +197,40 @@ func (w *WAL) SetCrashpoint(cp *Crashpoint) {
 	w.mu.Lock()
 	w.cp = cp
 	w.mu.Unlock()
+}
+
+// SetArchive attaches (or detaches, with nil) a WAL segment archive.
+// With an archive attached, Reset — the truncation every checkpoint
+// performs — first seals the log's record prefix into the archive, so
+// history survives checkpoints and point-in-time recovery stays
+// possible from the last backup forward.
+func (w *WAL) SetArchive(a *Archive) {
+	w.mu.Lock()
+	w.arch = a
+	w.mu.Unlock()
+}
+
+// Archive returns the attached segment archive, nil when archiving is
+// off.
+func (w *WAL) Archive() *Archive {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.arch
+}
+
+// AppendedLSN returns the LSN of the last record appended (durable or
+// not). Backup uses it as the fuzzy-copy watermark.
+func (w *WAL) AppendedLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appendedLSN
+}
+
+// SyncedLSN returns the LSN up to which the log is durable.
+func (w *WAL) SyncedLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncedLSN
 }
 
 // Stats returns a snapshot of the log counters.
@@ -367,14 +402,33 @@ func (w *WAL) Records() (recs []WALRecord, tailDamaged bool, err error) {
 	return recs, tailDamaged, nil
 }
 
-// Reset truncates the log after a checkpoint has made every logged
-// effect durable in the page file. LSN and transaction counters keep
-// counting (LSNs stay monotonic for the life of the database).
+// Reset rotates the log after a checkpoint has made every logged
+// effect durable in the page file: with an archive attached the
+// record prefix is first sealed into it (nothing is truncated if the
+// seal fails — the log keeps its records and the archive keeps its
+// chain); without one the records are discarded, the pre-archiving
+// behaviour. LSN and transaction counters keep counting (LSNs stay
+// monotonic for the life of the database).
 func (w *WAL) Reset() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.cp != nil && w.cp.Crashed() {
 		return fmt.Errorf("storage: wal reset: %w", ErrCrashed)
+	}
+	if w.arch != nil {
+		raw, err := os.ReadFile(w.path)
+		if err != nil {
+			return fmt.Errorf("storage: wal archive: %w", err)
+		}
+		recs, validLen, _ := scanWALBytes(raw)
+		if len(recs) > 0 {
+			if w.cp != nil {
+				w.arch.SetCrashpoint(w.cp)
+			}
+			if _, err := w.arch.seal(raw[:validLen], recs); err != nil {
+				return fmt.Errorf("storage: wal archive: %w", err)
+			}
+		}
 	}
 	if err := w.f.Truncate(0); err != nil {
 		return fmt.Errorf("storage: wal truncate: %w", err)
@@ -389,6 +443,22 @@ func (w *WAL) Reset() error {
 	return nil
 }
 
-// Close closes the log file without flushing buffered records (callers
-// checkpoint first when they want durability).
-func (w *WAL) Close() error { return w.f.Close() }
+// Close makes every appended record durable, then closes the log file.
+// Without the final sync, records buffered after the last group commit
+// would silently vanish on a clean shutdown; both the sync and the
+// close error are surfaced, joined.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	target := w.appendedLSN
+	crashed := w.cp != nil && w.cp.Crashed()
+	w.mu.Unlock()
+	var serr error
+	if !crashed { // a simulated-dead process must not flush its tail
+		serr = w.Sync(target)
+	}
+	cerr := w.f.Close()
+	if cerr != nil {
+		cerr = fmt.Errorf("storage: wal close: %w", cerr)
+	}
+	return errors.Join(serr, cerr)
+}
